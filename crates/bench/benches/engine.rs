@@ -1,0 +1,46 @@
+//! Criterion benches for the serving simulator itself: simulated-job
+//! wall-clock per real second, under cached and uncached configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmqo_serve::{
+    Deployment, EngineConfig, GpuCluster, GpuSpec, ModelSpec, SimEngine, SimRequest,
+};
+
+fn requests(n: usize, shared: usize, total: usize, output: u32) -> Vec<SimRequest> {
+    (0..n)
+        .map(|i| {
+            let mut t: Vec<u32> = (0..shared as u32).collect();
+            t.extend((0..(total - shared) as u32).map(|j| 1_000_000 + (i as u32) * 4096 + j));
+            SimRequest::from_tokens(i, t, output)
+        })
+        .collect()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let deployment = Deployment::new(ModelSpec::llama3_8b(), GpuCluster::single(GpuSpec::l4()));
+    let reqs = requests(1000, 192, 280, 4);
+    let mut group = c.benchmark_group("engine/1000req-280tok");
+    group.sample_size(10);
+    group.bench_function("prefix-cache", |b| {
+        let engine = SimEngine::new(deployment.clone(), EngineConfig::default());
+        b.iter(|| engine.run(&reqs).unwrap())
+    });
+    group.bench_function("no-cache", |b| {
+        let engine = SimEngine::new(deployment.clone(), EngineConfig::no_cache());
+        b.iter(|| engine.run(&reqs).unwrap())
+    });
+    group.bench_function("strict-vllm-v0", |b| {
+        let engine = SimEngine::new(
+            deployment.clone(),
+            EngineConfig {
+                in_flight_sharing: false,
+                ..EngineConfig::default()
+            },
+        );
+        b.iter(|| engine.run(&reqs).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

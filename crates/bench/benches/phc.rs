@@ -1,0 +1,29 @@
+//! Criterion benches for PHC evaluation (Eq. 1–2): the ground-truth scorer
+//! used to validate every solver's claims.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmqo_core::{phc_of_plan, Ggr, OriginalOrder, Reorderer};
+use llmqo_datasets::{Dataset, DatasetId};
+use llmqo_relational::{encode_table, project_fds, QueryKind};
+use llmqo_tokenizer::Tokenizer;
+
+fn bench_phc(c: &mut Criterion) {
+    let ds = Dataset::generate_with_rows(DatasetId::Products, 2000);
+    let q = ds.query_of_kind(QueryKind::Filter).unwrap();
+    let e = encode_table(&Tokenizer::new(), &ds.table, q).unwrap();
+    let fds = project_fds(&ds.fds, &e.used_cols);
+    let identity = OriginalOrder.reorder(&e.reorder, &fds).unwrap();
+    let ggr = Ggr::default().reorder(&e.reorder, &fds).unwrap();
+
+    let mut group = c.benchmark_group("phc/products-2000");
+    group.bench_function("identity-plan", |b| {
+        b.iter(|| phc_of_plan(&e.reorder, &identity.plan))
+    });
+    group.bench_function("ggr-plan", |b| {
+        b.iter(|| phc_of_plan(&e.reorder, &ggr.plan))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phc);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benches for the paged prefix cache: admissions with shared and
+//! cold prefixes, probe throughput, and eviction churn.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use llmqo_serve::{CacheConfig, PrefixCache};
+
+fn config(capacity_blocks: usize) -> CacheConfig {
+    CacheConfig {
+        block_size: 16,
+        capacity_blocks,
+        enabled: true,
+        share_in_flight: true,
+    }
+}
+
+fn prompt(shared: usize, tag: u32, total: usize) -> Vec<u32> {
+    let mut p: Vec<u32> = (0..shared as u32).collect();
+    p.extend((0..(total - shared) as u32).map(|i| 1_000_000 + tag * 4096 + i));
+    p
+}
+
+fn bench_admit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radix/admit-300tok");
+    group.bench_function("shared-prefix", |b| {
+        b.iter_batched(
+            || PrefixCache::new(config(50_000)),
+            |mut cache| {
+                for i in 0..256u32 {
+                    let alloc = cache.try_admit(&prompt(224, i, 300), 8).unwrap();
+                    cache.mark_computed(&alloc, 300);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("cold", |b| {
+        b.iter_batched(
+            || PrefixCache::new(config(50_000)),
+            |mut cache| {
+                for i in 0..256u32 {
+                    let alloc = cache.try_admit(&prompt(0, i, 300), 8).unwrap();
+                    cache.mark_computed(&alloc, 300);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let mut cache = PrefixCache::new(config(50_000));
+    let p = prompt(512, 0, 512);
+    let alloc = cache.try_admit(&p, 0).unwrap();
+    cache.mark_computed(&alloc, 512);
+    c.bench_function("radix/probe-512tok", |b| b.iter(|| cache.probe(&p)));
+}
+
+fn bench_eviction_churn(c: &mut Criterion) {
+    c.bench_function("radix/churn-small-cache", |b| {
+        b.iter_batched(
+            || PrefixCache::new(config(128)),
+            |mut cache| {
+                // Working set far exceeds capacity: constant LRU eviction.
+                for i in 0..512u32 {
+                    if let Some(alloc) = cache.try_admit(&prompt(32, i, 96), 4) {
+                        cache.mark_computed(&alloc, 96);
+                        cache.release(alloc);
+                    }
+                }
+                cache.stats().evictions
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_admit, bench_probe, bench_eviction_churn);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion benches for the deterministic tokenizer (the hot path of table
+//! encoding and dataset calibration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmqo_tokenizer::Tokenizer;
+
+fn bench_tokenize(c: &mut Criterion) {
+    let tok = Tokenizer::new();
+    let prose = "The quiet mountain river follows an ancient stone path toward evening \
+                 light, while the small village market opens before dawn and farmers \
+                 carry baskets of fresh bread and warm honey through narrow streets. "
+        .repeat(16);
+    let mut group = c.benchmark_group("tokenizer");
+    group.throughput(criterion::Throughput::Bytes(prose.len() as u64));
+    group.bench_function("tokenize-3kb", |b| b.iter(|| tok.tokenize(&prose)));
+    group.bench_function("count-3kb", |b| b.iter(|| tok.count(&prose)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_tokenize);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Reproduces **Figure 3a**: end-to-end runtime of the five LLM *filter*
+//! queries (T1) under No Cache / Cache (Original) / Cache (GGR) with
+//! Llama-3-8B on one L4.
+//!
+//! Paper headline: GGR is 1.8–3.0× faster than Cache (Original) and
+//! 2.1–3.8× faster than No Cache.
+
+use llmqo_bench::{harness, report};
+use llmqo_datasets::DatasetId;
+use llmqo_relational::QueryKind;
+
+fn main() {
+    let deployment = harness::deployment_8b();
+    let mut rows = Vec::new();
+    for id in [
+        DatasetId::Movies,
+        DatasetId::Products,
+        DatasetId::Bird,
+        DatasetId::Pdmx,
+        DatasetId::Beer,
+    ] {
+        let ds = harness::load(id);
+        let query = ds.query_of_kind(QueryKind::Filter).expect("T1 exists");
+        let mut jct = Vec::new();
+        for method in harness::Method::all() {
+            let out = harness::run_method(&ds, query, method, &deployment).expect("run");
+            jct.push(out.report.engine.job_completion_time_s);
+        }
+        rows.push(vec![
+            id.name().to_owned(),
+            report::secs(jct[0]),
+            report::secs(jct[1]),
+            report::secs(jct[2]),
+            report::speedup(jct[0], jct[2]),
+            report::speedup(jct[1], jct[2]),
+        ]);
+    }
+    report::section(
+        "Fig 3a: Filter queries, Llama-3-8B on 1xL4 (paper: GGR 2.1-3.8x over \
+         No Cache, 1.8-3.0x over Cache (Original))",
+        &[
+            "Dataset",
+            "No Cache",
+            "Cache (Original)",
+            "Cache (GGR)",
+            "GGR vs NoCache",
+            "GGR vs Original",
+        ],
+        &rows,
+    );
+}

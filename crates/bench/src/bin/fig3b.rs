@@ -1,0 +1,48 @@
+//! Reproduces **Figure 3b**: end-to-end runtime of the five *projection*
+//! queries (T2) and the two *RAG* queries (T5) under the three methods with
+//! Llama-3-8B on one L4.
+//!
+//! Paper headline: GGR is 1.5–3.4× over Cache (Original) and 1.8–3.7× over
+//! No Cache; gains shrink as decode (long outputs) dominates.
+
+use llmqo_bench::{harness, report};
+use llmqo_datasets::DatasetId;
+use llmqo_relational::QueryKind;
+
+fn main() {
+    let deployment = harness::deployment_8b();
+    let mut rows = Vec::new();
+    for id in DatasetId::all() {
+        let ds = harness::load(id);
+        let query = match ds.query_of_kind(QueryKind::Projection) {
+            Some(q) => q,
+            None => ds.query_of_kind(QueryKind::Rag).expect("T2 or T5 exists"),
+        };
+        let mut jct = Vec::new();
+        for method in harness::Method::all() {
+            let out = harness::run_method(&ds, query, method, &deployment).expect("run");
+            jct.push(out.report.engine.job_completion_time_s);
+        }
+        rows.push(vec![
+            format!("{} ({})", id.name(), query.name),
+            report::secs(jct[0]),
+            report::secs(jct[1]),
+            report::secs(jct[2]),
+            report::speedup(jct[0], jct[2]),
+            report::speedup(jct[1], jct[2]),
+        ]);
+    }
+    report::section(
+        "Fig 3b: Projection and RAG queries, Llama-3-8B on 1xL4 (paper: GGR \
+         1.8-3.7x over No Cache, 1.5-3.4x over Cache (Original))",
+        &[
+            "Dataset (query)",
+            "No Cache",
+            "Cache (Original)",
+            "Cache (GGR)",
+            "GGR vs NoCache",
+            "GGR vs Original",
+        ],
+        &rows,
+    );
+}

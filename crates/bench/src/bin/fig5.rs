@@ -1,0 +1,50 @@
+//! Reproduces **Figure 5**: the five filter queries on Llama-3-70B served
+//! over 8×L4 with tensor parallelism, Cache (Original) vs Cache (GGR).
+//!
+//! Paper headline: GGR is 1.9–3.3× faster; trends mirror the 8B results.
+
+use llmqo_bench::{harness, report};
+use llmqo_datasets::DatasetId;
+use llmqo_relational::QueryKind;
+
+fn main() {
+    let deployment = harness::deployment_70b();
+    let mut rows = Vec::new();
+    for id in [
+        DatasetId::Movies,
+        DatasetId::Products,
+        DatasetId::Bird,
+        DatasetId::Pdmx,
+        DatasetId::Beer,
+    ] {
+        let ds = harness::load(id);
+        let query = ds.query_of_kind(QueryKind::Filter).expect("T1 exists");
+        let orig =
+            harness::run_method(&ds, query, harness::Method::CacheOriginal, &deployment)
+                .expect("run");
+        let ggr = harness::run_method(&ds, query, harness::Method::CacheGgr, &deployment)
+            .expect("run");
+        rows.push(vec![
+            id.name().to_owned(),
+            report::secs(orig.report.engine.job_completion_time_s),
+            report::secs(ggr.report.engine.job_completion_time_s),
+            report::speedup(
+                orig.report.engine.job_completion_time_s,
+                ggr.report.engine.job_completion_time_s,
+            ),
+            report::pct(ggr.report.engine.prefix_hit_rate()),
+        ]);
+    }
+    report::section(
+        "Fig 5: Filter queries, Llama-3-70B on 8xL4 (paper: GGR 1.9-3.3x over \
+         Cache (Original))",
+        &[
+            "Dataset",
+            "Cache (Original)",
+            "Cache (GGR)",
+            "GGR vs Original",
+            "GGR PHR",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,45 @@
+//! Reproduces **Table 2**: prefix hit rate (PHR) of LLM filter and RAG
+//! queries under the original ordering vs GGR, measured end-to-end in the
+//! serving simulator (block-granular, including the shared instruction
+//! prefix — exactly what vLLM's cache metrics report).
+
+use llmqo_bench::{harness, report};
+use llmqo_datasets::DatasetId;
+use llmqo_relational::QueryKind;
+
+fn main() {
+    let deployment = harness::deployment_8b();
+    let mut rows = Vec::new();
+    for id in DatasetId::all() {
+        let paper = id.paper();
+        let ds = harness::load(id);
+        let query = ds
+            .query_of_kind(QueryKind::Filter)
+            .or_else(|| ds.query_of_kind(QueryKind::Rag))
+            .expect("every dataset has a T1 or T5 query");
+        let orig = harness::run_method(&ds, query, harness::Method::CacheOriginal, &deployment)
+            .expect("original run");
+        let ggr = harness::run_method(&ds, query, harness::Method::CacheGgr, &deployment)
+            .expect("ggr run");
+        rows.push(vec![
+            id.name().to_owned(),
+            report::pct(orig.report.engine.prefix_hit_rate()),
+            report::pct(paper.original_phr),
+            report::pct(ggr.report.engine.prefix_hit_rate()),
+            report::pct(paper.ggr_phr),
+            report::pct(ggr.report.field_phc.hit_rate()),
+        ]);
+    }
+    report::section(
+        "Table 2: PHR of LLM filter and RAG queries",
+        &[
+            "Dataset",
+            "Original",
+            "Original(paper)",
+            "GGR",
+            "GGR(paper)",
+            "GGR field-level",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,302 @@
+//! Data-aware fixed field ordering by greedy distinct-prefix counting.
+//!
+//! §4.2.2 of the paper falls back to a statistics-chosen *fixed* field order
+//! when GGR stops recursing, scoring each column by `avg(len)²` and its
+//! duplicate count. That score ignores a crucial interaction: once several
+//! fields lead the prompt, a further field only extends shared prefixes for
+//! rows that already agree on *all* leading fields — the number of distinct
+//! prefixes grows multiplicatively, and a long-but-high-cardinality column
+//! placed early (say, `artistname` with thousands of values) kills sharing
+//! for every column after it.
+//!
+//! [`greedy_prefix_order`] fixes this with the statistics databases actually
+//! maintain plus one exact pass per candidate: it builds the order
+//! greedily, at each step picking the column maximizing
+//! `avg(len²) · (n − D)` where `D` is the **exact** count of distinct
+//! (prefix-so-far, value) combinations. Wide tables with skewed categorical
+//! and flag columns (PDMX-like) benefit enormously: low-cardinality columns
+//! are packed first, and per-row-unique columns fall to the end, where they
+//! can no longer break anyone's prefix.
+
+use crate::table::ReorderTable;
+use crate::ValueId;
+use std::collections::HashMap;
+
+/// Computes a fixed field order for the subtable (`rows` × `cols`) that
+/// greedily maximizes the expected PHC of lexicographically sorted rows.
+///
+/// Returns a permutation of `cols`. Complexity `O(m² · n)` with hashing;
+/// stops refining early once every prefix is unique (remaining columns are
+/// appended by descending squared length, longest first, since they can only
+/// ever match inside already-identical prefixes).
+pub fn greedy_prefix_order(table: &ReorderTable, rows: &[u32], cols: &[u32]) -> Vec<u32> {
+    let n = rows.len();
+    let mut order: Vec<u32> = Vec::with_capacity(cols.len());
+    let mut remaining: Vec<u32> = cols.to_vec();
+    // Group id of each row under the prefix chosen so far.
+    let mut groups: Vec<u32> = vec![0; n];
+    let mut n_groups = 1usize;
+
+    while !remaining.is_empty() && n_groups < n {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, &c) in remaining.iter().enumerate() {
+            let mut distinct: HashMap<(u32, ValueId), ()> = HashMap::with_capacity(n);
+            let mut sum_sq = 0f64;
+            for (g, &r) in groups.iter().zip(rows) {
+                let cell = table.cell(r as usize, c as usize);
+                distinct.insert((*g, cell.value), ());
+                sum_sq += cell.sq_len() as f64;
+            }
+            let gain = (sum_sq / n as f64) * (n - distinct.len()) as f64;
+            let better = match best {
+                None => true,
+                Some((bg, bi)) => {
+                    gain > bg || (gain == bg && remaining[bi] > c)
+                }
+            };
+            if better {
+                best = Some((gain, i));
+            }
+        }
+        let (_, idx) = best.expect("remaining is non-empty");
+        let chosen = remaining.remove(idx);
+        // Re-key groups by (old group, value in chosen column).
+        let mut key_map: HashMap<(u32, ValueId), u32> = HashMap::with_capacity(n_groups * 2);
+        for (g, &r) in groups.iter_mut().zip(rows) {
+            let cell = table.cell(r as usize, chosen as usize);
+            let next = key_map.len() as u32;
+            let id = *key_map.entry((*g, cell.value)).or_insert(next);
+            *g = id;
+        }
+        n_groups = key_map.len();
+        order.push(chosen);
+    }
+
+    // Every prefix is unique (or columns ran out): order the rest longest
+    // first — matches can only occur inside identical prefixes anyway.
+    remaining.sort_by(|&a, &b| {
+        let la: u64 = rows
+            .iter()
+            .map(|&r| table.cell(r as usize, a as usize).sq_len())
+            .sum();
+        let lb: u64 = rows
+            .iter()
+            .map(|&r| table.cell(r as usize, b as usize).sq_len())
+            .sum();
+        lb.cmp(&la).then(a.cmp(&b))
+    });
+    order.extend(remaining);
+    order
+}
+
+/// Recursive adaptive ordering: like [`greedy_prefix_order`] but each value
+/// group chooses its **own** next field, producing genuinely per-row field
+/// orders (the paper's Fig. 1b insight, applied divisively).
+///
+/// A single global sort can only share `~log(n)` "bits" of prefix before
+/// every row's prefix is unique; recursive partitioning sidesteps that
+/// budget because sibling groups spend their entropy on different fields.
+/// At each step the field with the highest duplicate mass
+/// (`avg(len²) · (n − distinct)`) is chosen; its value groups of two or more
+/// rows are scheduled as contiguous blocks led by that field and recurse
+/// without it, while rows whose value was unique flow to a residual branch
+/// that keeps **all** fields available — so groups hiding in other fields
+/// (Fig. 1b's staggered structure) are still found.
+///
+/// Returns the scheduled rows with a full field permutation per row.
+pub fn adaptive_prefix_plan(
+    table: &ReorderTable,
+    rows: &[u32],
+    cols: &[u32],
+) -> Vec<(u32, Vec<u32>)> {
+    let mut out = Vec::with_capacity(rows.len());
+    adaptive_rec(table, rows.to_vec(), cols, &mut out);
+    out
+}
+
+fn adaptive_rec(
+    table: &ReorderTable,
+    mut rows: Vec<u32>,
+    cols: &[u32],
+    out: &mut Vec<(u32, Vec<u32>)>,
+) {
+    let flush_flat = |rows: &[u32], cols: &[u32], out: &mut Vec<(u32, Vec<u32>)>| {
+        // No sharing possible: emit rows with columns longest first (they
+        // can only match inside already-identical prefixes).
+        let mut rest = cols.to_vec();
+        rest.sort_by_key(|&c| {
+            std::cmp::Reverse(
+                rows.iter()
+                    .map(|&r| table.cell(r as usize, c as usize).sq_len())
+                    .sum::<u64>(),
+            )
+        });
+        for &r in rows {
+            out.push((r, rest.clone()));
+        }
+    };
+    // The residual branch iterates rather than recursing, so schedule depth
+    // is bounded by the column count, not the row count.
+    loop {
+        if rows.len() <= 1 || cols.is_empty() {
+            flush_flat(&rows, cols, out);
+            return;
+        }
+        let n = rows.len();
+        let mut best: Option<(f64, u32)> = None;
+        for &c in cols {
+            let mut distinct: HashMap<ValueId, ()> = HashMap::with_capacity(n);
+            let mut sum_sq = 0f64;
+            for &r in &rows {
+                let cell = table.cell(r as usize, c as usize);
+                distinct.insert(cell.value, ());
+                sum_sq += cell.sq_len() as f64;
+            }
+            let gain = (sum_sq / n as f64) * (n - distinct.len()) as f64;
+            if gain > 0.0
+                && best.is_none_or(|(bg, bc)| gain > bg || (gain == bg && c < bc))
+            {
+                best = Some((gain, c));
+            }
+        }
+        let Some((_, chosen)) = best else {
+            flush_flat(&rows, cols, out);
+            return;
+        };
+        // Partition by the chosen field's value.
+        let mut groups: HashMap<ValueId, Vec<u32>> = HashMap::new();
+        for &r in &rows {
+            groups
+                .entry(table.cell(r as usize, chosen as usize).value)
+                .or_default()
+                .push(r);
+        }
+        let mut parts: Vec<(ValueId, Vec<u32>)> = Vec::new();
+        let mut residual: Vec<u32> = Vec::new();
+        for (v, members) in groups {
+            if members.len() >= 2 {
+                parts.push((v, members));
+            } else {
+                residual.extend(members);
+            }
+        }
+        parts.sort_by_key(|(v, members)| (std::cmp::Reverse(members.len()), *v));
+        residual.sort_unstable();
+        let sub_cols: Vec<u32> = cols.iter().copied().filter(|&c| c != chosen).collect();
+        for (_, members) in parts {
+            let mark = out.len();
+            adaptive_rec(table, members, &sub_cols, out);
+            // Lead every row of this block with the chosen field.
+            for (_, fields) in &mut out[mark..] {
+                fields.insert(0, chosen);
+            }
+        }
+        if residual.is_empty() {
+            return;
+        }
+        rows = residual;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Cell;
+
+    fn c(id: u32, len: u32) -> Cell {
+        Cell::new(ValueId::from_raw(id), len)
+    }
+
+    fn table(rows: &[&[(u32, u32)]]) -> ReorderTable {
+        let m = rows[0].len();
+        let cols = (0..m).map(|i| format!("c{i}")).collect();
+        let mut t = ReorderTable::new(cols).unwrap();
+        for row in rows {
+            t.push_row(row.iter().map(|&(id, len)| c(id, len)).collect())
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn output_is_a_permutation() {
+        let t = table(&[
+            &[(0, 1), (10, 2), (20, 3)],
+            &[(1, 1), (10, 2), (21, 3)],
+            &[(0, 1), (11, 2), (20, 3)],
+        ]);
+        let order = greedy_prefix_order(&t, &[0, 1, 2], &[0, 1, 2]);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn long_duplicated_column_leads() {
+        // col1: one long value everywhere; col0: unique short ids.
+        let t = table(&[&[(0, 2), (9, 40)], &[(1, 2), (9, 40)], &[(2, 2), (9, 40)]]);
+        let order = greedy_prefix_order(&t, &[0, 1, 2], &[0, 1]);
+        assert_eq!(order[0], 1);
+    }
+
+    #[test]
+    fn high_cardinality_long_column_defers_to_low_cardinality_flags() {
+        // col0: per-row-unique, length 9 (classic trap: big total mass, zero
+        // sharing). col1, col2: binary flags, length 4.
+        let rows: Vec<Vec<(u32, u32)>> = (0..16)
+            .map(|r| {
+                vec![
+                    (100 + r, 9),
+                    (r % 2, 4),
+                    (1000 + (r / 2) % 2, 4),
+                ]
+            })
+            .collect();
+        let refs: Vec<&[(u32, u32)]> = rows.iter().map(Vec::as_slice).collect();
+        let t = table(&refs);
+        let all: Vec<u32> = (0..16).collect();
+        let order = greedy_prefix_order(&t, &all, &[0, 1, 2]);
+        assert_eq!(order[2], 0, "unique column must come last: {order:?}");
+    }
+
+    #[test]
+    fn prefix_die_off_is_respected() {
+        // colA: card 2, len 3. colB: card 8 (unique per pair), len 10.
+        // Naive mass ordering puts B first (100·(n−8) > 9·(n−2) for n=8? —
+        // B has no duplicates at all here, so gain_B = 0 and A must lead.
+        let rows: Vec<Vec<(u32, u32)>> = (0..8)
+            .map(|r| vec![(r % 2, 3), (50 + r, 10)])
+            .collect();
+        let refs: Vec<&[(u32, u32)]> = rows.iter().map(Vec::as_slice).collect();
+        let t = table(&refs);
+        let all: Vec<u32> = (0..8).collect();
+        let order = greedy_prefix_order(&t, &all, &[0, 1]);
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn works_on_row_and_column_subsets() {
+        let t = table(&[
+            &[(0, 1), (10, 5)],
+            &[(1, 1), (10, 5)],
+            &[(2, 1), (11, 5)],
+        ]);
+        let order = greedy_prefix_order(&t, &[0, 1], &[1]);
+        assert_eq!(order, vec![1]);
+        let order = greedy_prefix_order(&t, &[], &[0, 1]);
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let rows: Vec<Vec<(u32, u32)>> = (0..10)
+            .map(|r| vec![(r % 3, 2), (10 + r % 2, 2), (100 + r, 2)])
+            .collect();
+        let refs: Vec<&[(u32, u32)]> = rows.iter().map(Vec::as_slice).collect();
+        let t = table(&refs);
+        let all: Vec<u32> = (0..10).collect();
+        let a = greedy_prefix_order(&t, &all, &[0, 1, 2]);
+        let b = greedy_prefix_order(&t, &all, &[0, 1, 2]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,251 @@
+//! Reorder plans: the output of every solver.
+//!
+//! A [`ReorderPlan`] is a *request schedule* in the paper's terms (§3.1): a
+//! row order plus, for each row, a field order. Plans always reference
+//! original row/column indices so the executing engine can map LLM outputs
+//! back to the rows they belong to — reordering must never change query
+//! semantics, only cache behaviour.
+
+use crate::table::ReorderTable;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-row part of a [`ReorderPlan`]: which original row, and in which order
+/// its fields are serialized into the prompt.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowPlan {
+    /// Original row index in the [`ReorderTable`].
+    pub row: usize,
+    /// Permutation of all column indices; `fields[0]` is serialized first.
+    pub fields: Vec<u32>,
+}
+
+impl RowPlan {
+    /// Creates a row plan.
+    pub fn new(row: usize, fields: Vec<u32>) -> Self {
+        RowPlan { row, fields }
+    }
+}
+
+/// A complete request schedule: every table row exactly once, each with a
+/// full field permutation.
+///
+/// # Examples
+///
+/// ```
+/// use llmqo_core::{Cell, ReorderPlan, ReorderTable, ValueId};
+///
+/// let mut t = ReorderTable::new(vec!["a".into(), "b".into()]).unwrap();
+/// t.push_row(vec![Cell::new(ValueId::from_raw(0), 1), Cell::new(ValueId::from_raw(1), 1)])
+///     .unwrap();
+/// let plan = ReorderPlan::identity(&t);
+/// assert!(plan.validate(&t).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReorderPlan {
+    /// Rows in schedule order.
+    pub rows: Vec<RowPlan>,
+}
+
+/// Validation failures for a [`ReorderPlan`] (see [`ReorderPlan::validate`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The plan's row count differs from the table's.
+    RowCount {
+        /// Rows in the table.
+        expected: usize,
+        /// Rows in the plan.
+        got: usize,
+    },
+    /// The plan visits some row index more than once (or not at all).
+    NotARowPermutation {
+        /// The first offending row index.
+        row: usize,
+    },
+    /// A row's field list is not a permutation of all columns.
+    NotAFieldPermutation {
+        /// The schedule position of the offending row plan.
+        position: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::RowCount { expected, got } => {
+                write!(f, "plan has {got} rows but table has {expected}")
+            }
+            PlanError::NotARowPermutation { row } => {
+                write!(f, "row {row} is duplicated or out of range in plan")
+            }
+            PlanError::NotAFieldPermutation { position } => {
+                write!(
+                    f,
+                    "field list at schedule position {position} is not a permutation of all columns"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl ReorderPlan {
+    /// The identity schedule: original row order, schema field order for every
+    /// row. This is the paper's *Cache (Original)* baseline.
+    pub fn identity(table: &ReorderTable) -> Self {
+        let fields: Vec<u32> = (0..table.ncols() as u32).collect();
+        ReorderPlan {
+            rows: (0..table.nrows())
+                .map(|r| RowPlan::new(r, fields.clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of scheduled rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the plan schedules no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Checks that this plan is a valid schedule for `table`: a permutation
+    /// of its rows, each carrying a permutation of all its columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PlanError`] found.
+    pub fn validate(&self, table: &ReorderTable) -> Result<(), PlanError> {
+        if self.rows.len() != table.nrows() {
+            return Err(PlanError::RowCount {
+                expected: table.nrows(),
+                got: self.rows.len(),
+            });
+        }
+        let mut seen_rows = vec![false; table.nrows()];
+        for (position, rp) in self.rows.iter().enumerate() {
+            if rp.row >= table.nrows() || seen_rows[rp.row] {
+                return Err(PlanError::NotARowPermutation { row: rp.row });
+            }
+            seen_rows[rp.row] = true;
+            if rp.fields.len() != table.ncols() {
+                return Err(PlanError::NotAFieldPermutation { position });
+            }
+            let mut seen_cols = vec![false; table.ncols()];
+            for &f in &rp.fields {
+                let f = f as usize;
+                if f >= table.ncols() || seen_cols[f] {
+                    return Err(PlanError::NotAFieldPermutation { position });
+                }
+                seen_cols[f] = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Cell;
+    use crate::ValueId;
+
+    fn table(nrows: usize, ncols: usize) -> ReorderTable {
+        let cols = (0..ncols).map(|c| format!("c{c}")).collect();
+        let mut t = ReorderTable::new(cols).unwrap();
+        for r in 0..nrows {
+            let row = (0..ncols)
+                .map(|c| Cell::new(ValueId::from_raw((r * ncols + c) as u32), 1))
+                .collect();
+            t.push_row(row).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn identity_is_valid() {
+        let t = table(4, 3);
+        assert!(ReorderPlan::identity(&t).validate(&t).is_ok());
+    }
+
+    #[test]
+    fn row_count_mismatch_rejected() {
+        let t = table(3, 2);
+        let mut p = ReorderPlan::identity(&t);
+        p.rows.pop();
+        assert_eq!(
+            p.validate(&t),
+            Err(PlanError::RowCount { expected: 3, got: 2 })
+        );
+    }
+
+    #[test]
+    fn duplicate_row_rejected() {
+        let t = table(2, 2);
+        let mut p = ReorderPlan::identity(&t);
+        p.rows[1].row = 0;
+        assert_eq!(p.validate(&t), Err(PlanError::NotARowPermutation { row: 0 }));
+    }
+
+    #[test]
+    fn out_of_range_row_rejected() {
+        let t = table(2, 2);
+        let mut p = ReorderPlan::identity(&t);
+        p.rows[1].row = 7;
+        assert_eq!(p.validate(&t), Err(PlanError::NotARowPermutation { row: 7 }));
+    }
+
+    #[test]
+    fn short_field_list_rejected() {
+        let t = table(1, 3);
+        let mut p = ReorderPlan::identity(&t);
+        p.rows[0].fields.pop();
+        assert_eq!(
+            p.validate(&t),
+            Err(PlanError::NotAFieldPermutation { position: 0 })
+        );
+    }
+
+    #[test]
+    fn duplicate_field_rejected() {
+        let t = table(1, 2);
+        let mut p = ReorderPlan::identity(&t);
+        p.rows[0].fields = vec![1, 1];
+        assert_eq!(
+            p.validate(&t),
+            Err(PlanError::NotAFieldPermutation { position: 0 })
+        );
+    }
+
+    #[test]
+    fn permuted_fields_accepted() {
+        let t = table(2, 3);
+        let mut p = ReorderPlan::identity(&t);
+        p.rows[0].fields = vec![2, 0, 1];
+        p.rows.swap(0, 1);
+        assert!(p.validate(&t).is_ok());
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            PlanError::RowCount { expected: 1, got: 2 },
+            PlanError::NotARowPermutation { row: 3 },
+            PlanError::NotAFieldPermutation { position: 0 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_plan_on_empty_table() {
+        let t = table(0, 2);
+        let p = ReorderPlan::identity(&t);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert!(p.validate(&t).is_ok());
+    }
+}

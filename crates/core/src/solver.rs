@@ -1,0 +1,114 @@
+//! The common solver interface.
+
+use crate::fd::FunctionalDeps;
+use crate::plan::ReorderPlan;
+use crate::table::ReorderTable;
+use std::fmt;
+use std::time::Duration;
+
+/// A solver's output: the schedule plus its claimed objective value and the
+/// time spent solving (paper Table 5 reports solver time separately from
+/// query time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The request schedule.
+    pub plan: ReorderPlan,
+    /// The PHC the solver believes its plan achieves. Exact for OPHR and for
+    /// GGR under exact functional dependencies; an estimate otherwise.
+    /// Ground truth is [`phc_of_plan`](crate::phc_of_plan).
+    pub claimed_phc: u64,
+    /// Wall-clock solve time.
+    pub solve_time: Duration,
+}
+
+/// Why a solver could not produce a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The configured time budget was exhausted (OPHR on large tables; the
+    /// paper terminates such runs after 2 hours, Appendix D.1).
+    BudgetExceeded {
+        /// The budget that was exceeded.
+        budget: Duration,
+    },
+    /// The functional dependencies do not match the table's column count.
+    FdArityMismatch {
+        /// Columns in the table.
+        table_cols: usize,
+        /// Columns the FDs describe.
+        fd_cols: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::BudgetExceeded { budget } => {
+                write!(f, "solver exceeded its time budget of {budget:?}")
+            }
+            SolveError::FdArityMismatch { table_cols, fd_cols } => write!(
+                f,
+                "functional dependencies cover {fd_cols} columns but table has {table_cols}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A request-reordering algorithm.
+///
+/// Implementations must return plans that pass
+/// [`ReorderPlan::validate`] — schedules are permutations and never alter
+/// query semantics.
+pub trait Reorderer {
+    /// Short stable name for reports (e.g. `"ggr"`, `"original"`).
+    fn name(&self) -> &'static str;
+
+    /// Computes a schedule for `table` under the given dependencies.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::BudgetExceeded`] for budgeted exact solvers;
+    /// [`SolveError::FdArityMismatch`] if `fds` does not match the table.
+    fn reorder(&self, table: &ReorderTable, fds: &FunctionalDeps)
+        -> Result<Solution, SolveError>;
+}
+
+/// Validates FD/table arity, shared by solver implementations.
+pub(crate) fn check_fd_arity(
+    table: &ReorderTable,
+    fds: &FunctionalDeps,
+) -> Result<(), SolveError> {
+    if table.ncols() != fds.ncols() {
+        return Err(SolveError::FdArityMismatch {
+            table_cols: table.ncols(),
+            fd_cols: fds.ncols(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = SolveError::BudgetExceeded {
+            budget: Duration::from_secs(1),
+        };
+        assert!(e.to_string().contains("budget"));
+        let e = SolveError::FdArityMismatch {
+            table_cols: 3,
+            fd_cols: 2,
+        };
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn arity_check() {
+        let t = ReorderTable::new(vec!["a".into(), "b".into()]).unwrap();
+        assert!(check_fd_arity(&t, &FunctionalDeps::empty(2)).is_ok());
+        assert!(check_fd_arity(&t, &FunctionalDeps::empty(3)).is_err());
+    }
+}

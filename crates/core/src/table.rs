@@ -1,0 +1,376 @@
+//! The optimizer's view of an input table: interned cell values with token
+//! lengths.
+//!
+//! A [`ReorderTable`] is what an analytics engine hands to the reordering
+//! solvers: an n×m matrix where each cell carries an exact-match identity
+//! ([`ValueId`]) and the token length of its serialized prompt fragment.
+//! Actual strings live in the engine (or an [`Interner`]); the solvers only
+//! ever compare ids and square lengths.
+
+use crate::intern::{Interner, ValueId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One cell of a [`ReorderTable`]: an interned value and its token length.
+///
+/// `len` is the token count of the *serialized prompt fragment* for this cell
+/// (for example `"product_title": "Acme Anvil", ` under the paper's JSON
+/// encoding, §5) — the unit in which PHC and cache hits are measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cell {
+    /// Exact-match identity of the cell value.
+    pub value: ValueId,
+    /// Token length of the serialized fragment.
+    pub len: u32,
+}
+
+impl Cell {
+    /// Creates a cell.
+    pub fn new(value: ValueId, len: u32) -> Self {
+        Cell { value, len }
+    }
+
+    /// The squared token length, the cell's PHC contribution when hit (Eq. 2).
+    pub fn sq_len(&self) -> u64 {
+        u64::from(self.len) * u64::from(self.len)
+    }
+}
+
+/// Errors from building or validating a [`ReorderTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A pushed row had a different number of cells than the table has
+    /// columns.
+    ArityMismatch {
+        /// Number of columns the table declares.
+        expected: usize,
+        /// Number of cells in the offending row.
+        got: usize,
+    },
+    /// The table has no columns.
+    NoColumns,
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} cells but table has {expected} columns")
+            }
+            TableError::NoColumns => write!(f, "table must have at least one column"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// An n×m table of interned cells, the input to every reordering solver.
+///
+/// Rows are stored row-major. Row and column indices are stable: a
+/// [`ReorderPlan`](crate::ReorderPlan) refers back to them, which is how query
+/// semantics survive reordering.
+///
+/// # Examples
+///
+/// ```
+/// use llmqo_core::{Cell, ReorderTable, ValueId};
+///
+/// let mut t = ReorderTable::new(vec!["a".into(), "b".into()]).unwrap();
+/// t.push_row(vec![
+///     Cell::new(ValueId::from_raw(0), 3),
+///     Cell::new(ValueId::from_raw(1), 5),
+/// ])
+/// .unwrap();
+/// assert_eq!(t.nrows(), 1);
+/// assert_eq!(t.ncols(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReorderTable {
+    columns: Vec<String>,
+    cells: Vec<Cell>,
+    nrows: usize,
+}
+
+impl ReorderTable {
+    /// Creates an empty table with the given column names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::NoColumns`] if `columns` is empty.
+    pub fn new(columns: Vec<String>) -> Result<Self, TableError> {
+        if columns.is_empty() {
+            return Err(TableError::NoColumns);
+        }
+        Ok(ReorderTable {
+            columns,
+            cells: Vec::new(),
+            nrows: 0,
+        })
+    }
+
+    /// Appends a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::ArityMismatch`] if the row length differs from
+    /// the number of columns.
+    pub fn push_row(&mut self, row: Vec<Cell>) -> Result<(), TableError> {
+        if row.len() != self.columns.len() {
+            return Err(TableError::ArityMismatch {
+                expected: self.columns.len(),
+                got: row.len(),
+            });
+        }
+        self.cells.extend(row);
+        self.nrows += 1;
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names, in schema order.
+    pub fn column_names(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The cell at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn cell(&self, row: usize, col: usize) -> Cell {
+        assert!(row < self.nrows, "row {row} out of bounds ({})", self.nrows);
+        assert!(
+            col < self.columns.len(),
+            "col {col} out of bounds ({})",
+            self.columns.len()
+        );
+        self.cells[row * self.columns.len() + col]
+    }
+
+    /// The cells of one row, in schema column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row(&self, row: usize) -> &[Cell] {
+        assert!(row < self.nrows, "row {row} out of bounds ({})", self.nrows);
+        let m = self.columns.len();
+        &self.cells[row * m..(row + 1) * m]
+    }
+
+    /// Total token length of all cells (denominator of field-level hit rates).
+    pub fn total_tokens(&self) -> u64 {
+        self.cells.iter().map(|c| u64::from(c.len)).sum()
+    }
+
+    /// Restricts the table to the first `n` rows (used by the paper's
+    /// Appendix D.1 OPHR comparison on dataset prefixes).
+    pub fn head(&self, n: usize) -> ReorderTable {
+        let n = n.min(self.nrows);
+        let m = self.columns.len();
+        ReorderTable {
+            columns: self.columns.clone(),
+            cells: self.cells[..n * m].to_vec(),
+            nrows: n,
+        }
+    }
+
+    /// Restricts the table to the given columns, in the given order (used by
+    /// Appendix D.1, which cuts PDMX to 10 columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `cols` is out of bounds.
+    pub fn select_columns(&self, cols: &[usize]) -> ReorderTable {
+        let columns: Vec<String> = cols.iter().map(|&c| self.columns[c].clone()).collect();
+        let mut out = ReorderTable::new(columns).expect("non-empty column selection");
+        for r in 0..self.nrows {
+            let row = cols.iter().map(|&c| self.cell(r, c)).collect();
+            out.push_row(row).expect("arity matches selection");
+        }
+        out
+    }
+}
+
+/// Convenience builder that interns string cells and assigns token lengths.
+///
+/// The default length function approximates tokens as `max(1, bytes/4)`;
+/// engines that know real fragment token counts should use
+/// [`TableBuilder::push_row_with`].
+///
+/// # Examples
+///
+/// ```
+/// use llmqo_core::TableBuilder;
+/// let mut b = TableBuilder::new(vec!["review".into(), "title".into()]);
+/// b.push_row(&["great", "Anvil"]);
+/// b.push_row(&["bad", "Anvil"]);
+/// let (table, interner) = b.finish();
+/// assert_eq!(table.nrows(), 2);
+/// // "Anvil" interned once:
+/// assert_eq!(table.cell(0, 1).value, table.cell(1, 1).value);
+/// assert_eq!(interner.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TableBuilder {
+    columns: Vec<String>,
+    interner: Interner,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl TableBuilder {
+    /// Creates a builder for a table with the given column names.
+    pub fn new(columns: Vec<String>) -> Self {
+        TableBuilder {
+            columns,
+            interner: Interner::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Pushes a row of string cells with the default byte-based length
+    /// heuristic (`max(1, bytes/4)` tokens).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of columns.
+    pub fn push_row(&mut self, values: &[&str]) {
+        self.push_row_with(values, |s| (s.len() / 4).max(1) as u32);
+    }
+
+    /// Pushes a row of string cells, computing each cell's token length with
+    /// `len_fn` (typically a real tokenizer over the serialized fragment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of columns.
+    pub fn push_row_with<F: FnMut(&str) -> u32>(&mut self, values: &[&str], mut len_fn: F) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row arity must match column count"
+        );
+        let row = values
+            .iter()
+            .map(|v| Cell::new(self.interner.intern(v), len_fn(v)))
+            .collect();
+        self.rows.push(row);
+    }
+
+    /// Finishes the build, returning the table and the interner that maps
+    /// [`ValueId`]s back to strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder was created with no columns.
+    pub fn finish(self) -> (ReorderTable, Interner) {
+        let mut table = ReorderTable::new(self.columns).expect("builder requires columns");
+        for row in self.rows {
+            table.push_row(row).expect("builder rows have fixed arity");
+        }
+        (table, self.interner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(v: u32, len: u32) -> Cell {
+        Cell::new(ValueId::from_raw(v), len)
+    }
+
+    #[test]
+    fn no_columns_is_an_error() {
+        assert_eq!(ReorderTable::new(vec![]), Err(TableError::NoColumns));
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let mut t = ReorderTable::new(vec!["a".into()]).unwrap();
+        let err = t.push_row(vec![cell(0, 1), cell(1, 1)]).unwrap_err();
+        assert_eq!(err, TableError::ArityMismatch { expected: 1, got: 2 });
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn cell_and_row_access() {
+        let mut t = ReorderTable::new(vec!["a".into(), "b".into()]).unwrap();
+        t.push_row(vec![cell(0, 2), cell(1, 3)]).unwrap();
+        t.push_row(vec![cell(2, 4), cell(1, 3)]).unwrap();
+        assert_eq!(t.cell(1, 0), cell(2, 4));
+        assert_eq!(t.row(0), &[cell(0, 2), cell(1, 3)]);
+        assert_eq!(t.total_tokens(), 2 + 3 + 4 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_row_panics() {
+        let t = ReorderTable::new(vec!["a".into()]).unwrap();
+        let _ = t.cell(0, 0);
+    }
+
+    #[test]
+    fn sq_len_squares() {
+        assert_eq!(cell(0, 9).sq_len(), 81);
+        assert_eq!(cell(0, 0).sq_len(), 0);
+        // No overflow for large token counts.
+        assert_eq!(cell(0, 100_000).sq_len(), 10_000_000_000);
+    }
+
+    #[test]
+    fn head_truncates() {
+        let mut t = ReorderTable::new(vec!["a".into()]).unwrap();
+        for i in 0..5 {
+            t.push_row(vec![cell(i, 1)]).unwrap();
+        }
+        assert_eq!(t.head(2).nrows(), 2);
+        assert_eq!(t.head(99).nrows(), 5);
+        assert_eq!(t.head(0).nrows(), 0);
+    }
+
+    #[test]
+    fn select_columns_projects_in_order() {
+        let mut t = ReorderTable::new(vec!["a".into(), "b".into(), "c".into()]).unwrap();
+        t.push_row(vec![cell(0, 1), cell(1, 2), cell(2, 3)]).unwrap();
+        let s = t.select_columns(&[2, 0]);
+        assert_eq!(s.column_names(), &["c".to_string(), "a".to_string()]);
+        assert_eq!(s.cell(0, 0), cell(2, 3));
+        assert_eq!(s.cell(0, 1), cell(0, 1));
+    }
+
+    #[test]
+    fn builder_interns_shared_values() {
+        let mut b = TableBuilder::new(vec!["x".into(), "y".into()]);
+        b.push_row(&["same", "one"]);
+        b.push_row(&["same", "two"]);
+        let (t, i) = b.finish();
+        assert_eq!(t.cell(0, 0).value, t.cell(1, 0).value);
+        assert_ne!(t.cell(0, 1).value, t.cell(1, 1).value);
+        assert_eq!(i.len(), 3);
+    }
+
+    #[test]
+    fn builder_custom_len_fn() {
+        let mut b = TableBuilder::new(vec!["x".into()]);
+        b.push_row_with(&["abcdef"], |s| s.len() as u32);
+        let (t, _) = b.finish();
+        assert_eq!(t.cell(0, 0).len, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn builder_arity_panics() {
+        let mut b = TableBuilder::new(vec!["x".into()]);
+        b.push_row(&["a", "b"]);
+    }
+}

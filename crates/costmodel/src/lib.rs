@@ -1,0 +1,26 @@
+//! # llmqo-costmodel — provider prompt-cache pricing (paper §6.3)
+//!
+//! The paper evaluates cost savings on OpenAI GPT-4o-mini and Anthropic
+//! Claude 3.5 Sonnet, whose prompt caches have *different* billing and
+//! qualification rules:
+//!
+//! * **OpenAI** — automatic longest-prefix caching; a prefix qualifies only
+//!   from 1 024 tokens, extending in 128-token increments; cached input is
+//!   billed at 50% of the base rate, and there is no write premium.
+//! * **Anthropic** — the user marks explicit cache breakpoints; writes cost
+//!   1.25× the base input rate and reads 0.10×. The paper conservatively
+//!   marks only the first 1 024 tokens of every request for caching.
+//!
+//! This crate simulates both providers' cache behaviour over a stream of
+//! prompts ([`OpenAiCache`], [`AnthropicCache`]), accumulates billable
+//! [`Usage`], prices it ([`Pricing`]), and provides the analytical model
+//! behind the paper's Table 4 ([`Pricing::estimated_cost_ratio`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pricing;
+mod provider;
+
+pub use pricing::{Pricing, Usage};
+pub use provider::{AnthropicCache, OpenAiCache, ProviderCache};

@@ -1,0 +1,316 @@
+//! Provider-side prompt cache simulators.
+//!
+//! These model how OpenAI and Anthropic decide which input tokens bill at
+//! cached rates, given a *stream* of requests (order matters — that is the
+//! whole point of request reordering). They are independent of the local
+//! serving simulator: here the cache lives on the provider's side and we
+//! only observe billing.
+
+use crate::pricing::Usage;
+use std::collections::HashSet;
+
+/// A provider cache processing one request at a time, in order.
+pub trait ProviderCache {
+    /// Accounts one request: a prompt token sequence and its output length.
+    fn process(&mut self, prompt: &[u32], output_tokens: u64) -> Usage;
+}
+
+/// OpenAI automatic prefix caching: the longest previously seen prefix of at
+/// least `min_prefix` tokens, extending in `granularity` steps, bills at the
+/// cached rate. No write premium; every request's own prefixes become
+/// cacheable for subsequent requests.
+#[derive(Debug, Clone)]
+pub struct OpenAiCache {
+    min_prefix: usize,
+    granularity: usize,
+    prefixes: HashSet<u64>,
+}
+
+impl Default for OpenAiCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OpenAiCache {
+    /// Creates the cache with OpenAI's published rules (1 024 / 128).
+    pub fn new() -> Self {
+        OpenAiCache {
+            min_prefix: 1024,
+            granularity: 128,
+            prefixes: HashSet::new(),
+        }
+    }
+
+    /// Creates a cache with custom qualification rules (for ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity` is zero.
+    pub fn with_rules(min_prefix: usize, granularity: usize) -> Self {
+        assert!(granularity > 0, "granularity must be positive");
+        OpenAiCache {
+            min_prefix,
+            granularity,
+            prefixes: HashSet::new(),
+        }
+    }
+
+    /// Qualifying prefix lengths for a prompt of `len` tokens.
+    fn boundaries(&self, len: usize) -> impl Iterator<Item = usize> + '_ {
+        let min = self.min_prefix;
+        let g = self.granularity;
+        (0..)
+            .map(move |i| min + i * g)
+            .take_while(move |&b| b <= len)
+    }
+}
+
+impl ProviderCache for OpenAiCache {
+    fn process(&mut self, prompt: &[u32], output_tokens: u64) -> Usage {
+        // Longest qualifying cached prefix.
+        let mut cached = 0usize;
+        for b in self.boundaries(prompt.len()) {
+            if self.prefixes.contains(&prefix_hash(&prompt[..b])) {
+                cached = b;
+            }
+            // Prefix hashes are chained, but a longer prefix may exist even
+            // if a shorter boundary is absent only when insertion skipped
+            // it; we insert all boundaries, so monotone scanning is exact.
+        }
+        // Register this prompt's qualifying prefixes for later requests.
+        let boundaries: Vec<usize> = self.boundaries(prompt.len()).collect();
+        for b in boundaries {
+            self.prefixes.insert(prefix_hash(&prompt[..b]));
+        }
+        Usage {
+            uncached_input: (prompt.len() - cached) as u64,
+            cached_input: cached as u64,
+            cache_write: 0,
+            output: output_tokens,
+        }
+    }
+}
+
+/// Anthropic explicit-breakpoint caching under the paper's conservative
+/// policy (§6.3): only the first `breakpoint` tokens of each request are
+/// marked for caching. A marked prefix seen before bills at the read rate;
+/// otherwise it is written at the 1.25× rate. Prompts shorter than the
+/// breakpoint cannot use the cache at all.
+#[derive(Debug, Clone)]
+pub struct AnthropicCache {
+    breakpoint: usize,
+    entries: HashSet<u64>,
+}
+
+impl Default for AnthropicCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AnthropicCache {
+    /// Creates the cache with the paper's 1 024-token breakpoint policy.
+    pub fn new() -> Self {
+        AnthropicCache {
+            breakpoint: 1024,
+            entries: HashSet::new(),
+        }
+    }
+
+    /// Creates a cache with a custom breakpoint (for ablations).
+    pub fn with_breakpoint(breakpoint: usize) -> Self {
+        AnthropicCache {
+            breakpoint,
+            entries: HashSet::new(),
+        }
+    }
+}
+
+impl ProviderCache for AnthropicCache {
+    fn process(&mut self, prompt: &[u32], output_tokens: u64) -> Usage {
+        if prompt.len() < self.breakpoint {
+            return Usage {
+                uncached_input: prompt.len() as u64,
+                cached_input: 0,
+                cache_write: 0,
+                output: output_tokens,
+            };
+        }
+        let rest = (prompt.len() - self.breakpoint) as u64;
+        let h = prefix_hash(&prompt[..self.breakpoint]);
+        if self.entries.contains(&h) {
+            Usage {
+                uncached_input: rest,
+                cached_input: self.breakpoint as u64,
+                cache_write: 0,
+                output: output_tokens,
+            }
+        } else {
+            self.entries.insert(h);
+            Usage {
+                uncached_input: rest,
+                cached_input: 0,
+                cache_write: self.breakpoint as u64,
+                output: output_tokens,
+            }
+        }
+    }
+}
+
+fn prefix_hash(tokens: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &t in tokens {
+        for b in t.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::Pricing;
+
+    fn prompt(shared: usize, unique_tag: u32, total: usize) -> Vec<u32> {
+        let mut p: Vec<u32> = (0..shared as u32).collect();
+        p.extend((0..(total - shared) as u32).map(|i| 1_000_000 + unique_tag * 10_000 + i));
+        p
+    }
+
+    #[test]
+    fn openai_below_min_prefix_never_caches() {
+        let mut c = OpenAiCache::new();
+        let p = prompt(512, 0, 900);
+        let a = c.process(&p, 1);
+        let b = c.process(&p, 1);
+        assert_eq!(a.cached_input, 0);
+        assert_eq!(b.cached_input, 0, "900 < 1024 minimum");
+    }
+
+    #[test]
+    fn openai_identical_prompts_cache_in_128_steps() {
+        let mut c = OpenAiCache::new();
+        let p = prompt(1500, 0, 1500);
+        let a = c.process(&p, 1);
+        assert_eq!(a.cached_input, 0);
+        let b = c.process(&p, 1);
+        // Longest qualifying boundary ≤ 1500 is 1024 + 3·128 = 1408.
+        assert_eq!(b.cached_input, 1408);
+        assert_eq!(b.uncached_input, 1500 - 1408);
+    }
+
+    #[test]
+    fn openai_partial_shared_prefix() {
+        let mut c = OpenAiCache::new();
+        let a = prompt(1200, 1, 2000);
+        let b = prompt(1200, 2, 2000); // shares first 1200 tokens with a
+        c.process(&a, 1);
+        let u = c.process(&b, 1);
+        // Boundaries at 1024 and 1152 qualify; 1280 differs.
+        assert_eq!(u.cached_input, 1152);
+    }
+
+    #[test]
+    fn openai_no_write_premium() {
+        let mut c = OpenAiCache::new();
+        let u = c.process(&prompt(1100, 0, 1100), 5);
+        assert_eq!(u.cache_write, 0);
+        assert_eq!(u.output, 5);
+    }
+
+    #[test]
+    fn anthropic_writes_then_reads() {
+        let mut c = AnthropicCache::new();
+        let p = prompt(1500, 0, 1500);
+        let a = c.process(&p, 2);
+        assert_eq!(a.cache_write, 1024);
+        assert_eq!(a.cached_input, 0);
+        assert_eq!(a.uncached_input, 1500 - 1024);
+        let b = c.process(&p, 2);
+        assert_eq!(b.cached_input, 1024);
+        assert_eq!(b.cache_write, 0);
+    }
+
+    #[test]
+    fn anthropic_short_prompts_bypass_cache() {
+        let mut c = AnthropicCache::new();
+        let p = prompt(500, 0, 500);
+        let a = c.process(&p, 1);
+        let b = c.process(&p, 1);
+        assert_eq!(a.cache_write, 0);
+        assert_eq!(b.cached_input, 0);
+    }
+
+    #[test]
+    fn anthropic_divergence_after_breakpoint_still_reads() {
+        let mut c = AnthropicCache::new();
+        let a = prompt(1024, 1, 1600);
+        let b = prompt(1024, 2, 1600); // same first 1024, different tail
+        c.process(&a, 1);
+        let u = c.process(&b, 1);
+        assert_eq!(u.cached_input, 1024);
+        assert_eq!(u.uncached_input, 576);
+    }
+
+    #[test]
+    fn anthropic_divergence_before_breakpoint_rewrites() {
+        let mut c = AnthropicCache::new();
+        let a = prompt(512, 1, 1600); // unique from token 512
+        let b = prompt(512, 2, 1600);
+        c.process(&a, 1);
+        let u = c.process(&b, 1);
+        assert_eq!(u.cached_input, 0);
+        assert_eq!(u.cache_write, 1024, "different 1024-prefix → new entry");
+    }
+
+    #[test]
+    fn reordering_identical_prefixes_together_cuts_cost() {
+        // Two interleaved prompt families vs grouped: same multiset, the
+        // provider cache does not care about order for identical prompts,
+        // but for OpenAI the *first* occurrence always misses — grouping
+        // changes nothing there. The savings come from higher prefix overlap
+        // (simulated here by family-shared prefixes), so grouped==interleaved
+        // for exact-duplicate prompts:
+        let fam_a = prompt(1408, 7, 1600);
+        let fam_b = prompt(1408, 8, 1600);
+        let pricing = Pricing::gpt4o_mini();
+
+        let mut inter = OpenAiCache::new();
+        let mut inter_usage = Usage::default();
+        for p in [&fam_a, &fam_b, &fam_a, &fam_b] {
+            inter_usage.add(inter.process(p, 1));
+        }
+        let mut grouped = OpenAiCache::new();
+        let mut grouped_usage = Usage::default();
+        for p in [&fam_a, &fam_a, &fam_b, &fam_b] {
+            grouped_usage.add(grouped.process(p, 1));
+        }
+        // The provider cache persists across the batch, so both orders cost
+        // the same for exact duplicates …
+        assert!((grouped_usage.cost(&pricing) - inter_usage.cost(&pricing)).abs() < 1e-12);
+        // … and both are cheaper than no duplicates at all.
+        let mut cold = OpenAiCache::new();
+        let mut cold_usage = Usage::default();
+        for tag in 0..4 {
+            cold_usage.add(cold.process(&prompt(1408, 100 + tag, 1600), 1));
+        }
+        assert!(grouped_usage.cost(&pricing) < cold_usage.cost(&pricing));
+    }
+
+    #[test]
+    fn openai_custom_rules() {
+        let mut c = OpenAiCache::with_rules(8, 4);
+        let p: Vec<u32> = (0..10).collect();
+        c.process(&p, 0);
+        let u = c.process(&p, 0);
+        assert_eq!(u.cached_input, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity must be positive")]
+    fn zero_granularity_panics() {
+        let _ = OpenAiCache::with_rules(8, 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! RateBeer reviews (paper: 28 479 rows × 8 fields, 156 input tokens,
+//! outputs {2, 38} for T1–T2).
+//!
+//! Structure: short rows — per-beer metadata (id, name, style) plus
+//! small-cardinality review scores, a reviewer name from a large pool, and a
+//! unique timestamp. Rows arrive substantially grouped by beer (the source
+//! data orders reviews by item), which with the instruction prefix gives the
+//! paper's ~50% original hit rate. Functional dependency:
+//! {beer/beerId, beer/name} (Appendix B).
+
+use crate::gen::{clustered_assignment, TextGen, ZipfSampler};
+use llmqo_core::FunctionalDeps;
+use llmqo_relational::{LlmQuery, Schema, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub(crate) const FIELDS: [&str; 8] = [
+    "beer/beerId",
+    "beer/name",
+    "beer/style",
+    "review/appearance",
+    "review/overall",
+    "review/palate",
+    "review/profileName",
+    "review/time",
+];
+
+const STYLES: [&str; 18] = [
+    "India Pale Ale",
+    "Imperial Stout",
+    "Pilsner",
+    "Hefeweizen",
+    "Saison",
+    "Porter",
+    "Amber Lager",
+    "Belgian Tripel",
+    "Brown Ale",
+    "Barleywine",
+    "Witbier",
+    "Pale Lager",
+    "Golden Ale",
+    "Dunkel",
+    "Schwarzbier",
+    "Bock",
+    "Quadrupel",
+    "Altbier",
+];
+
+pub(crate) fn generate(nrows: usize) -> (Table, FunctionalDeps, Vec<LlmQuery>) {
+    let mut rng = StdRng::seed_from_u64(0x4245_4552);
+    let tg = TextGen::new();
+    let nbeers = (nrows / 25).max(1);
+    let nreviewers = (nrows / 4).max(1);
+
+    struct Beer {
+        id: String,
+        name: String,
+        style: &'static str,
+        /// Index into the score table around which this beer's reviews
+        /// cluster (reviews of one beer broadly agree).
+        quality: usize,
+    }
+    let beers: Vec<Beer> = (0..nbeers)
+        .map(|i| Beer {
+            id: format!("{}", 10_000 + i),
+            name: tg.name(&mut rng, 3, Some(i)),
+            style: STYLES[rng.random_range(0..STYLES.len())],
+            quality: rng.random_range(1..=7usize),
+        })
+        .collect();
+    let reviewers: Vec<String> = (0..nreviewers)
+        .map(|i| tg.name(&mut rng, 1, Some(i)))
+        .collect();
+
+    // Reviews arrive grouped by beer; reviewer activity is Zipf (a few
+    // power reviewers write much of the corpus) and scores concentrate
+    // around 3.5–4.5, so sorted rows agree on long score prefixes.
+    let assignment = clustered_assignment(&mut rng, nrows, nbeers, 0.15);
+    let reviewer_zipf = ZipfSampler::new(reviewers.len(), 1.05);
+    let mut table = Table::new(Schema::of_strings(&FIELDS));
+    for (row, &b) in assignment.iter().enumerate() {
+        let beer = &beers[b];
+        const LADDER: [&str; 9] = ["1", "1.5", "2", "2.5", "3", "3.5", "4", "4.5", "5"];
+        let score = |rng: &mut StdRng| {
+            // Mostly the beer's consensus score, occasionally ±one step.
+            let offset: i64 = *[0i64, 0, 0, 0, 1, -1].get(rng.random_range(0..6usize)).unwrap();
+            let idx = (beer.quality as i64 + offset).clamp(0, 8) as usize;
+            LADDER[idx].to_string()
+        };
+        table
+            .push_row(vec![
+                beer.id.clone().into(),
+                beer.name.clone().into(),
+                beer.style.into(),
+                score(&mut rng).into(),
+                score(&mut rng).into(),
+                score(&mut rng).into(),
+                reviewers[reviewer_zipf.sample(&mut rng)].clone().into(),
+                format!("{}", 1_100_000_000u64 + row as u64 * 977 + rng.random_range(0..900u64))
+                    .into(),
+            ])
+            .expect("beer schema arity");
+    }
+
+    // Appendix B: beer/beerId ↔ beer/name.
+    let fds =
+        FunctionalDeps::from_groups(FIELDS.len(), vec![vec![0, 1]]).expect("indices in range");
+
+    let all_fields: Vec<String> = FIELDS.iter().map(|s| s.to_string()).collect();
+    let queries = vec![
+        LlmQuery::filter(
+            "beer-filter",
+            "Based on the beer descriptions, does this beer have European origin? Answer \
+             'YES' if it does or 'NO' if it doesn't.",
+            all_fields.clone(),
+            vec!["YES".to_string(), "NO".to_string()],
+            "YES",
+            2.0,
+        )
+        .with_key_field("beer/style"),
+        LlmQuery::projection(
+            "beer-projection",
+            "Given the following fields, provide an high-level overview on the beer and \
+             review in a 20 words paragraph.",
+            all_fields,
+            38.0,
+        ),
+    ];
+    (table, fds, queries)
+}

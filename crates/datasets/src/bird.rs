@@ -1,0 +1,80 @@
+//! BIRD Posts⨝Comments (paper: 14 920 rows × 4 fields, 765 input tokens,
+//! outputs {2, 43} for T1–T2).
+//!
+//! Structure: comments joined to their post by `PostId`; the long post
+//! `Body` repeats across a post's ~15 comments. Comments arrive unordered
+//! (the paper's 10% original hit rate is essentially the instruction prefix
+//! alone). Functional dependency: {Body, PostId} (Appendix B).
+
+use crate::gen::{clustered_assignment, TextGen};
+use llmqo_core::FunctionalDeps;
+use llmqo_relational::{LlmQuery, Schema, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub(crate) const FIELDS: [&str; 4] = ["Body", "PostDate", "PostId", "Text"];
+
+pub(crate) fn generate(nrows: usize) -> (Table, FunctionalDeps, Vec<LlmQuery>) {
+    let mut rng = StdRng::seed_from_u64(0x4249_5244);
+    let tg = TextGen::new();
+    let nposts = (nrows / 20).max(1);
+
+    struct Post {
+        body: String,
+        date: String,
+        id: String,
+    }
+    let posts: Vec<Post> = (0..nposts)
+        .map(|i| Post {
+            body: tg.text(&mut rng, 500),
+            date: format!(
+                "2023-{:02}-{:02}",
+                rng.random_range(1..=12u32),
+                rng.random_range(1..=28u32)
+            ),
+            id: format!("post-{i:06}"),
+        })
+        .collect();
+
+    // Comments are effectively shuffled relative to posts in the source data.
+    let assignment = clustered_assignment(&mut rng, nrows, nposts, 0.02);
+    let mut table = Table::new(Schema::of_strings(&FIELDS));
+    for &p in &assignment {
+        let post = &posts[p];
+        table
+            .push_row(vec![
+                post.body.clone().into(),
+                post.date.clone().into(),
+                post.id.clone().into(),
+                tg.text(&mut rng, 85).into(),
+            ])
+            .expect("bird schema arity");
+    }
+
+    // Appendix B: Body ↔ PostId.
+    let fds =
+        FunctionalDeps::from_groups(FIELDS.len(), vec![vec![0, 2]]).expect("indices in range");
+
+    let all_fields: Vec<String> = FIELDS.iter().map(|s| s.to_string()).collect();
+    let queries = vec![
+        LlmQuery::filter(
+            "bird-filter",
+            "Given the following fields related to posts in an online codebase community, \
+             answer whether the post is related to statistics. Answer with only 'YES' or \
+             'NO'.",
+            all_fields.clone(),
+            vec!["YES".to_string(), "NO".to_string()],
+            "YES",
+            2.0,
+        )
+        .with_key_field("Body"),
+        LlmQuery::projection(
+            "bird-projection",
+            "Given the following fields related to posts in an online codebase community, \
+             summarize how the comment Text related to the post body.",
+            all_fields,
+            43.0,
+        ),
+    ];
+    (table, fds, queries)
+}

@@ -1,0 +1,250 @@
+//! Shared synthetic-data machinery: seeded text generation, entity pools,
+//! Zipf sampling, and clustered row orders.
+//!
+//! The generators do not try to produce *meaningful* text — only text with
+//! the right **shape**: target token lengths (so Table 1's averages hold),
+//! controlled duplication across rows (so Table 2's hit rates hold), and
+//! exact-match repetition (the paper's §3.1 assumption).
+
+use llmqo_tokenizer::Tokenizer;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A compact English vocabulary; enough variety that hashing/embedding see
+/// realistic token diversity.
+const WORDS: &[&str] = &[
+    "the", "quiet", "mountain", "river", "follows", "ancient", "stone", "path", "toward",
+    "evening", "light", "small", "village", "market", "opens", "before", "dawn", "farmers",
+    "carry", "baskets", "fresh", "bread", "warm", "honey", "children", "laugh", "narrow",
+    "streets", "music", "drifts", "open", "windows", "travelers", "rest", "under", "willow",
+    "trees", "stories", "gather", "around", "fires", "winter", "brings", "heavy", "snow",
+    "across", "northern", "hills", "spring", "melts", "into", "bright", "meadows", "full",
+    "wild", "flowers", "summer", "days", "stretch", "long", "golden", "autumn", "turns",
+    "forest", "crimson", "amber", "harvest", "moon", "rises", "over", "fields", "wheat",
+    "sailors", "watch", "distant", "storms", "roll", "across", "gray", "water", "lanterns",
+    "glow", "along", "harbor", "wall", "old", "clock", "tower", "marks", "slow", "hours",
+    "library", "holds", "countless", "maps", "forgotten", "roads", "scholars", "debate",
+    "meaning", "faded", "letters", "garden", "gates", "creak", "wind", "shifts", "south",
+    "birds", "return", "carrying", "seeds", "new", "seasons", "bells", "ring", "twice",
+    "noon", "merchants", "close", "shutters", "against", "heat", "rain", "washes", "dust",
+    "from", "cobblestones", "morning", "fog", "lifts", "reveal", "valley", "below",
+];
+
+/// Deterministic text generator with token-count targets.
+///
+/// Per-word token counts (with the leading space) are precomputed against
+/// the real tokenizer, so building a text of ~N tokens is O(words).
+#[derive(Debug, Clone)]
+pub struct TextGen {
+    /// Token count of each word standalone (first word of a text).
+    bare_tokens: Vec<usize>,
+    /// Token count of each word with its leading space (the in-context form;
+    /// the tokenizer attaches whitespace to the following word, so this is
+    /// exact for every non-first word).
+    spaced_tokens: Vec<usize>,
+}
+
+impl Default for TextGen {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TextGen {
+    /// Creates the generator (tokenizes the vocabulary once).
+    pub fn new() -> Self {
+        let tok = Tokenizer::new();
+        TextGen {
+            bare_tokens: WORDS.iter().map(|w| tok.count(w)).collect(),
+            spaced_tokens: WORDS.iter().map(|w| tok.count(&format!(" {w}"))).collect(),
+        }
+    }
+
+    /// Generates prose of roughly `target_tokens` tokens.
+    pub fn text(&self, rng: &mut StdRng, target_tokens: usize) -> String {
+        let mut out = String::new();
+        let mut tokens = 0usize;
+        while tokens < target_tokens {
+            let i = rng.random_range(0..WORDS.len());
+            if out.is_empty() {
+                tokens += self.bare_tokens[i];
+            } else {
+                out.push(' ');
+                tokens += self.spaced_tokens[i];
+            }
+            out.push_str(WORDS[i]);
+        }
+        out
+    }
+
+    /// Generates a short capitalized name of `words` words (titles, artist
+    /// names); `tag` guarantees uniqueness across a pool when needed.
+    pub fn name(&self, rng: &mut StdRng, words: usize, tag: Option<usize>) -> String {
+        let mut out = String::new();
+        for w in 0..words {
+            if w > 0 {
+                out.push(' ');
+            }
+            let word = WORDS[rng.random_range(0..WORDS.len())];
+            let mut chars = word.chars();
+            if let Some(first) = chars.next() {
+                out.extend(first.to_uppercase());
+                out.push_str(chars.as_str());
+            }
+        }
+        if let Some(t) = tag {
+            out.push_str(&format!(" {t}"));
+        }
+        out
+    }
+}
+
+/// Zipf-distributed index sampler over `0..n` (exponent `s`), the standard
+/// model for item popularity (hot products, frequently cited evidence).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Samples an index in `0..n`, lower indices being more popular.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// Produces a row→entity assignment where consecutive rows repeat the same
+/// entity with probability `repeat_p` — the knob that sets the *original
+/// ordering's* adjacent-duplicate rate (and therefore its prefix hit rate).
+pub fn clustered_assignment(
+    rng: &mut StdRng,
+    nrows: usize,
+    nentities: usize,
+    repeat_p: f64,
+) -> Vec<usize> {
+    assert!(nentities > 0, "need at least one entity");
+    let mut out = Vec::with_capacity(nrows);
+    let mut current = 0usize;
+    for i in 0..nrows {
+        if i == 0 || rng.random::<f64>() >= repeat_p {
+            current = rng.random_range(0..nentities);
+        }
+        out.push(current);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn text_hits_token_target() {
+        let tg = TextGen::new();
+        let tok = Tokenizer::new();
+        let mut r = rng();
+        for target in [5, 40, 200] {
+            let t = tg.text(&mut r, target);
+            let n = tok.count(&t);
+            assert!(
+                n >= target && n <= target + 4,
+                "target {target}, got {n}: {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn text_is_deterministic_per_seed() {
+        let tg = TextGen::new();
+        let a = tg.text(&mut rng(), 30);
+        let b = tg.text(&mut rng(), 30);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_are_capitalized_and_tagged() {
+        let tg = TextGen::new();
+        let n = tg.name(&mut rng(), 2, Some(7));
+        assert!(n.ends_with(" 7"));
+        assert!(n.chars().next().unwrap().is_uppercase());
+    }
+
+    #[test]
+    fn zipf_prefers_low_indices() {
+        let z = ZipfSampler::new(100, 1.1);
+        let mut r = rng();
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        assert!(counts[0] > counts[10]);
+    }
+
+    #[test]
+    fn zipf_covers_support() {
+        let z = ZipfSampler::new(5, 1.0);
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1_000 {
+            seen.insert(z.sample(&mut r));
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zipf_zero_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    fn clustering_matches_repeat_probability() {
+        let mut r = rng();
+        let assign = clustered_assignment(&mut r, 50_000, 500, 0.3);
+        let repeats = assign.windows(2).filter(|w| w[0] == w[1]).count();
+        let rate = repeats as f64 / 49_999.0;
+        // Random re-draws collide with probability 1/500 on top of 0.3.
+        assert!((rate - 0.3).abs() < 0.02, "adjacent repeat rate {rate}");
+    }
+
+    #[test]
+    fn clustering_zero_probability_is_iid() {
+        let mut r = rng();
+        let assign = clustered_assignment(&mut r, 10_000, 10, 0.0);
+        let repeats = assign.windows(2).filter(|w| w[0] == w[1]).count();
+        let rate = repeats as f64 / 9_999.0;
+        assert!((rate - 0.1).abs() < 0.02, "iid collision rate {rate}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Rotten Tomatoes Movies (paper: 15 000 rows × 8 fields, 276 input tokens,
+//! outputs {2, 29, 16, 2} for T1–T4).
+//!
+//! Structure: each review row joins per-movie metadata (info, title, RT
+//! link, production company, genres) with a unique review. ~10 reviews per
+//! movie; in the *original* row order ~25% of adjacent rows belong to the
+//! same movie (reviews arrive partially grouped), which reproduces the
+//! paper's 35% original-order hit rate once the shared instruction prefix is
+//! added. Functional dependencies: {movieinfo, movietitle,
+//! rottentomatoeslink} (Appendix B).
+
+use crate::gen::{clustered_assignment, TextGen};
+use llmqo_core::FunctionalDeps;
+use llmqo_relational::{LlmQuery, Schema, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub(crate) const FIELDS: [&str; 8] = [
+    "genres",
+    "movieinfo",
+    "movietitle",
+    "productioncompany",
+    "reviewcontent",
+    "reviewtype",
+    "rottentomatoeslink",
+    "topcritic",
+];
+
+const GENRES: [&str; 12] = [
+    "Drama", "Comedy", "Action", "Romance", "Thriller", "Documentary", "Animation", "Horror",
+    "Mystery", "Adventure", "Fantasy", "Musical",
+];
+
+struct Movie {
+    genres: String,
+    info: String,
+    title: String,
+    company: String,
+    link: String,
+}
+
+pub(crate) fn generate(nrows: usize) -> (Table, FunctionalDeps, Vec<LlmQuery>) {
+    let mut rng = StdRng::seed_from_u64(0x4d4f_5649);
+    let tg = TextGen::new();
+    let nmovies = (nrows / 20).max(1);
+
+    let companies: Vec<String> = (0..40).map(|i| tg.name(&mut rng, 2, Some(i))).collect();
+    let movies: Vec<Movie> = (0..nmovies)
+        .map(|i| {
+            let title = tg.name(&mut rng, 2, Some(i));
+            let slug = title.to_lowercase().replace(' ', "_");
+            let n_genres = rng.random_range(1..=2);
+            let genres = (0..n_genres)
+                .map(|_| GENRES[rng.random_range(0..GENRES.len())])
+                .collect::<Vec<_>>()
+                .join(", ");
+            Movie {
+                genres,
+                info: tg.text(&mut rng, 95),
+                title,
+                company: companies[rng.random_range(0..companies.len())].clone(),
+                link: format!("https://www.rottentomatoes.com/m/{slug}"),
+            }
+        })
+        .collect();
+
+    // Reviews arrive nearly unordered; the instruction prefix dominates the
+    // original ordering's hit rate (paper: 35%).
+    let assignment = clustered_assignment(&mut rng, nrows, nmovies, 0.03);
+    let mut table = Table::new(Schema::of_strings(&FIELDS));
+    for &m in &assignment {
+        let movie = &movies[m];
+        // Rotten Tomatoes critic blurbs are short.
+        let review = tg.text(&mut rng, 16);
+        let review_type = if rng.random_bool(0.6) { "Fresh" } else { "Rotten" };
+        let top_critic = if rng.random_bool(0.3) { "true" } else { "false" };
+        table
+            .push_row(vec![
+                movie.genres.clone().into(),
+                movie.info.clone().into(),
+                movie.title.clone().into(),
+                movie.company.clone().into(),
+                review.into(),
+                review_type.into(),
+                movie.link.clone().into(),
+                top_critic.into(),
+            ])
+            .expect("movies schema arity");
+    }
+
+    // Appendix B: movieinfo ↔ movietitle ↔ rottentomatoeslink.
+    let fds = FunctionalDeps::from_groups(FIELDS.len(), vec![vec![1, 2, 6]])
+        .expect("indices in range");
+
+    let all_fields: Vec<String> = FIELDS.iter().map(|s| s.to_string()).collect();
+    let yes_no = vec!["Yes".to_string(), "No".to_string()];
+    let sentiment = vec!["POSITIVE".to_string(), "NEGATIVE".to_string()];
+    let queries = vec![
+        LlmQuery::filter(
+            "movies-filter",
+            "Given the following fields, answer in one word, 'Yes' or 'No', whether the \
+             movie would be suitable for kids. Answer with ONLY 'Yes' or 'No'.",
+            all_fields.clone(),
+            yes_no,
+            "Yes",
+            2.0,
+        )
+        .with_key_field("movieinfo"),
+        LlmQuery::projection(
+            "movies-projection",
+            "Given information including movie descriptions and critic reviews, summarize \
+             the good qualities in this movie that led to a favorable rating.",
+            all_fields.clone(),
+            29.0,
+        ),
+        LlmQuery::filter(
+            "movies-multi-1",
+            "Given the following review, answer whether the sentiment associated is \
+             'POSITIVE' or 'NEGATIVE'. Answer in all caps with ONLY 'POSITIVE' or 'NEGATIVE':",
+            vec!["reviewcontent".to_string()],
+            sentiment,
+            "NEGATIVE",
+            2.0,
+        )
+        .with_key_field("reviewcontent"),
+        LlmQuery::projection(
+            "movies-multi-2",
+            "Given the information about a movie, summarize the good qualities that led to \
+             a favorable rating.",
+            all_fields.clone(),
+            29.0,
+        ),
+        LlmQuery::aggregation(
+            "movies-agg",
+            "Given the following fields of a movie description and a user review, assign a \
+             sentiment score for the review out of 5. Answer with ONLY a single integer \
+             between 1 (bad) and 5 (good).",
+            all_fields,
+            (1, 5),
+            2.0,
+        ),
+    ];
+    (table, fds, queries)
+}

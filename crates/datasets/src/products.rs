@@ -1,0 +1,128 @@
+//! Amazon Product Reviews (paper: 14 890 rows × 8 fields, 377 input tokens,
+//! outputs {3, 107, 62, 2} for T1–T4).
+//!
+//! Structure: review rows joined with per-product metadata. The long shared
+//! `description` leads the schema, so even the original order gets some hits
+//! when adjacent reviews cover the same product (~18% adjacency → the
+//! paper's 27% original hit rate with the instruction prefix). Functional
+//! dependency: {parent_asin, product_title} (Appendix B).
+
+use crate::gen::{clustered_assignment, TextGen};
+use llmqo_core::FunctionalDeps;
+use llmqo_relational::{LlmQuery, Schema, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub(crate) const FIELDS: [&str; 8] = [
+    "description",
+    "id",
+    "parent_asin",
+    "product_title",
+    "rating",
+    "review_title",
+    "text",
+    "verified_purchase",
+];
+
+struct Product {
+    description: String,
+    asin: String,
+    title: String,
+}
+
+pub(crate) fn generate(nrows: usize) -> (Table, FunctionalDeps, Vec<LlmQuery>) {
+    let mut rng = StdRng::seed_from_u64(0x5052_4f44);
+    let tg = TextGen::new();
+    let nproducts = (nrows / 20).max(1);
+
+    let products: Vec<Product> = (0..nproducts)
+        .map(|i| Product {
+            description: tg.text(&mut rng, 150),
+            asin: format!("B{:08X}", 0x00A0_0000u64 + i as u64),
+            title: tg.name(&mut rng, 3, Some(i)),
+        })
+        .collect();
+
+    let assignment = clustered_assignment(&mut rng, nrows, nproducts, 0.02);
+    let mut table = Table::new(Schema::of_strings(&FIELDS));
+    for (row, &p) in assignment.iter().enumerate() {
+        let product = &products[p];
+        // Ratings skew positive on retail platforms.
+        let rating = *[5i64, 5, 5, 4, 4, 3, 2, 1]
+            .get(rng.random_range(0..8usize))
+            .expect("non-empty choices");
+        table
+            .push_row(vec![
+                product.description.clone().into(),
+                format!("R{row:08}").into(),
+                product.asin.clone().into(),
+                product.title.clone().into(),
+                rating.to_string().into(),
+                tg.name(&mut rng, 2, None).into(),
+                tg.text(&mut rng, 36).into(),
+                if rng.random_bool(0.85) { "true" } else { "false" }.into(),
+            ])
+            .expect("products schema arity");
+    }
+
+    // Appendix B: parent_asin ↔ product_title.
+    let fds = FunctionalDeps::from_groups(FIELDS.len(), vec![vec![2, 3]])
+        .expect("indices in range");
+
+    let all_fields: Vec<String> = FIELDS.iter().map(|s| s.to_string()).collect();
+    let tri = vec![
+        "POSITIVE".to_string(),
+        "NEGATIVE".to_string(),
+        "NEUTRAL".to_string(),
+    ];
+    let duo = vec!["POSITIVE".to_string(), "NEGATIVE".to_string()];
+    let queries = vec![
+        LlmQuery::filter(
+            "products-filter",
+            "Given the following fields determine if the review speaks positively \
+             ('POSITIVE'), negatively ('NEGATIVE'), or neutral ('NEUTRAL') about the \
+             product. Answer only 'POSITIVE', 'NEGATIVE', or 'NEUTRAL', nothing else.",
+            all_fields.clone(),
+            tri,
+            "POSITIVE",
+            3.0,
+        )
+        .with_key_field("text"),
+        LlmQuery::projection(
+            "products-projection",
+            "Given the following fields related to amazon products, summarize the product, \
+             then answer whether the product description is consistent with the quality \
+             expressed in the review.",
+            all_fields.clone(),
+            107.0,
+        ),
+        LlmQuery::filter(
+            "products-multi-1",
+            "Given the following review, answer whether the sentiment associated is \
+             'POSITIVE' or 'NEGATIVE'. Answer in all caps with ONLY 'POSITIVE' or 'NEGATIVE':",
+            vec!["text".to_string()],
+            duo,
+            "NEGATIVE",
+            2.0,
+        )
+        .with_key_field("text"),
+        LlmQuery::projection(
+            "products-multi-2",
+            "Given the following fields related to amazon products, summarize the product, \
+             then answer whether the product description is consistent with the quality \
+             expressed in the review.",
+            all_fields.clone(),
+            107.0,
+        ),
+        LlmQuery::aggregation(
+            "products-agg",
+            "Given the following fields of a product description and a user review, assign \
+             a sentiment score for the review out of 5. Answer with ONLY a single integer \
+             between 1 (bad) and 5 (good).",
+            all_fields,
+            (1, 5),
+            2.0,
+        ),
+    ];
+    (table, fds, queries)
+}

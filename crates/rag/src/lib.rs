@@ -1,0 +1,324 @@
+//! # llmqo-rag — retrieval substrate for RAG queries (paper T5)
+//!
+//! Stand-in for the paper's `gte-base` embeddings + FAISS pipeline (§6.1.3):
+//! for each question, the top-k supporting contexts are fetched from a
+//! corpus by vector similarity and appended to the question as table fields.
+//! Because popular contexts are retrieved for *many* questions, the
+//! resulting table is rich in repeated field values — exactly the structure
+//! GGR exploits (§6.2, "multiple questions might share similar contexts").
+//!
+//! The embedder is a deterministic feature-hashing bag-of-tokens model; the
+//! index is exact (brute-force) cosine KNN. Neither needs to be a *good*
+//! retriever — only a deterministic one that maps textually similar
+//! questions to overlapping context sets, which feature hashing guarantees.
+//!
+//! # Example
+//!
+//! ```
+//! use llmqo_rag::{Embedder, VectorIndex};
+//!
+//! let embedder = Embedder::new(64);
+//! let mut index = VectorIndex::new(64);
+//! index.insert(0, embedder.embed("the cat sat on the mat"));
+//! index.insert(1, embedder.embed("stock markets fell sharply"));
+//! let hits = index.search(&embedder.embed("a cat on a mat"), 1);
+//! assert_eq!(hits[0].id, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use llmqo_tokenizer::Tokenizer;
+
+/// Deterministic feature-hashing text embedder.
+///
+/// Tokens are hashed into `dim` buckets with ±1 signs; the resulting vector
+/// is L2-normalized. Identical texts embed identically, and texts sharing
+/// vocabulary are close in cosine similarity.
+#[derive(Debug, Clone)]
+pub struct Embedder {
+    dim: usize,
+    tokenizer: Tokenizer,
+}
+
+impl Embedder {
+    /// Creates an embedder with the given dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Embedder {
+            dim,
+            tokenizer: Tokenizer::new(),
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embeds `text` into a unit-norm vector (all-zero for empty text).
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0f32; self.dim];
+        for tok in self.tokenizer.tokenize(text) {
+            let h = splitmix(u64::from(tok));
+            let bucket = (h % self.dim as u64) as usize;
+            let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+            v[bucket] += sign;
+        }
+        let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        v
+    }
+}
+
+/// One KNN search result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// The document id supplied at insertion.
+    pub id: usize,
+    /// Cosine similarity to the query (vectors are unit norm).
+    pub score: f32,
+}
+
+/// Exact (brute-force) cosine KNN index — the FAISS stand-in.
+///
+/// Exactness keeps retrieval deterministic across runs, which the
+/// reproduction needs more than speed; corpora here are ≤ tens of thousands
+/// of contexts.
+#[derive(Debug, Clone, Default)]
+pub struct VectorIndex {
+    dim: usize,
+    ids: Vec<usize>,
+    vectors: Vec<f32>,
+}
+
+impl VectorIndex {
+    /// Creates an empty index for vectors of the given dimensionality.
+    pub fn new(dim: usize) -> Self {
+        VectorIndex {
+            dim,
+            ids: Vec::new(),
+            vectors: Vec::new(),
+        }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Inserts a vector under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector's dimensionality is wrong.
+    pub fn insert(&mut self, id: usize, vector: Vec<f32>) {
+        assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        self.ids.push(id);
+        self.vectors.extend(vector);
+    }
+
+    /// The `k` nearest neighbors of `query` by inner product, best first.
+    /// Ties break toward the lower id for determinism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's dimensionality is wrong.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut scored: Vec<Neighbor> = self
+            .ids
+            .iter()
+            .enumerate()
+            .map(|(row, &id)| {
+                let base = row * self.dim;
+                let score = self.vectors[base..base + self.dim]
+                    .iter()
+                    .zip(query)
+                    .map(|(a, b)| a * b)
+                    .sum();
+                Neighbor { id, score }
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        scored.truncate(k);
+        scored
+    }
+}
+
+/// Retrieves the top-`k` context ids for each question over a corpus — the
+/// paper's RAG table construction (questions × fetched evidence).
+///
+/// Returns, for each question, the ids of its retrieved contexts (exactly
+/// `k` of them when the corpus is large enough).
+pub fn retrieve_contexts(
+    embedder: &Embedder,
+    corpus: &[String],
+    questions: &[String],
+    k: usize,
+) -> Vec<Vec<usize>> {
+    let mut index = VectorIndex::new(embedder.dim());
+    for (id, doc) in corpus.iter().enumerate() {
+        index.insert(id, embedder.embed(doc));
+    }
+    questions
+        .iter()
+        .map(|q| {
+            index
+                .search(&embedder.embed(q), k)
+                .into_iter()
+                .map(|n| n.id)
+                .collect()
+        })
+        .collect()
+}
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeddings_are_deterministic_and_unit_norm() {
+        let e = Embedder::new(32);
+        let a = e.embed("hello world");
+        let b = e.embed("hello world");
+        assert_eq!(a, b);
+        let norm: f32 = a.iter().map(|x| x * x).sum();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero() {
+        let e = Embedder::new(16);
+        assert!(e.embed("").iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn similar_texts_are_closer_than_dissimilar() {
+        let e = Embedder::new(128);
+        let base = e.embed("the quick brown fox jumps over the lazy dog");
+        let near = e.embed("the quick brown fox leaps over a lazy dog");
+        let far = e.embed("quarterly earnings exceeded analyst expectations");
+        let dot = |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
+        assert!(dot(&base, &near) > dot(&base, &far));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_panics() {
+        let _ = Embedder::new(0);
+    }
+
+    #[test]
+    fn knn_finds_exact_match_first() {
+        let e = Embedder::new(64);
+        let mut idx = VectorIndex::new(64);
+        let docs = ["alpha beta gamma", "delta epsilon zeta", "eta theta iota"];
+        for (i, d) in docs.iter().enumerate() {
+            idx.insert(i, e.embed(d));
+        }
+        let hits = idx.search(&e.embed("alpha beta gamma"), 2);
+        assert_eq!(hits[0].id, 0);
+        assert!(hits[0].score > 0.99);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn knn_k_larger_than_corpus_is_clamped() {
+        let e = Embedder::new(16);
+        let mut idx = VectorIndex::new(16);
+        idx.insert(5, e.embed("only doc"));
+        let hits = idx.search(&e.embed("only doc"), 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 5);
+    }
+
+    #[test]
+    fn knn_ties_break_by_id() {
+        let mut idx = VectorIndex::new(2);
+        idx.insert(9, vec![1.0, 0.0]);
+        idx.insert(3, vec![1.0, 0.0]);
+        let hits = idx.search(&[1.0, 0.0], 2);
+        assert_eq!(hits[0].id, 3);
+        assert_eq!(hits[1].id, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_insert_panics() {
+        let mut idx = VectorIndex::new(4);
+        idx.insert(0, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn retrieve_contexts_shapes() {
+        let e = Embedder::new(64);
+        let corpus: Vec<String> = (0..20)
+            .map(|i| format!("document number {i} about topic {}", i % 4))
+            .collect();
+        let questions: Vec<String> = (0..5)
+            .map(|i| format!("question about topic {}", i % 4))
+            .collect();
+        let ctx = retrieve_contexts(&e, &corpus, &questions, 4);
+        assert_eq!(ctx.len(), 5);
+        assert!(ctx.iter().all(|c| c.len() == 4));
+        // Questions about the same topic share retrieved contexts.
+        assert_eq!(ctx[0], ctx[4], "topic 0 questions retrieve identically");
+    }
+
+    #[test]
+    fn popular_contexts_are_shared_across_questions() {
+        let e = Embedder::new(128);
+        let corpus: Vec<String> = (0..30)
+            .map(|i| format!("evidence passage {i} concerning subject {}", i % 3))
+            .collect();
+        let questions: Vec<String> = (0..12)
+            .map(|i| format!("claim concerning subject {}", i % 3))
+            .collect();
+        let ctx = retrieve_contexts(&e, &corpus, &questions, 4);
+        let mut seen = std::collections::HashMap::new();
+        for c in &ctx {
+            for &id in c {
+                *seen.entry(id).or_insert(0) += 1;
+            }
+        }
+        assert!(
+            seen.values().any(|&n| n >= 3),
+            "some context should be retrieved by several questions"
+        );
+    }
+
+    #[test]
+    fn index_len_tracking() {
+        let mut idx = VectorIndex::new(2);
+        assert!(idx.is_empty());
+        idx.insert(0, vec![1.0, 0.0]);
+        assert_eq!(idx.len(), 1);
+        assert!(!idx.is_empty());
+    }
+}

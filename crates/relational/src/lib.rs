@@ -1,0 +1,73 @@
+//! # llmqo-relational — a columnar table engine with an `LLM(...)` operator
+//!
+//! Stand-in for the paper's PySpark integration (§5): the analytics engine's
+//! job is to (1) expose the full input table to the request-reordering
+//! optimizer and (2) invoke the LLM once per row, mapping outputs back into
+//! relational results. This crate provides exactly that contract:
+//!
+//! * [`Table`] / [`Schema`] / [`Value`] — columnar storage.
+//! * [`LlmQuery`] — the paper's five query types (T1–T5) with Appendix C
+//!   prompt templates.
+//! * [`encode_table`] — lowers a table to the optimizer's
+//!   [`ReorderTable`](llmqo_core::ReorderTable) under the JSON field
+//!   encoding.
+//! * [`QueryExecutor`] — runs a query end to end: reorder → serve → parse,
+//!   producing a [`QueryOutput`] with results and an [`ExecutionReport`]
+//!   (job completion time, prefix hit rate, solver time).
+//!
+//! # Example
+//!
+//! ```
+//! use llmqo_core::{FunctionalDeps, Ggr};
+//! use llmqo_relational::{LlmQuery, QueryExecutor, Schema, Table};
+//! use llmqo_serve::{Deployment, EngineConfig, GpuCluster, GpuSpec, ModelSpec,
+//!                   OracleLlm, SimEngine};
+//! use llmqo_tokenizer::Tokenizer;
+//!
+//! let mut table = Table::new(Schema::of_strings(&["request", "support_response"]));
+//! table.push_row(vec!["refund?".into(), "We processed your refund.".into()]).unwrap();
+//! table.push_row(vec!["broken!".into(), "We processed your refund.".into()]).unwrap();
+//!
+//! let query = LlmQuery::filter(
+//!     "tickets",
+//!     "Did the support response address the request? Answer Yes or No.",
+//!     vec!["support_response".into(), "request".into()],
+//!     vec!["Yes".into(), "No".into()],
+//!     "Yes",
+//!     2.0,
+//! );
+//!
+//! let engine = SimEngine::new(
+//!     Deployment::new(ModelSpec::llama3_8b(), GpuCluster::single(GpuSpec::l4())),
+//!     EngineConfig::default(),
+//! );
+//! let executor = QueryExecutor::new(&engine, &OracleLlm, Tokenizer::new());
+//! let truth = |row: usize| if row == 0 { "Yes".into() } else { "No".into() };
+//! let out = executor
+//!     .execute(&table, &query, &Ggr::default(), &FunctionalDeps::empty(2), &truth)
+//!     .unwrap();
+//! assert_eq!(out.selected_rows, vec![0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod prompt;
+mod query;
+mod schema;
+mod sql;
+mod table;
+mod value;
+
+pub use exec::{
+    project_fds, ExecError, ExecutionReport, QueryExecutor, QueryOutput, RowOutput,
+};
+pub use sql::{
+    parse_sql, LlmCall, Projection, SqlDefaults, SqlError, SqlResult, SqlRunner, SqlStatement,
+};
+pub use prompt::{encode_table, field_fragment, EncodedTable};
+pub use query::{LlmQuery, QueryKind};
+pub use schema::{DataType, Field, Schema};
+pub use table::{Table, TableError};
+pub use value::Value;

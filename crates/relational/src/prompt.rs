@@ -1,0 +1,188 @@
+//! Prompt construction and table encoding (paper §5).
+//!
+//! The paper's `LLM` operator builds each request as a system prompt (which
+//! embeds the user's query text) followed by the row's field values encoded
+//! as JSON-style `"name": "value"` pairs — the field *name* is part of the
+//! fragment, so equal values in different fields never alias in the cache.
+//!
+//! [`encode_table`] lowers a relational [`Table`] into the optimizer's
+//! [`ReorderTable`]: each distinct `(field, value)` fragment is interned
+//! once, tokenized once, and its token count becomes the cell length that
+//! the PHC objective squares.
+
+use crate::query::LlmQuery;
+use crate::table::{Table, TableError};
+use llmqo_core::{Cell, Interner, ReorderTable};
+use llmqo_tokenizer::{TokenId, Tokenizer};
+use std::sync::Arc;
+
+/// A table lowered to the optimizer's representation plus everything needed
+/// to build engine requests from a schedule.
+#[derive(Debug, Clone)]
+pub struct EncodedTable {
+    /// The optimizer's view: interned cells with fragment token lengths.
+    pub reorder: ReorderTable,
+    /// Token stream of each interned fragment, indexed by `ValueId`.
+    pub fragments: Vec<Arc<[TokenId]>>,
+    /// Shared instruction prefix (system prompt + query + preamble).
+    pub instruction: Arc<[TokenId]>,
+    /// Indices of the used columns in the source table's schema.
+    pub used_cols: Vec<usize>,
+}
+
+impl EncodedTable {
+    /// Token length of the shared instruction prefix.
+    pub fn instruction_len(&self) -> usize {
+        self.instruction.len()
+    }
+
+    /// Total prompt tokens if every row were sent (instruction + fields).
+    pub fn total_prompt_tokens(&self) -> u64 {
+        self.reorder.total_tokens() + (self.instruction.len() * self.reorder.nrows()) as u64
+    }
+}
+
+/// Serializes one field cell as the paper's JSON-style fragment.
+pub fn field_fragment(name: &str, value: &str) -> String {
+    format!("\"{name}\": \"{value}\", ")
+}
+
+/// Lowers `table` restricted to `query.fields` into an [`EncodedTable`].
+///
+/// # Errors
+///
+/// [`TableError::UnknownColumn`] if the query references a missing field.
+pub fn encode_table(
+    tokenizer: &Tokenizer,
+    table: &Table,
+    query: &LlmQuery,
+) -> Result<EncodedTable, TableError> {
+    let used_cols = table.resolve_columns(&query.fields)?;
+    let mut reorder = ReorderTable::new(query.fields.clone())
+        .expect("queries are validated to have at least one field");
+    let mut interner = Interner::new();
+    let mut fragments: Vec<Arc<[TokenId]>> = Vec::new();
+
+    let mut fragment_buf = String::new();
+    for r in 0..table.nrows() {
+        let mut row = Vec::with_capacity(used_cols.len());
+        for (f, &c) in used_cols.iter().enumerate() {
+            fragment_buf.clear();
+            fragment_buf.push_str(&field_fragment(
+                &query.fields[f],
+                &table.value(r, c).to_string(),
+            ));
+            let before = interner.len();
+            let id = interner.intern(&fragment_buf);
+            if interner.len() > before {
+                let toks = tokenizer.tokenize(&fragment_buf);
+                fragments.push(Arc::from(toks.into_boxed_slice()));
+            }
+            let len = fragments[id.as_u32() as usize].len() as u32;
+            row.push(Cell::new(id, len));
+        }
+        reorder.push_row(row).expect("row arity fixed by used_cols");
+    }
+
+    let instruction_text = query.full_instruction();
+    let instruction: Arc<[TokenId]> =
+        Arc::from(tokenizer.tokenize(&instruction_text).into_boxed_slice());
+
+    Ok(EncodedTable {
+        reorder,
+        fragments,
+        instruction,
+        used_cols,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{LlmQuery, QueryKind};
+    use crate::schema::Schema;
+
+    fn query(fields: &[&str]) -> LlmQuery {
+        LlmQuery {
+            name: "t".into(),
+            kind: QueryKind::Filter,
+            user_prompt: "Answer Yes or No.".into(),
+            fields: fields.iter().map(|s| s.to_string()).collect(),
+            label_space: vec!["Yes".into(), "No".into()],
+            predicate_label: Some("Yes".into()),
+            key_field: None,
+            output_tokens_mean: 2.0,
+        }
+    }
+
+    fn table() -> Table {
+        let mut t = Table::new(Schema::of_strings(&["review", "title", "unused"]));
+        t.push_row(vec!["good".into(), "Anvil".into(), "x".into()])
+            .unwrap();
+        t.push_row(vec!["bad".into(), "Anvil".into(), "y".into()])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn encodes_only_used_fields() {
+        let tok = Tokenizer::new();
+        let e = encode_table(&tok, &table(), &query(&["review", "title"])).unwrap();
+        assert_eq!(e.reorder.ncols(), 2);
+        assert_eq!(e.reorder.nrows(), 2);
+        assert_eq!(e.used_cols, vec![0, 1]);
+    }
+
+    #[test]
+    fn shared_values_share_ids_and_fragments() {
+        let tok = Tokenizer::new();
+        let e = encode_table(&tok, &table(), &query(&["review", "title"])).unwrap();
+        let a = e.reorder.cell(0, 1);
+        let b = e.reorder.cell(1, 1);
+        assert_eq!(a.value, b.value);
+        // Three distinct fragments: good, bad, Anvil.
+        assert_eq!(e.fragments.len(), 3);
+    }
+
+    #[test]
+    fn same_value_different_field_gets_different_id() {
+        let tok = Tokenizer::new();
+        let mut t = Table::new(Schema::of_strings(&["a", "b"]));
+        t.push_row(vec!["same".into(), "same".into()]).unwrap();
+        let e = encode_table(&tok, &t, &query(&["a", "b"])).unwrap();
+        assert_ne!(e.reorder.cell(0, 0).value, e.reorder.cell(0, 1).value);
+    }
+
+    #[test]
+    fn cell_len_is_fragment_token_count() {
+        let tok = Tokenizer::new();
+        let e = encode_table(&tok, &table(), &query(&["review"])).unwrap();
+        let cell = e.reorder.cell(0, 0);
+        let expected = tok.count(&field_fragment("review", "good"));
+        assert_eq!(cell.len as usize, expected);
+        assert_eq!(
+            e.fragments[cell.value.as_u32() as usize].len(),
+            expected
+        );
+    }
+
+    #[test]
+    fn instruction_is_shared_and_nonempty() {
+        let tok = Tokenizer::new();
+        let e = encode_table(&tok, &table(), &query(&["review"])).unwrap();
+        assert!(e.instruction_len() > 4);
+        assert!(e.total_prompt_tokens() > e.reorder.total_tokens());
+    }
+
+    #[test]
+    fn unknown_field_is_an_error() {
+        let tok = Tokenizer::new();
+        let err = encode_table(&tok, &table(), &query(&["nope"])).unwrap_err();
+        assert!(matches!(err, TableError::UnknownColumn { .. }));
+    }
+
+    #[test]
+    fn fragment_format_is_json_style() {
+        assert_eq!(field_fragment("title", "Anvil"), "\"title\": \"Anvil\", ");
+    }
+}

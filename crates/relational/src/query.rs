@@ -1,0 +1,202 @@
+//! LLM query definitions (paper §6.1.2, Appendix A/C).
+//!
+//! A [`LlmQuery`] describes one `LLM(...)` invocation over a table: the
+//! instruction prompt, the fields passed per row, the expected output shape
+//! (label space and token length), and — for filters — which label keeps a
+//! row. The paper's five query types map onto [`QueryKind`]; multi-LLM
+//! invocation (T3) is a sequence of queries executed by
+//! [`QueryExecutor::execute_multi`](crate::QueryExecutor::execute_multi).
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's query taxonomy (§6.1.2). Multi-LLM invocation (T3) is
+/// expressed as a chain of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// T1: `WHERE LLM(...) = label` — short categorical outputs.
+    Filter,
+    /// T2: `SELECT LLM(...)` — longer free-text outputs.
+    Projection,
+    /// T4: `AVG(LLM(...))` — numeric outputs folded into an aggregate.
+    Aggregation,
+    /// T5: retrieval-augmented generation over fetched contexts.
+    Rag,
+}
+
+/// One LLM invocation over a table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LlmQuery {
+    /// Query name for reports (e.g. `"movies-filter"`).
+    pub name: String,
+    /// Query type.
+    pub kind: QueryKind,
+    /// The task instruction (the paper's per-dataset user prompts).
+    pub user_prompt: String,
+    /// Fields passed to the LLM, in schema order.
+    pub fields: Vec<String>,
+    /// Possible outputs for classification queries; empty for free text.
+    pub label_space: Vec<String>,
+    /// For filters: rows answering this label pass the predicate.
+    pub predicate_label: Option<String>,
+    /// The semantically key field (drives the accuracy study's positional
+    /// sensitivity; e.g. FEVER's `claim`).
+    pub key_field: Option<String>,
+    /// Mean output length in tokens (paper Table 1's `output_avg`).
+    pub output_tokens_mean: f64,
+}
+
+impl LlmQuery {
+    /// Creates a filter query (T1).
+    pub fn filter(
+        name: impl Into<String>,
+        user_prompt: impl Into<String>,
+        fields: Vec<String>,
+        label_space: Vec<String>,
+        predicate_label: impl Into<String>,
+        output_tokens_mean: f64,
+    ) -> Self {
+        LlmQuery {
+            name: name.into(),
+            kind: QueryKind::Filter,
+            user_prompt: user_prompt.into(),
+            fields,
+            label_space,
+            predicate_label: Some(predicate_label.into()),
+            key_field: None,
+            output_tokens_mean,
+        }
+    }
+
+    /// Creates a projection query (T2).
+    pub fn projection(
+        name: impl Into<String>,
+        user_prompt: impl Into<String>,
+        fields: Vec<String>,
+        output_tokens_mean: f64,
+    ) -> Self {
+        LlmQuery {
+            name: name.into(),
+            kind: QueryKind::Projection,
+            user_prompt: user_prompt.into(),
+            fields,
+            label_space: Vec::new(),
+            predicate_label: None,
+            key_field: None,
+            output_tokens_mean,
+        }
+    }
+
+    /// Creates an aggregation query (T4) whose outputs are integers in
+    /// `lo..=hi` (e.g. sentiment scores 1–5).
+    pub fn aggregation(
+        name: impl Into<String>,
+        user_prompt: impl Into<String>,
+        fields: Vec<String>,
+        (lo, hi): (i64, i64),
+        output_tokens_mean: f64,
+    ) -> Self {
+        LlmQuery {
+            name: name.into(),
+            kind: QueryKind::Aggregation,
+            user_prompt: user_prompt.into(),
+            fields,
+            label_space: (lo..=hi).map(|v| v.to_string()).collect(),
+            predicate_label: None,
+            key_field: None,
+            output_tokens_mean,
+        }
+    }
+
+    /// Creates a RAG query (T5) over a question plus retrieved contexts.
+    pub fn rag(
+        name: impl Into<String>,
+        user_prompt: impl Into<String>,
+        fields: Vec<String>,
+        label_space: Vec<String>,
+        output_tokens_mean: f64,
+    ) -> Self {
+        LlmQuery {
+            name: name.into(),
+            kind: QueryKind::Rag,
+            user_prompt: user_prompt.into(),
+            fields,
+            label_space,
+            predicate_label: None,
+            key_field: None,
+            output_tokens_mean,
+        }
+    }
+
+    /// Sets the semantically key field (builder style).
+    pub fn with_key_field(mut self, field: impl Into<String>) -> Self {
+        self.key_field = Some(field.into());
+        self
+    }
+
+    /// The full instruction prefix shared by every row's request — the
+    /// paper's system prompt (Appendix C) with the query text inlined.
+    pub fn full_instruction(&self) -> String {
+        format!(
+            "You are a data analyst. Use the provided JSON data to answer the user \
+             query based on the specified fields. Respond with only the answer, no \
+             extra formatting.\nAnswer the below query:\n{}\nGiven the following data:\n",
+            self.user_prompt
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_constructor() {
+        let q = LlmQuery::filter(
+            "f",
+            "Is it good?",
+            vec!["review".into()],
+            vec!["Yes".into(), "No".into()],
+            "Yes",
+            2.0,
+        );
+        assert_eq!(q.kind, QueryKind::Filter);
+        assert_eq!(q.predicate_label.as_deref(), Some("Yes"));
+        assert!(q.full_instruction().contains("Is it good?"));
+    }
+
+    #[test]
+    fn projection_has_free_text_output() {
+        let q = LlmQuery::projection("p", "Summarize.", vec!["review".into()], 29.0);
+        assert!(q.label_space.is_empty());
+        assert!(q.predicate_label.is_none());
+        assert_eq!(q.output_tokens_mean, 29.0);
+    }
+
+    #[test]
+    fn aggregation_builds_label_space() {
+        let q = LlmQuery::aggregation("a", "Rate 1-5.", vec!["review".into()], (1, 5), 2.0);
+        assert_eq!(q.label_space, vec!["1", "2", "3", "4", "5"]);
+    }
+
+    #[test]
+    fn key_field_builder() {
+        let q = LlmQuery::rag(
+            "r",
+            "Answer SUPPORTS or REFUTES.",
+            vec!["claim".into(), "evidence1".into()],
+            vec!["SUPPORTS".into(), "REFUTES".into()],
+            3.0,
+        )
+        .with_key_field("claim");
+        assert_eq!(q.key_field.as_deref(), Some("claim"));
+    }
+
+    #[test]
+    fn instruction_matches_appendix_c_shape() {
+        let q = LlmQuery::projection("p", "QUERY TEXT", vec!["x".into()], 10.0);
+        let inst = q.full_instruction();
+        assert!(inst.starts_with("You are a data analyst."));
+        assert!(inst.contains("QUERY TEXT"));
+        assert!(inst.ends_with("Given the following data:\n"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Table schemas.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// UTF-8 text.
+    Str,
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Str => "str",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered collection of fields.
+///
+/// # Examples
+///
+/// ```
+/// use llmqo_relational::{DataType, Field, Schema};
+/// let schema = Schema::new(vec![
+///     Field::new("review", DataType::Str),
+///     Field::new("rating", DataType::Int),
+/// ]);
+/// assert_eq!(schema.index_of("rating"), Some(1));
+/// assert_eq!(schema.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// A schema of all-string fields with the given names (the common case
+    /// for LLM-facing tables).
+    pub fn of_strings(names: &[&str]) -> Self {
+        Schema {
+            fields: names
+                .iter()
+                .map(|n| Field::new(*n, DataType::Str))
+                .collect(),
+        }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// The field at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Index of the field named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// All field names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::of_strings(&["a", "b", "c"]);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.names(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn typed_fields() {
+        let s = Schema::new(vec![
+            Field::new("x", DataType::Int),
+            Field::new("y", DataType::Bool),
+        ]);
+        assert_eq!(s.field(0).dtype, DataType::Int);
+        assert_eq!(s.field(1).dtype.to_string(), "bool");
+    }
+
+    #[test]
+    fn datatype_display() {
+        assert_eq!(DataType::Str.to_string(), "str");
+        assert_eq!(DataType::Float.to_string(), "float");
+    }
+}

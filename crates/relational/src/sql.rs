@@ -1,0 +1,867 @@
+//! A SQL front-end for LLM queries — the interface the paper's §1 examples
+//! are written in:
+//!
+//! ```sql
+//! SELECT movietitle FROM movies
+//! WHERE LLM('Is this movie suitable for kids? Answer Yes or No.',
+//!           movieinfo, reviewcontent, movietitle) = 'Yes'
+//! ```
+//!
+//! The dialect covers exactly what the paper's workloads need: `LLM(...)`
+//! calls in the projection (T2), in the `WHERE` clause (T1), both at once
+//! (T3 multi-invocation), and inside `AVG(...)` (T4). Statements compile to
+//! [`LlmQuery`] plans and run through [`SqlRunner`] with any
+//! [`Reorderer`] — so an analyst's query string goes through the same
+//! reorder-then-serve pipeline as the programmatic API.
+
+use crate::exec::{ExecError, QueryExecutor, QueryOutput};
+use crate::query::LlmQuery;
+use crate::table::Table;
+use llmqo_core::{FunctionalDeps, Reorderer};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from parsing or executing SQL.
+#[derive(Debug)]
+pub enum SqlError {
+    /// The statement did not lex/parse.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// Byte offset of the offending token.
+        offset: usize,
+    },
+    /// The referenced table is not registered.
+    UnknownTable {
+        /// The missing table name.
+        name: String,
+    },
+    /// Execution failed downstream.
+    Exec(ExecError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            SqlError::UnknownTable { name } => write!(f, "unknown table {name}"),
+            SqlError::Exec(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<ExecError> for SqlError {
+    fn from(e: ExecError) -> Self {
+        SqlError::Exec(e)
+    }
+}
+
+/// One `LLM('prompt', field, …)` call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LlmCall {
+    /// The instruction text.
+    pub prompt: String,
+    /// Referenced fields; `*` expands to the table's full schema.
+    pub fields: Vec<String>,
+    /// Whether `*` was used.
+    pub star: bool,
+}
+
+/// What the SELECT list asks for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Projection {
+    /// Plain columns only.
+    Columns(Vec<String>),
+    /// A projection LLM call (optionally aliased).
+    Llm {
+        /// The call.
+        call: LlmCall,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+    /// `AVG(LLM(...))` aggregation.
+    AvgLlm {
+        /// The call.
+        call: LlmCall,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlStatement {
+    /// The SELECT list.
+    pub projection: Projection,
+    /// Source table name.
+    pub table: String,
+    /// `WHERE LLM(...) = 'label'` predicate, with the comparison label and
+    /// whether the comparison is negated (`<>`).
+    pub filter: Option<(LlmCall, String, bool)>,
+    /// Optional `LIMIT n`.
+    pub limit: Option<usize>,
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Number(usize),
+    LParen,
+    RParen,
+    Comma,
+    Star,
+    Eq,
+    Neq,
+}
+
+fn lex(input: &str) -> Result<Vec<(Tok, usize)>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, i));
+                i += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, i));
+                i += 1;
+            }
+            '*' => {
+                out.push((Tok::Star, i));
+                i += 1;
+            }
+            '=' => {
+                out.push((Tok::Eq, i));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push((Tok::Neq, i));
+                    i += 2;
+                } else {
+                    return Err(SqlError::Parse {
+                        message: "expected '<>'".into(),
+                        offset: i,
+                    });
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(j) {
+                        Some(b'\'') if bytes.get(j + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            j += 2;
+                        }
+                        Some(b'\'') => break,
+                        Some(&b) => {
+                            s.push(b as char);
+                            j += 1;
+                        }
+                        None => {
+                            return Err(SqlError::Parse {
+                                message: "unterminated string literal".into(),
+                                offset: i,
+                            })
+                        }
+                    }
+                }
+                out.push((Tok::Str(s), i));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let n: usize = input[start..i].parse().map_err(|_| SqlError::Parse {
+                    message: "number out of range".into(),
+                    offset: start,
+                })?;
+                out.push((Tok::Number(n), start));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_alphanumeric() || ch == '_' || ch == '.' || ch == '/' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Tok::Ident(input[start..i].to_string()), start));
+            }
+            _ => {
+                return Err(SqlError::Parse {
+                    message: format!("unexpected character {c:?}"),
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(0, |(_, o)| *o)
+    }
+
+    fn err(&self, message: impl Into<String>) -> SqlError {
+        SqlError::Parse {
+            message: message.into(),
+            offset: self.offset(),
+        }
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err(format!("expected {kw}")))
+            }
+        }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn parse_llm_call(&mut self) -> Result<LlmCall, SqlError> {
+        self.expect_keyword("LLM")?;
+        match self.next() {
+            Some(Tok::LParen) => {}
+            _ => return Err(self.err("expected '(' after LLM")),
+        }
+        let prompt = match self.next() {
+            Some(Tok::Str(s)) => s,
+            _ => return Err(self.err("expected prompt string literal")),
+        };
+        let mut fields = Vec::new();
+        let mut star = false;
+        while matches!(self.peek(), Some(Tok::Comma)) {
+            self.next();
+            match self.next() {
+                Some(Tok::Ident(f)) => {
+                    // `t.*` references arrive as an ident with a trailing dot
+                    // then a star token; `t.field` stays a plain ident whose
+                    // table qualifier we strip.
+                    if let Some(stripped) = f.strip_suffix('.') {
+                        let _ = stripped;
+                        match self.next() {
+                            Some(Tok::Star) => star = true,
+                            _ => return Err(self.err("expected '*' after qualifier")),
+                        }
+                    } else {
+                        let name = f.rsplit('.').next().unwrap_or(&f).to_string();
+                        fields.push(name);
+                    }
+                }
+                Some(Tok::Star) => star = true,
+                _ => return Err(self.err("expected field reference")),
+            }
+        }
+        match self.next() {
+            Some(Tok::RParen) => {}
+            _ => return Err(self.err("expected ')' closing LLM call")),
+        }
+        Ok(LlmCall {
+            prompt,
+            fields,
+            star,
+        })
+    }
+
+    fn parse_alias(&mut self) -> Result<Option<String>, SqlError> {
+        if self.is_keyword("AS") {
+            self.next();
+            match self.next() {
+                Some(Tok::Ident(a)) => Ok(Some(a)),
+                _ => Err(self.err("expected alias after AS")),
+            }
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn parse(&mut self) -> Result<SqlStatement, SqlError> {
+        self.expect_keyword("SELECT")?;
+        let projection = if self.is_keyword("LLM") {
+            let call = self.parse_llm_call()?;
+            let alias = self.parse_alias()?;
+            Projection::Llm { call, alias }
+        } else if self.is_keyword("AVG") {
+            self.next();
+            match self.next() {
+                Some(Tok::LParen) => {}
+                _ => return Err(self.err("expected '(' after AVG")),
+            }
+            let call = self.parse_llm_call()?;
+            match self.next() {
+                Some(Tok::RParen) => {}
+                _ => return Err(self.err("expected ')' closing AVG")),
+            }
+            let alias = self.parse_alias()?;
+            Projection::AvgLlm { call, alias }
+        } else {
+            let mut cols = Vec::new();
+            loop {
+                match self.next() {
+                    Some(Tok::Ident(c)) => {
+                        cols.push(c.rsplit('.').next().unwrap_or(&c).to_string())
+                    }
+                    Some(Tok::Star) => cols.push("*".to_string()),
+                    _ => return Err(self.err("expected column name")),
+                }
+                if matches!(self.peek(), Some(Tok::Comma)) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+            Projection::Columns(cols)
+        };
+
+        self.expect_keyword("FROM")?;
+        let table = match self.next() {
+            Some(Tok::Ident(t)) => t,
+            _ => return Err(self.err("expected table name")),
+        };
+
+        let mut filter = None;
+        if self.is_keyword("WHERE") {
+            self.next();
+            let call = self.parse_llm_call()?;
+            let negated = match self.next() {
+                Some(Tok::Eq) => false,
+                Some(Tok::Neq) => true,
+                _ => return Err(self.err("expected '=' or '<>' after LLM predicate")),
+            };
+            let label = match self.next() {
+                Some(Tok::Str(s)) => s,
+                _ => return Err(self.err("expected label string literal")),
+            };
+            filter = Some((call, label, negated));
+        }
+
+        let mut limit = None;
+        if self.is_keyword("LIMIT") {
+            self.next();
+            match self.next() {
+                Some(Tok::Number(n)) => limit = Some(n),
+                _ => return Err(self.err("expected row count after LIMIT")),
+            }
+        }
+        if self.peek().is_some() {
+            return Err(self.err("unexpected trailing tokens"));
+        }
+        Ok(SqlStatement {
+            projection,
+            table,
+            filter,
+            limit,
+        })
+    }
+}
+
+/// Parses one statement of the LLM-SQL dialect.
+///
+/// # Errors
+///
+/// [`SqlError::Parse`] with the byte offset of the first offending token.
+///
+/// # Examples
+///
+/// ```
+/// let stmt = llmqo_relational::parse_sql(
+///     "SELECT movietitle FROM movies \
+///      WHERE LLM('Suitable for kids?', movieinfo, reviewcontent) = 'Yes'",
+/// ).unwrap();
+/// assert_eq!(stmt.table, "movies");
+/// assert!(stmt.filter.is_some());
+/// ```
+pub fn parse_sql(input: &str) -> Result<SqlStatement, SqlError> {
+    let toks = lex(input)?;
+    Parser { toks, pos: 0 }.parse()
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Result of running one SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows (stringified values, row-major), in original row order.
+    pub rows: Vec<Vec<String>>,
+    /// The aggregate, for `AVG(LLM(...))` statements.
+    pub aggregate: Option<f64>,
+    /// Per-stage execution outputs (1 for T1/T2/T4, 2 for T3).
+    pub stages: Vec<QueryOutput>,
+}
+
+/// Defaults applied when compiling SQL to [`LlmQuery`] plans (SQL carries no
+/// label spaces or output-length hints).
+#[derive(Debug, Clone)]
+pub struct SqlDefaults {
+    /// Labels assumed for filter predicates when only the compared label is
+    /// known; the compared label is always inserted.
+    pub filter_labels: Vec<String>,
+    /// Mean output tokens for projection calls.
+    pub projection_output_tokens: f64,
+    /// Mean output tokens for filter calls.
+    pub filter_output_tokens: f64,
+    /// Score range for `AVG(LLM(...))`.
+    pub aggregation_range: (i64, i64),
+}
+
+impl Default for SqlDefaults {
+    fn default() -> Self {
+        SqlDefaults {
+            filter_labels: vec!["Yes".into(), "No".into()],
+            projection_output_tokens: 32.0,
+            filter_output_tokens: 2.0,
+            aggregation_range: (1, 5),
+        }
+    }
+}
+
+/// Executes LLM-SQL statements against registered tables through a
+/// [`QueryExecutor`] and a [`Reorderer`].
+pub struct SqlRunner<'a> {
+    executor: &'a QueryExecutor<'a>,
+    reorderer: &'a dyn Reorderer,
+    defaults: SqlDefaults,
+    catalog: HashMap<String, (&'a Table, &'a FunctionalDeps)>,
+}
+
+impl<'a> fmt::Debug for SqlRunner<'a> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SqlRunner")
+            .field("tables", &self.catalog.keys().collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SqlRunner<'a> {
+    /// Creates a runner.
+    pub fn new(executor: &'a QueryExecutor<'a>, reorderer: &'a dyn Reorderer) -> Self {
+        SqlRunner {
+            executor,
+            reorderer,
+            defaults: SqlDefaults::default(),
+            catalog: HashMap::new(),
+        }
+    }
+
+    /// Overrides compilation defaults.
+    pub fn with_defaults(mut self, defaults: SqlDefaults) -> Self {
+        self.defaults = defaults;
+        self
+    }
+
+    /// Registers a table under `name`.
+    pub fn register(&mut self, name: impl Into<String>, table: &'a Table, fds: &'a FunctionalDeps) {
+        self.catalog.insert(name.into(), (table, fds));
+    }
+
+    fn resolve_fields(&self, call: &LlmCall, table: &Table) -> Vec<String> {
+        if call.star || call.fields.is_empty() {
+            table.schema().names().iter().map(|s| s.to_string()).collect()
+        } else {
+            call.fields.clone()
+        }
+    }
+
+    /// Parses and executes `sql`, supplying ground truth per row via `truth`.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError`] on parse, catalog, or execution failure.
+    pub fn run(
+        &self,
+        sql: &str,
+        truth: &dyn Fn(usize) -> String,
+    ) -> Result<SqlResult, SqlError> {
+        let stmt = parse_sql(sql)?;
+        let &(table, fds) = self
+            .catalog
+            .get(&stmt.table)
+            .ok_or_else(|| SqlError::UnknownTable {
+                name: stmt.table.clone(),
+            })?;
+
+        let mut stages: Vec<QueryOutput> = Vec::new();
+
+        // WHERE stage (if any) narrows the row set.
+        let mut selected: Option<Vec<usize>> = None;
+        if let Some((call, label, negated)) = &stmt.filter {
+            let mut labels = self.defaults.filter_labels.clone();
+            if !labels.contains(label) {
+                labels.insert(0, label.clone());
+            }
+            let query = LlmQuery::filter(
+                format!("sql-where-{}", stmt.table),
+                call.prompt.clone(),
+                self.resolve_fields(call, table),
+                labels,
+                label.clone(),
+                self.defaults.filter_output_tokens,
+            );
+            let out = self
+                .executor
+                .execute(table, &query, self.reorderer, fds, truth)?;
+            let mut rows: Vec<usize> = if *negated {
+                let keep: std::collections::HashSet<usize> =
+                    out.selected_rows.iter().copied().collect();
+                (0..table.nrows()).filter(|r| !keep.contains(r)).collect()
+            } else {
+                out.selected_rows.clone()
+            };
+            rows.sort_unstable();
+            selected = Some(rows);
+            stages.push(out);
+        }
+
+        // Projection stage.
+        let (columns, rows, aggregate) = match &stmt.projection {
+            Projection::Columns(cols) => {
+                let names: Vec<String> = if cols.iter().any(|c| c == "*") {
+                    table.schema().names().iter().map(|s| s.to_string()).collect()
+                } else {
+                    cols.clone()
+                };
+                let idx = table
+                    .resolve_columns(&names)
+                    .map_err(|e| SqlError::Exec(ExecError::Table(e)))?;
+                let row_ids: Vec<usize> =
+                    selected.unwrap_or_else(|| (0..table.nrows()).collect());
+                let rows: Vec<Vec<String>> = row_ids
+                    .iter()
+                    .map(|&r| idx.iter().map(|&c| table.value(r, c).to_string()).collect())
+                    .collect();
+                (names, rows, None)
+            }
+            Projection::Llm { call, alias } => {
+                let name = alias.clone().unwrap_or_else(|| "llm".to_string());
+                let query = LlmQuery::projection(
+                    format!("sql-select-{}", stmt.table),
+                    call.prompt.clone(),
+                    self.resolve_fields(call, table),
+                    self.defaults.projection_output_tokens,
+                );
+                let (work_table, row_map): (Table, Vec<usize>) = match &selected {
+                    Some(rows) => (table.select_rows(rows), rows.clone()),
+                    None => (table.clone(), (0..table.nrows()).collect()),
+                };
+                let mapped_truth = |local: usize| truth(row_map[local]);
+                let out = self.executor.execute(
+                    &work_table,
+                    &query,
+                    self.reorderer,
+                    fds,
+                    &mapped_truth,
+                )?;
+                let rows = out.outputs.iter().map(|o| vec![o.text.clone()]).collect();
+                stages.push(out);
+                (vec![name], rows, None)
+            }
+            Projection::AvgLlm { call, alias } => {
+                let name = alias.clone().unwrap_or_else(|| "avg".to_string());
+                let (lo, hi) = self.defaults.aggregation_range;
+                let query = LlmQuery::aggregation(
+                    format!("sql-avg-{}", stmt.table),
+                    call.prompt.clone(),
+                    self.resolve_fields(call, table),
+                    (lo, hi),
+                    self.defaults.filter_output_tokens,
+                );
+                let out = self
+                    .executor
+                    .execute(table, &query, self.reorderer, fds, truth)?;
+                let agg = out.aggregate;
+                stages.push(out);
+                (
+                    vec![name],
+                    vec![vec![agg.map_or("null".into(), |a| format!("{a:.3}"))]],
+                    agg,
+                )
+            }
+        };
+
+        let mut rows = rows;
+        if let Some(n) = stmt.limit {
+            rows.truncate(n);
+        }
+        Ok(SqlResult {
+            columns,
+            rows,
+            aggregate,
+            stages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use llmqo_core::Ggr;
+    use llmqo_serve::{
+        Deployment, EngineConfig, GpuCluster, GpuSpec, ModelSpec, OracleLlm, SimEngine,
+    };
+    use llmqo_tokenizer::Tokenizer;
+
+    #[test]
+    fn parses_filter_statement() {
+        let stmt = parse_sql(
+            "SELECT movietitle FROM movies \
+             WHERE LLM('kids?', movieinfo, reviewcontent) = 'Yes'",
+        )
+        .unwrap();
+        assert_eq!(stmt.table, "movies");
+        assert_eq!(stmt.projection, Projection::Columns(vec!["movietitle".into()]));
+        let (call, label, negated) = stmt.filter.unwrap();
+        assert_eq!(call.prompt, "kids?");
+        assert_eq!(call.fields, vec!["movieinfo", "reviewcontent"]);
+        assert_eq!(label, "Yes");
+        assert!(!negated);
+    }
+
+    #[test]
+    fn parses_projection_with_star_and_alias() {
+        let stmt = parse_sql("SELECT LLM('Summarize: ', pr.*) AS summary FROM pr").unwrap();
+        match stmt.projection {
+            Projection::Llm { call, alias } => {
+                assert!(call.star);
+                assert_eq!(alias.as_deref(), Some("summary"));
+            }
+            other => panic!("unexpected projection {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_aggregation() {
+        let stmt =
+            parse_sql("SELECT AVG(LLM('Rate 1-5', reviewcontent)) AS score FROM movies")
+                .unwrap();
+        assert!(matches!(stmt.projection, Projection::AvgLlm { .. }));
+    }
+
+    #[test]
+    fn parses_negated_predicate_and_limit() {
+        let stmt = parse_sql(
+            "SELECT * FROM t WHERE LLM('sentiment', review) <> 'NEGATIVE' LIMIT 5",
+        )
+        .unwrap();
+        assert!(stmt.filter.unwrap().2);
+        assert_eq!(stmt.limit, Some(5));
+    }
+
+    #[test]
+    fn string_escapes_and_case_insensitive_keywords() {
+        let stmt = parse_sql("select llm('it''s fine', a) from t").unwrap();
+        match stmt.projection {
+            Projection::Llm { call, .. } => assert_eq!(call.prompt, "it's fine"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn qualified_field_names_are_stripped() {
+        let stmt = parse_sql("SELECT LLM('x', r.review, p.title) FROM rp").unwrap();
+        match stmt.projection {
+            Projection::Llm { call, .. } => {
+                assert_eq!(call.fields, vec!["review", "title"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let err = parse_sql("SELECT FROM t").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }));
+        assert!(!err.to_string().is_empty());
+        assert!(parse_sql("SELECT a FROM t WHERE LLM('x' a) = 'Y'").is_err());
+        assert!(parse_sql("SELECT a FROM t trailing garbage").is_err());
+        assert!(parse_sql("SELECT a FROM t WHERE LLM('unterminated) = 'Y'").is_err());
+    }
+
+    fn fixture() -> (Table, FunctionalDeps) {
+        let mut t = Table::new(Schema::of_strings(&["review", "product"]));
+        for i in 0..30 {
+            t.push_row(vec![
+                format!("review {i} with details").into(),
+                format!("product {}", i / 10).into(),
+            ])
+            .unwrap();
+        }
+        (t, FunctionalDeps::empty(2))
+    }
+
+    fn engine() -> SimEngine {
+        SimEngine::new(
+            Deployment::new(ModelSpec::llama3_8b(), GpuCluster::single(GpuSpec::l4())),
+            EngineConfig::default(),
+        )
+    }
+
+    #[test]
+    fn runs_filter_statement_end_to_end() {
+        let (table, fds) = fixture();
+        let eng = engine();
+        let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let solver = Ggr::default();
+        let mut runner = SqlRunner::new(&executor, &solver);
+        runner.register("tickets", &table, &fds);
+        let truth = |row: usize| if row.is_multiple_of(2) { "Yes".into() } else { "No".into() };
+        let res = runner
+            .run(
+                "SELECT review FROM tickets WHERE LLM('good?', review, product) = 'Yes'",
+                &truth,
+            )
+            .unwrap();
+        assert_eq!(res.columns, vec!["review"]);
+        assert_eq!(res.rows.len(), 15);
+        assert!(res.rows[0][0].starts_with("review 0"));
+        assert_eq!(res.stages.len(), 1);
+    }
+
+    #[test]
+    fn runs_projection_over_filtered_rows() {
+        let (table, fds) = fixture();
+        let eng = engine();
+        let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let solver = Ggr::default();
+        let mut runner = SqlRunner::new(&executor, &solver);
+        runner.register("t", &table, &fds);
+        // Oracle truth: filter keeps rows < 10; projection echoes summaries.
+        let truth = |row: usize| {
+            if row < 10 {
+                "Yes".to_string()
+            } else {
+                "No".to_string()
+            }
+        };
+        let res = runner
+            .run(
+                "SELECT LLM('summarize', review, product) AS s FROM t \
+                 WHERE LLM('keep?', review) = 'Yes'",
+                &truth,
+            )
+            .unwrap();
+        // Stage 2 ran over the 10 selected rows; truths are "Yes" because
+        // the oracle echoes the (filter-style) truth function.
+        assert_eq!(res.columns, vec!["s"]);
+        assert_eq!(res.rows.len(), 10);
+        assert_eq!(res.stages.len(), 2);
+    }
+
+    #[test]
+    fn runs_aggregation() {
+        let (table, fds) = fixture();
+        let eng = engine();
+        let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let solver = Ggr::default();
+        let mut runner = SqlRunner::new(&executor, &solver);
+        runner.register("t", &table, &fds);
+        let truth = |row: usize| ((row % 5) + 1).to_string();
+        let res = runner
+            .run("SELECT AVG(LLM('rate', review, product)) AS score FROM t", &truth)
+            .unwrap();
+        assert_eq!(res.aggregate, Some(3.0));
+        assert_eq!(res.rows, vec![vec!["3.000".to_string()]]);
+    }
+
+    #[test]
+    fn negated_filter_complements() {
+        let (table, fds) = fixture();
+        let eng = engine();
+        let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let solver = Ggr::default();
+        let mut runner = SqlRunner::new(&executor, &solver);
+        runner.register("t", &table, &fds);
+        let truth = |row: usize| if row < 12 { "Yes".into() } else { "No".into() };
+        let res = runner
+            .run("SELECT review FROM t WHERE LLM('keep?', review) <> 'Yes'", &truth)
+            .unwrap();
+        assert_eq!(res.rows.len(), 18);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let (table, fds) = fixture();
+        let eng = engine();
+        let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let solver = Ggr::default();
+        let mut runner = SqlRunner::new(&executor, &solver);
+        runner.register("t", &table, &fds);
+        let truth = |_: usize| "Yes".to_string();
+        let res = runner
+            .run("SELECT * FROM t LIMIT 3", &truth)
+            .unwrap();
+        assert_eq!(res.rows.len(), 3);
+        assert_eq!(res.columns.len(), 2);
+    }
+
+    #[test]
+    fn unknown_table_is_reported() {
+        let (table, fds) = fixture();
+        let eng = engine();
+        let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let solver = Ggr::default();
+        let mut runner = SqlRunner::new(&executor, &solver);
+        runner.register("t", &table, &fds);
+        let truth = |_: usize| String::new();
+        assert!(matches!(
+            runner.run("SELECT a FROM missing", &truth),
+            Err(SqlError::UnknownTable { .. })
+        ));
+    }
+}

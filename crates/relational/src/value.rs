@@ -1,0 +1,136 @@
+//! Cell values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A typed relational cell value.
+///
+/// Values serialize into prompt fragments with [`fmt::Display`]; two cells
+/// are "the same" for caching purposes iff their serialized text is equal
+/// (the paper's exact-match assumption, §3.1).
+///
+/// # Examples
+///
+/// ```
+/// use llmqo_relational::Value;
+/// assert_eq!(Value::Str("Fresh".into()).to_string(), "Fresh");
+/// assert_eq!(Value::Bool(true).to_string(), "true");
+/// assert_eq!(Value::Null.to_string(), "null");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// UTF-8 text.
+    Str(String),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// The contained string, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Human-readable type name (for error messages).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "str",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "bool",
+            Value::Null => "null",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => f.write_str(s),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => f.write_str("null"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_semantics() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+        assert_eq!(Value::Str(String::new()).to_string(), "");
+    }
+
+    #[test]
+    fn as_str_only_for_strings() {
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Int(1).as_str(), None);
+        assert_eq!(Value::Null.as_str(), None);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from("a"), Value::Str("a".into()));
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(1.5f64), Value::Float(1.5));
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::Float(0.0).type_name(), "float");
+    }
+
+    #[test]
+    fn equal_text_means_equal_prompt_fragment() {
+        // The exact-match caching identity is the serialized text.
+        assert_eq!(Value::Int(5).to_string(), Value::Int(5).to_string());
+        assert_ne!(Value::Int(5).to_string(), Value::Float(5.0).to_string().as_str().repeat(2));
+    }
+}

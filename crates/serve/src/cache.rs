@@ -1,0 +1,662 @@
+//! Paged KV cache with hash-chain prefix reuse (the vLLM/SGLang stand-in).
+//!
+//! Tokens are grouped into fixed-size **blocks** (16 tokens by default, as in
+//! vLLM). A block's identity is the hash of its content chained with its
+//! parent block's hash, so equal *prefixes* — not just equal blocks — map to
+//! equal chains, exactly like vLLM's automatic prefix caching. Properties
+//! modeled:
+//!
+//! * **Sharing**: admitting a sequence whose prefix chain already exists
+//!   reuses those blocks (refcounted), consuming no new memory.
+//! * **Computed-ness**: a shared block only saves *compute* once some
+//!   request's prefill has actually produced it; concurrent requests with the
+//!   same cold prefix share memory but both pay the FLOPs.
+//! * **Eviction**: LRU over refcount-0 *leaf* blocks (evicting an interior
+//!   block would orphan its children's chain identity).
+//! * **Private blocks**: the prompt's partial tail block and all decode
+//!   (generated) tokens are per-sequence and never shared.
+//!
+//! Disabling the cache (`enabled = false`) gives the paper's *No Cache*
+//! baseline: every block is private and every token is computed.
+
+use llmqo_tokenizer::TokenId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// Configuration of the KV block cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Tokens per KV block.
+    pub block_size: usize,
+    /// Total block capacity (derived from GPU memory minus weights).
+    pub capacity_blocks: usize,
+    /// Whether prefix sharing is enabled.
+    pub enabled: bool,
+    /// Whether a block that exists but has not finished prefill counts as a
+    /// compute hit. `true` models SGLang RadixAttention / cascade-inference
+    /// style serving where concurrent same-prefix requests are deduplicated
+    /// (the setting the paper's measured hit rates imply); `false` models
+    /// strict vLLM-v0 semantics where only *computed* blocks are reused.
+    pub share_in_flight: bool,
+}
+
+/// Allocation handle for one admitted sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqAlloc {
+    /// Hashes of the sequence's full prompt blocks, in chain order.
+    chain: Vec<u64>,
+    /// Private (unshared) blocks reserved: prompt tail + decode tokens.
+    private_blocks: usize,
+    /// Prompt tokens whose blocks were already computed at admission.
+    pub cached_tokens: usize,
+    /// Total prompt tokens.
+    pub prompt_tokens: usize,
+}
+
+/// Aggregate statistics over a cache's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Sequences admitted.
+    pub admitted: u64,
+    /// Prompt tokens across admitted sequences.
+    pub total_prompt_tokens: u64,
+    /// Prompt tokens served from computed cached blocks.
+    pub cached_tokens: u64,
+    /// Blocks evicted to make room.
+    pub evictions: u64,
+    /// Peak simultaneous blocks in use (shared + private).
+    pub peak_blocks: usize,
+}
+
+#[derive(Debug)]
+struct BlockEntry {
+    parent: Option<u64>,
+    refcount: u32,
+    children: u32,
+    computed: bool,
+    last_used: u64,
+}
+
+/// The paged prefix cache. See the [module docs](self) for semantics.
+#[derive(Debug)]
+pub struct PrefixCache {
+    config: CacheConfig,
+    blocks: HashMap<u64, BlockEntry>,
+    /// Blocks with `refcount == 0 && children == 0`, ordered by last use.
+    evictable: BTreeSet<(u64, u64)>,
+    /// Count of blocks with `refcount == 0`. Because a sequence references
+    /// its *entire* chain, a refcount-0 block can only have refcount-0
+    /// descendants, so every such block is reclaimable (in leaf-first
+    /// cascade order).
+    rc0_blocks: usize,
+    private_blocks: usize,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl PrefixCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.block_size > 0, "block_size must be positive");
+        PrefixCache {
+            config,
+            blocks: HashMap::new(),
+            evictable: BTreeSet::new(),
+            rc0_blocks: 0,
+            private_blocks: 0,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Blocks currently unoccupied.
+    pub fn free_blocks(&self) -> usize {
+        self.config
+            .capacity_blocks
+            .saturating_sub(self.blocks.len() + self.private_blocks)
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Number of prompt tokens of `tokens` that would be served from
+    /// already-computed cached blocks right now (no state change).
+    pub fn probe(&self, tokens: &[TokenId]) -> usize {
+        if !self.config.enabled {
+            return 0;
+        }
+        let bs = self.config.block_size;
+        let mut parent: Option<u64> = None;
+        let mut cached = 0usize;
+        for block in tokens.chunks_exact(bs) {
+            let h = chain_hash(parent, block);
+            match self.blocks.get(&h) {
+                Some(e) if e.computed || self.config.share_in_flight => cached += bs,
+                _ => break,
+            }
+            parent = Some(h);
+        }
+        cached
+    }
+
+    /// Tries to admit a sequence with the given prompt and a reservation for
+    /// `decode_tokens` generated tokens. Returns `None` if memory does not
+    /// allow it right now (the caller should retry after completions).
+    pub fn try_admit(&mut self, tokens: &[TokenId], decode_tokens: usize) -> Option<SeqAlloc> {
+        let bs = self.config.block_size;
+        let prompt_tokens = tokens.len();
+        self.clock += 1;
+
+        if !self.config.enabled {
+            let needed = (prompt_tokens + decode_tokens).div_ceil(bs);
+            if needed > self.free_blocks() {
+                return None;
+            }
+            self.private_blocks += needed;
+            self.note_admission(prompt_tokens, 0);
+            return Some(SeqAlloc {
+                chain: Vec::new(),
+                private_blocks: needed,
+                cached_tokens: 0,
+                prompt_tokens,
+            });
+        }
+
+        // Walk the chain of full prompt blocks.
+        let full = prompt_tokens / bs;
+        let tail = prompt_tokens % bs;
+        let mut chain = Vec::with_capacity(full);
+        let mut exists = Vec::with_capacity(full);
+        let mut parent: Option<u64> = None;
+        let mut missing = 0usize;
+        let mut revivable = 0usize; // existing rc==0 blocks in our chain (must not evict)
+        let mut cached_tokens = 0usize;
+        let mut prefix_computed = true;
+        for block in tokens.chunks_exact(bs) {
+            let h = chain_hash(parent, block);
+            match self.blocks.get(&h) {
+                Some(e) => {
+                    exists.push(true);
+                    if e.refcount == 0 {
+                        revivable += 1;
+                    }
+                    if prefix_computed && (e.computed || self.config.share_in_flight) {
+                        cached_tokens += bs;
+                    } else {
+                        prefix_computed = false;
+                    }
+                }
+                None => {
+                    exists.push(false);
+                    missing += 1;
+                    prefix_computed = false;
+                }
+            }
+            chain.push(h);
+            parent = Some(h);
+        }
+        let private = (tail + decode_tokens).div_ceil(bs);
+        // Every rc==0 block is reclaimable via leaf-first cascade, except the
+        // ones in our own chain, which we are about to revive.
+        let supply = self.free_blocks() + self.rc0_blocks.saturating_sub(revivable);
+        if missing + private > supply {
+            return None;
+        }
+
+        // Phase A: pin every existing chain block so evictions during phase B
+        // cannot touch them.
+        for (&h, &present) in chain.iter().zip(&exists) {
+            if !present {
+                continue;
+            }
+            let e = self.blocks.get_mut(&h).expect("walked above");
+            if e.refcount == 0 {
+                self.rc0_blocks -= 1;
+                if e.children == 0 {
+                    self.evictable.remove(&(e.last_used, h));
+                }
+            }
+            e.refcount += 1;
+            e.last_used = self.clock;
+        }
+        // Phase B: create missing blocks, evicting LRU leaves as needed.
+        for (i, (&h, &present)) in chain.iter().zip(&exists).enumerate() {
+            if present {
+                continue;
+            }
+            self.make_room();
+            let chain_parent = if i == 0 { None } else { Some(chain[i - 1]) };
+            self.blocks.insert(
+                h,
+                BlockEntry {
+                    parent: chain_parent,
+                    refcount: 1,
+                    children: 0,
+                    computed: false,
+                    last_used: self.clock,
+                },
+            );
+            if let Some(p) = chain_parent {
+                self.blocks
+                    .get_mut(&p)
+                    .expect("parent is pinned or was created earlier")
+                    .children += 1;
+            }
+        }
+        while self.free_blocks() < private {
+            self.evict_one().expect("supply was checked before commit");
+        }
+        self.private_blocks += private;
+        self.note_admission(prompt_tokens, cached_tokens);
+        Some(SeqAlloc {
+            chain,
+            private_blocks: private,
+            cached_tokens,
+            prompt_tokens,
+        })
+    }
+
+    /// Marks the sequence's prompt blocks as computed up to
+    /// `prefilled_tokens`, making them compute-reusable by later admissions.
+    pub fn mark_computed(&mut self, alloc: &SeqAlloc, prefilled_tokens: usize) {
+        let bs = self.config.block_size;
+        for &h in alloc.chain.iter().take(prefilled_tokens / bs) {
+            if let Some(e) = self.blocks.get_mut(&h) {
+                e.computed = true;
+            }
+        }
+    }
+
+    /// Releases a completed sequence: dereferences its shared chain (blocks
+    /// stay cached until evicted) and frees its private blocks.
+    pub fn release(&mut self, alloc: SeqAlloc) {
+        self.clock += 1;
+        for &h in alloc.chain.iter().rev() {
+            let e = self
+                .blocks
+                .get_mut(&h)
+                .expect("released chain block must exist");
+            debug_assert!(e.refcount > 0, "double release");
+            e.refcount -= 1;
+            e.last_used = self.clock;
+            if e.refcount == 0 {
+                self.rc0_blocks += 1;
+                if e.children == 0 {
+                    self.evictable.insert((e.last_used, h));
+                }
+            }
+        }
+        self.private_blocks = self
+            .private_blocks
+            .saturating_sub(alloc.private_blocks);
+    }
+
+    /// Evicts one LRU leaf block. Returns `None` if nothing is evictable.
+    fn evict_one(&mut self) -> Option<u64> {
+        let &(stamp, h) = self.evictable.iter().next()?;
+        self.evictable.remove(&(stamp, h));
+        let entry = self.blocks.remove(&h).expect("evictable block exists");
+        self.rc0_blocks -= 1;
+        self.stats.evictions += 1;
+        if let Some(p) = entry.parent {
+            if let Some(pe) = self.blocks.get_mut(&p) {
+                pe.children -= 1;
+                if pe.refcount == 0 && pe.children == 0 {
+                    self.evictable.insert((pe.last_used, p));
+                }
+            }
+        }
+        Some(h)
+    }
+
+    /// Frees one block slot if none is free.
+    fn make_room(&mut self) {
+        if self.free_blocks() == 0 {
+            self.evict_one()
+                .expect("caller verified supply before committing");
+        }
+    }
+
+    fn note_admission(&mut self, prompt_tokens: usize, cached_tokens: usize) {
+        self.stats.admitted += 1;
+        self.stats.total_prompt_tokens += prompt_tokens as u64;
+        self.stats.cached_tokens += cached_tokens as u64;
+        self.stats.peak_blocks = self
+            .stats
+            .peak_blocks
+            .max(self.blocks.len() + self.private_blocks);
+    }
+}
+
+/// Hash chaining a block's tokens onto its parent prefix hash.
+fn chain_hash(parent: Option<u64>, tokens: &[TokenId]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    let p = parent.unwrap_or(0x9e37_79b9_7f4a_7c15);
+    for byte in p.to_le_bytes() {
+        h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+    }
+    for &t in tokens {
+        for byte in t.to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Strict (vLLM-v0) semantics: only computed blocks are compute hits.
+    fn cache(capacity: usize) -> PrefixCache {
+        PrefixCache::new(CacheConfig {
+            block_size: 4,
+            capacity_blocks: capacity,
+            enabled: true,
+            share_in_flight: false,
+        })
+    }
+
+    /// Dedup (SGLang/cascade) semantics: existing blocks are compute hits.
+    fn dedup_cache(capacity: usize) -> PrefixCache {
+        PrefixCache::new(CacheConfig {
+            block_size: 4,
+            capacity_blocks: capacity,
+            enabled: true,
+            share_in_flight: true,
+        })
+    }
+
+    fn toks(n: usize, salt: u32) -> Vec<TokenId> {
+        (0..n as u32).map(|i| i * 7 + salt).collect()
+    }
+
+    #[test]
+    fn first_admission_is_cold() {
+        let mut c = cache(16);
+        let a = c.try_admit(&toks(8, 0), 0).unwrap();
+        assert_eq!(a.cached_tokens, 0);
+        assert_eq!(a.prompt_tokens, 8);
+        assert_eq!(c.free_blocks(), 16 - 2);
+    }
+
+    #[test]
+    fn second_identical_admission_shares_memory_but_not_compute_until_marked() {
+        let mut c = cache(16);
+        let a = c.try_admit(&toks(8, 0), 0).unwrap();
+        // Not yet prefilled: shares memory (no new blocks), zero compute hit.
+        let b = c.try_admit(&toks(8, 0), 0).unwrap();
+        assert_eq!(b.cached_tokens, 0);
+        assert_eq!(c.free_blocks(), 16 - 2, "memory fully shared");
+        // After prefill completes, a third admission hits.
+        c.mark_computed(&a, 8);
+        let d = c.try_admit(&toks(8, 0), 0).unwrap();
+        assert_eq!(d.cached_tokens, 8);
+        c.release(a);
+        c.release(b);
+        c.release(d);
+    }
+
+    #[test]
+    fn in_flight_sharing_dedups_concurrent_prefixes() {
+        let mut c = dedup_cache(16);
+        let _a = c.try_admit(&toks(8, 0), 0).unwrap();
+        // Under cascade/RadixAttention semantics the second request reuses
+        // the in-flight blocks immediately.
+        let b = c.try_admit(&toks(8, 0), 0).unwrap();
+        assert_eq!(b.cached_tokens, 8);
+        assert_eq!(c.probe(&toks(8, 0)), 8);
+        // A genuinely new prefix still misses.
+        let d = c.try_admit(&toks(8, 9), 0).unwrap();
+        assert_eq!(d.cached_tokens, 0);
+    }
+
+    #[test]
+    fn partial_prefix_hits_only_shared_blocks() {
+        let mut c = cache(32);
+        let mut first = toks(8, 0);
+        let a = c.try_admit(&first, 0).unwrap();
+        c.mark_computed(&a, 8);
+        // Same first block (4 tokens), different second block.
+        first[5] ^= 0xffff;
+        let b = c.try_admit(&first, 0).unwrap();
+        assert_eq!(b.cached_tokens, 4);
+    }
+
+    #[test]
+    fn tail_tokens_are_private() {
+        let mut c = cache(16);
+        // 10 tokens = 2 full blocks + 2-token tail; tail is private.
+        let a = c.try_admit(&toks(10, 0), 0).unwrap();
+        assert_eq!(a.prompt_tokens, 10);
+        assert_eq!(c.free_blocks(), 16 - 3);
+        c.mark_computed(&a, 10);
+        let b = c.try_admit(&toks(10, 0), 0).unwrap();
+        // Only the 8 full-block tokens can hit.
+        assert_eq!(b.cached_tokens, 8);
+    }
+
+    #[test]
+    fn decode_reservation_counts() {
+        let mut c = cache(4);
+        // 4-token prompt (1 block) + 9 decode tokens → 3 private blocks.
+        let a = c.try_admit(&toks(4, 0), 9).unwrap();
+        assert_eq!(c.free_blocks(), 0);
+        c.release(a);
+        // Shared block lingers (evictable); private freed.
+        assert_eq!(c.free_blocks(), 3);
+    }
+
+    #[test]
+    fn admission_fails_when_full_and_unreclaimable() {
+        let mut c = cache(2);
+        let _a = c.try_admit(&toks(8, 0), 0).unwrap();
+        assert!(c.try_admit(&toks(8, 1), 0).is_none());
+    }
+
+    #[test]
+    fn eviction_reclaims_released_chains_lru_first() {
+        let mut c = cache(4);
+        let a = c.try_admit(&toks(8, 0), 0).unwrap(); // blocks 1,2
+        let b = c.try_admit(&toks(8, 1), 0).unwrap(); // blocks 3,4
+        c.release(a); // oldest, evictable
+        c.release(b);
+        // New 2-block sequence must evict the LRU leaves (from a's chain).
+        let d = c.try_admit(&toks(8, 2), 0).unwrap();
+        assert_eq!(d.prompt_tokens, 8);
+        assert!(c.stats().evictions >= 2);
+    }
+
+    #[test]
+    fn refcounted_blocks_are_never_evicted() {
+        let mut c = cache(4);
+        let a = c.try_admit(&toks(8, 0), 0).unwrap();
+        c.mark_computed(&a, 8);
+        // Fill the remaining 2 blocks.
+        let b = c.try_admit(&toks(8, 1), 0).unwrap();
+        // No free space, nothing evictable (both chains referenced).
+        assert!(c.try_admit(&toks(8, 2), 0).is_none());
+        // a's blocks survive: re-admitting a's prompt still hits.
+        let probe = c.probe(&toks(8, 0));
+        assert_eq!(probe, 8);
+        c.release(b);
+    }
+
+    #[test]
+    fn revived_chain_blocks_are_not_double_counted_as_supply() {
+        let mut c = cache(2);
+        let a = c.try_admit(&toks(8, 0), 0).unwrap();
+        c.release(a); // both blocks rc=0, leaf+parent: one evictable (leaf)
+        // Re-admitting the same prompt must revive both blocks, not evict
+        // them out from under itself.
+        let b = c.try_admit(&toks(8, 0), 0).unwrap();
+        assert_eq!(b.prompt_tokens, 8);
+        assert_eq!(c.free_blocks(), 0);
+    }
+
+    #[test]
+    fn interior_blocks_not_evicted_before_children() {
+        let mut c = cache(4);
+        let a = c.try_admit(&toks(16, 0), 0).unwrap(); // 4 blocks
+        c.release(a);
+        // Only the deepest block is an evictable leaf; eviction cascades.
+        let b = c.try_admit(&toks(8, 1), 0).unwrap(); // needs 2 blocks
+        assert_eq!(b.prompt_tokens, 8);
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits_and_uses_private_blocks() {
+        let mut c = PrefixCache::new(CacheConfig {
+            block_size: 4,
+            capacity_blocks: 8,
+            enabled: false,
+            share_in_flight: true,
+        });
+        let a = c.try_admit(&toks(8, 0), 0).unwrap();
+        c.mark_computed(&a, 8);
+        let b = c.try_admit(&toks(8, 0), 0).unwrap();
+        assert_eq!(b.cached_tokens, 0);
+        assert_eq!(c.probe(&toks(8, 0)), 0);
+        assert_eq!(c.free_blocks(), 8 - 4);
+        c.release(a);
+        assert_eq!(c.free_blocks(), 8 - 2);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = cache(16);
+        let a = c.try_admit(&toks(8, 0), 0).unwrap();
+        c.mark_computed(&a, 8);
+        let _b = c.try_admit(&toks(8, 0), 0).unwrap();
+        let s = c.stats();
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.total_prompt_tokens, 16);
+        assert_eq!(s.cached_tokens, 8);
+        assert!(s.peak_blocks >= 2);
+    }
+
+    #[test]
+    fn probe_matches_admit_cached_tokens() {
+        let mut c = cache(32);
+        let a = c.try_admit(&toks(12, 3), 0).unwrap();
+        c.mark_computed(&a, 12);
+        let p = c.probe(&toks(12, 3));
+        let b = c.try_admit(&toks(12, 3), 0).unwrap();
+        assert_eq!(p, b.cached_tokens);
+    }
+
+    #[test]
+    fn empty_prompt_is_fine() {
+        let mut c = cache(4);
+        let a = c.try_admit(&[], 3).unwrap();
+        assert_eq!(a.prompt_tokens, 0);
+        assert_eq!(a.cached_tokens, 0);
+        assert_eq!(a.private_blocks, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "block_size must be positive")]
+    fn zero_block_size_panics() {
+        let _ = PrefixCache::new(CacheConfig {
+            block_size: 0,
+            capacity_blocks: 1,
+            enabled: true,
+            share_in_flight: true,
+        });
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A randomized schedule of admissions (with varying prefix sharing,
+    /// tails, decode reservations) and immediate/deferred releases.
+    fn ops_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8, bool)>> {
+        proptest::collection::vec(
+            (0u8..6, 0u8..40, 0u8..12, proptest::bool::ANY),
+            1..80,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Accounting invariants under arbitrary admit/release interleaving:
+        /// usage never exceeds capacity, cached never exceeds total tokens,
+        /// and releasing everything frees all private blocks.
+        #[test]
+        fn accounting_invariants(ops in ops_strategy(), capacity in 4usize..64) {
+            let mut cache = PrefixCache::new(CacheConfig {
+                block_size: 4,
+                capacity_blocks: capacity,
+                enabled: true,
+                share_in_flight: true,
+            });
+            let mut live: Vec<SeqAlloc> = Vec::new();
+            for (family, tail, decode, release_now) in ops {
+                let mut tokens: Vec<u32> = (0..12u32).map(|i| u32::from(family) * 100 + i).collect();
+                tokens.extend((0..u32::from(tail)).map(|i| 500_000 + u32::from(family) * 7919 + i));
+                if let Some(alloc) = cache.try_admit(&tokens, usize::from(decode)) {
+                    prop_assert!(alloc.cached_tokens <= alloc.prompt_tokens);
+                    cache.mark_computed(&alloc, tokens.len());
+                    if release_now {
+                        cache.release(alloc);
+                    } else {
+                        live.push(alloc);
+                    }
+                }
+                prop_assert!(cache.free_blocks() <= capacity);
+                let s = cache.stats();
+                prop_assert!(s.cached_tokens <= s.total_prompt_tokens);
+                prop_assert!(s.peak_blocks <= capacity);
+            }
+            for alloc in live.drain(..) {
+                cache.release(alloc);
+            }
+            // All blocks are now unreferenced: a full-capacity admission of a
+            // fresh sequence must succeed by evicting everything.
+            let fresh: Vec<u32> = (0..(capacity * 4) as u32).map(|i| 900_000 + i).collect();
+            prop_assert!(cache.try_admit(&fresh, 0).is_some());
+        }
+
+        /// Probing never mutates: two probes agree, and a probe agrees with
+        /// what a subsequent admission reports as cached.
+        #[test]
+        fn probe_is_pure_and_consistent(tail in 0u8..32) {
+            let mut cache = PrefixCache::new(CacheConfig {
+                block_size: 4,
+                capacity_blocks: 256,
+                enabled: true,
+                share_in_flight: true,
+            });
+            let mut tokens: Vec<u32> = (0..16).collect();
+            tokens.extend((0..u32::from(tail)).map(|i| 70_000 + i));
+            let a = cache.try_admit(&tokens, 0).unwrap();
+            cache.mark_computed(&a, tokens.len());
+            let p1 = cache.probe(&tokens);
+            let p2 = cache.probe(&tokens);
+            prop_assert_eq!(p1, p2);
+            let b = cache.try_admit(&tokens, 0).unwrap();
+            prop_assert_eq!(p1, b.cached_tokens);
+            // Full blocks only.
+            prop_assert_eq!(b.cached_tokens % 4, 0);
+            prop_assert_eq!(b.cached_tokens, tokens.len() / 4 * 4);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Model specifications.
+//!
+//! The simulator derives its cost model from real architecture shapes: KV
+//! bytes per token follow from layer count, grouped-query KV heads and head
+//! dimension; compute follows from the 2·params FLOPs-per-token rule. The
+//! presets match the models used in the paper's evaluation (§6.1.3 and
+//! Appendix D.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Architecture shape of a served model.
+///
+/// # Examples
+///
+/// ```
+/// use llmqo_serve::ModelSpec;
+/// let m = ModelSpec::llama3_8b();
+/// // 2 (K+V) × 32 layers × 8 KV heads × 128 head dim × 2 bytes = 128 KiB.
+/// assert_eq!(m.kv_bytes_per_token(), 131_072);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Total parameter count.
+    pub params: u64,
+    /// Number of transformer layers.
+    pub layers: u32,
+    /// Grouped-query attention KV heads.
+    pub kv_heads: u32,
+    /// Per-head dimension.
+    pub head_dim: u32,
+    /// Model (hidden) dimension, used for the quadratic attention term.
+    pub hidden: u32,
+    /// Bytes per scalar (2 = fp16/bf16).
+    pub dtype_bytes: u32,
+}
+
+impl ModelSpec {
+    /// Meta-Llama-3-8B-Instruct (the paper's primary model).
+    pub fn llama3_8b() -> Self {
+        ModelSpec {
+            name: "Llama-3-8B-Instruct".to_owned(),
+            params: 8_030_000_000,
+            layers: 32,
+            kv_heads: 8,
+            head_dim: 128,
+            hidden: 4096,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// Meta-Llama-3-70B-Instruct (paper Fig. 5, served on 8×L4).
+    pub fn llama3_70b() -> Self {
+        ModelSpec {
+            name: "Llama-3-70B-Instruct".to_owned(),
+            params: 70_600_000_000,
+            layers: 80,
+            kv_heads: 8,
+            head_dim: 128,
+            hidden: 8192,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// Llama-3.2-1B (paper Appendix D.2, Table 7).
+    pub fn llama3_2_1b() -> Self {
+        ModelSpec {
+            name: "Llama-3.2-1B".to_owned(),
+            params: 1_240_000_000,
+            layers: 16,
+            kv_heads: 8,
+            head_dim: 64,
+            hidden: 2048,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// KV-cache bytes stored per token: `2 · layers · kv_heads · head_dim ·
+    /// dtype_bytes` (key and value vectors for every layer).
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        2 * u64::from(self.layers)
+            * u64::from(self.kv_heads)
+            * u64::from(self.head_dim)
+            * u64::from(self.dtype_bytes)
+    }
+
+    /// Bytes of model weights.
+    pub fn weight_bytes(&self) -> u64 {
+        self.params * u64::from(self.dtype_bytes)
+    }
+
+    /// Dense FLOPs to process or generate one token (2 · params).
+    pub fn flops_per_token(&self) -> f64 {
+        2.0 * self.params as f64
+    }
+
+    /// Extra attention FLOPs for one token attending over a context of
+    /// `context` tokens (≈ 4 · hidden · context for QKᵀ and AV).
+    pub fn attn_flops(&self, context: u64) -> f64 {
+        4.0 * f64::from(self.hidden) * context as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_bytes_match_known_values() {
+        assert_eq!(ModelSpec::llama3_8b().kv_bytes_per_token(), 128 * 1024);
+        assert_eq!(ModelSpec::llama3_70b().kv_bytes_per_token(), 320 * 1024);
+        assert_eq!(ModelSpec::llama3_2_1b().kv_bytes_per_token(), 32 * 1024);
+    }
+
+    #[test]
+    fn weight_bytes_scale_with_params() {
+        let m = ModelSpec::llama3_8b();
+        assert_eq!(m.weight_bytes(), 2 * 8_030_000_000);
+        assert!(ModelSpec::llama3_70b().weight_bytes() > m.weight_bytes());
+    }
+
+    #[test]
+    fn flops_per_token_is_2p() {
+        assert_eq!(ModelSpec::llama3_2_1b().flops_per_token(), 2.48e9);
+    }
+
+    #[test]
+    fn attn_flops_grow_linearly_with_context() {
+        let m = ModelSpec::llama3_8b();
+        assert_eq!(m.attn_flops(200), 2.0 * m.attn_flops(100));
+        assert_eq!(m.attn_flops(0), 0.0);
+    }
+}

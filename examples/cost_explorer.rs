@@ -1,0 +1,59 @@
+//! Sweep prompt-cache hit rates against OpenAI and Anthropic pricing and
+//! find the break-even points (paper §6.3, Table 4's analytical model).
+//!
+//! Notably, Anthropic's 1.25× cache-write premium makes caching a net *loss*
+//! below ≈22% hit rate, while OpenAI's premium-free model always saves.
+//!
+//! ```sh
+//! cargo run --release --example cost_explorer
+//! ```
+
+use llmqo::costmodel::Pricing;
+
+fn main() {
+    let providers = [Pricing::gpt4o_mini(), Pricing::claude35_sonnet()];
+    println!(
+        "{:<10} {:>14} {:>16}",
+        "hit rate", "GPT-4o-mini", "Claude 3.5 Sonnet"
+    );
+    for pct in (0..=100).step_by(10) {
+        let phr = pct as f64 / 100.0;
+        let cells: Vec<String> = providers
+            .iter()
+            .map(|p| {
+                let ratio = p.estimated_cost_ratio(phr);
+                format!("{:>6.1}% of base", ratio * 100.0)
+            })
+            .collect();
+        println!("{:<10} {:>14} {:>16}", format!("{pct}%"), cells[0], cells[1]);
+    }
+
+    // Break-even hit rate for Anthropic: (write − input) / (write − read).
+    let a = Pricing::claude35_sonnet();
+    let breakeven =
+        (a.write_per_mtok - a.input_per_mtok) / (a.write_per_mtok - a.cached_per_mtok);
+    println!(
+        "\nAnthropic caching only pays off above a {:.1}% hit rate (write premium).",
+        breakeven * 100.0
+    );
+
+    // The paper's Table 2 hit rates, priced:
+    println!("\nPaper Table 2 hit rates → estimated savings of GGR over original:");
+    let rows = [
+        ("Movies", 0.346, 0.857),
+        ("Products", 0.267, 0.833),
+        ("BIRD", 0.104, 0.848),
+        ("PDMX", 0.118, 0.566),
+        ("Beer", 0.499, 0.801),
+        ("FEVER", 0.112, 0.674),
+        ("SQuAD", 0.110, 0.697),
+    ];
+    for (name, orig, ggr) in rows {
+        println!(
+            "  {:<9} OpenAI {:>5.1}%   Anthropic {:>5.1}%",
+            name,
+            providers[0].estimated_savings(orig, ggr) * 100.0,
+            providers[1].estimated_savings(orig, ggr) * 100.0,
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! A FEVER-style RAG pipeline (paper T5): embed an evidence corpus, retrieve
+//! top-k passages per claim through the vector index, build the claim ×
+//! evidence table, and execute the verification query under both orderings.
+//!
+//! Shared popular evidence is what makes RAG tables reorderable: GGR hoists
+//! the contexts common to adjacent claims to the front of each prompt.
+//!
+//! ```sh
+//! cargo run --release --example rag_pipeline
+//! ```
+
+use llmqo::core::{FunctionalDeps, Ggr, OriginalOrder, Reorderer};
+use llmqo::rag::{retrieve_contexts, Embedder};
+use llmqo::relational::{LlmQuery, QueryExecutor, Schema, Table};
+use llmqo::serve::{
+    Deployment, EngineConfig, GpuCluster, GpuSpec, ModelSpec, OracleLlm, SimEngine,
+};
+use llmqo::tokenizer::Tokenizer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An evidence corpus: 8 topics × 5 passages.
+    let mut corpus = Vec::new();
+    for topic in 0..8 {
+        for p in 0..5 {
+            corpus.push(format!(
+                "evidence passage {p} about subject{topic}: {}",
+                format!("subject{topic} facts and figures and context ").repeat(12)
+            ));
+        }
+    }
+    // 160 claims, popularity-skewed toward early topics.
+    let claims: Vec<String> = (0..160)
+        .map(|i| {
+            let topic = (i * i) % 8;
+            format!("claim {i}: subject{topic} set a record last year")
+        })
+        .collect();
+
+    // Retrieval through the FAISS stand-in (k = 4, as the paper uses for FEVER).
+    let embedder = Embedder::new(96);
+    let retrieved = retrieve_contexts(&embedder, &corpus, &claims, 4);
+
+    // Build the RAG table: claim + evidence1..4 in similarity order.
+    let mut table = Table::new(Schema::of_strings(&[
+        "claim",
+        "evidence1",
+        "evidence2",
+        "evidence3",
+        "evidence4",
+    ]));
+    for (claim, ctx) in claims.iter().zip(&retrieved) {
+        let mut row = vec![claim.clone().into()];
+        for k in 0..4 {
+            row.push(corpus[ctx[k]].clone().into());
+        }
+        table.push_row(row)?;
+    }
+
+    let query = LlmQuery::rag(
+        "fever-style",
+        "Answer SUPPORTS if the evidence supports the claim, REFUTES if it refutes it, \
+         or NOT ENOUGH INFO otherwise. Answer with only one of those labels.",
+        vec![
+            "claim".into(),
+            "evidence1".into(),
+            "evidence2".into(),
+            "evidence3".into(),
+            "evidence4".into(),
+        ],
+        vec![
+            "SUPPORTS".into(),
+            "REFUTES".into(),
+            "NOT ENOUGH INFO".into(),
+        ],
+        3.0,
+    )
+    .with_key_field("claim");
+
+    let engine = SimEngine::new(
+        Deployment::new(ModelSpec::llama3_8b(), GpuCluster::single(GpuSpec::l4())),
+        EngineConfig::default(),
+    );
+    let executor = QueryExecutor::new(&engine, &OracleLlm, Tokenizer::new());
+    let labels = ["SUPPORTS", "REFUTES", "NOT ENOUGH INFO"];
+    let truth = |row: usize| labels[row % 3].to_string();
+    let fds = FunctionalDeps::empty(5);
+
+    println!("{} claims over {} evidence passages\n", claims.len(), corpus.len());
+    for solver in [&OriginalOrder as &dyn Reorderer, &Ggr::default()] {
+        let out = executor.execute(&table, &query, solver, &fds, &truth)?;
+        println!(
+            "{:<10} job {:>7.1}s  PHR {:>5.1}%  (field-level {:>5.1}%)",
+            out.report.solver,
+            out.report.engine.job_completion_time_s,
+            out.report.engine.prefix_hit_rate() * 100.0,
+            out.report.field_phc.hit_rate() * 100.0,
+        );
+    }
+    println!("\nGGR reorders the evidence fields per claim so shared passages form prefixes.");
+    Ok(())
+}

@@ -1,0 +1,182 @@
+//! Property-based tests over the reordering solvers (DESIGN.md §4
+//! invariants 1–4): plan validity, score honesty, and the OPHR dominance
+//! hierarchy, on randomized tables.
+
+use llmqo::core::{
+    phc_of_plan, Cell, FallbackOrdering, FunctionalDeps, Ggr, GgrConfig, Ophr, OriginalOrder,
+    Reorderer, ReorderTable, SortedFixed, StatFixed, ValueId,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small random table as (rows × cols) of (pool index, length),
+/// with per-column pools so duplicates are common.
+fn table_strategy(
+    max_rows: usize,
+    max_cols: usize,
+) -> impl Strategy<Value = ReorderTable> {
+    (1..=max_cols, 1..=max_rows)
+        .prop_flat_map(move |(m, n)| {
+            proptest::collection::vec(
+                proptest::collection::vec((0u32..4, 1u32..6), m),
+                n,
+            )
+        })
+        .prop_map(|rows| {
+            let m = rows[0].len();
+            let cols = (0..m).map(|c| format!("c{c}")).collect();
+            let mut t = ReorderTable::new(cols).unwrap();
+            for row in &rows {
+                let cells = row
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &(v, _))| {
+                        // Length is a function of (col, value) so exact-match
+                        // semantics hold (same value ⇒ same fragment).
+                        Cell::new(
+                            ValueId::from_raw(c as u32 * 16 + v),
+                            1 + (v + c as u32) % 5,
+                        )
+                    })
+                    .collect();
+                t.push_row(cells).unwrap();
+            }
+            t
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_solvers_produce_valid_plans(t in table_strategy(12, 4)) {
+        let fds = FunctionalDeps::empty(t.ncols());
+        for solver in [
+            &OriginalOrder as &dyn Reorderer,
+            &SortedFixed,
+            &StatFixed,
+            &Ggr::default(),
+        ] {
+            let s = solver.reorder(&t, &fds).unwrap();
+            prop_assert!(s.plan.validate(&t).is_ok(), "{} invalid", solver.name());
+        }
+    }
+
+    #[test]
+    fn ophr_dominates_every_other_solver(t in table_strategy(7, 3)) {
+        let fds = FunctionalDeps::empty(t.ncols());
+        let opt = Ophr::unbounded().reorder(&t, &fds).unwrap();
+        prop_assert_eq!(opt.claimed_phc, phc_of_plan(&t, &opt.plan).phc);
+        for solver in [
+            &OriginalOrder as &dyn Reorderer,
+            &SortedFixed,
+            &StatFixed,
+            &Ggr::default(),
+            &Ggr::new(GgrConfig::exhaustive()),
+        ] {
+            let s = solver.reorder(&t, &fds).unwrap();
+            let actual = phc_of_plan(&t, &s.plan).phc;
+            prop_assert!(
+                actual <= opt.claimed_phc,
+                "{} scored {} above optimal {}",
+                solver.name(), actual, opt.claimed_phc
+            );
+        }
+    }
+
+    #[test]
+    fn ggr_claim_is_a_lower_bound_without_fds(t in table_strategy(14, 4)) {
+        // With no (or exact) FDs, GGR's claimed score counts real hits only;
+        // recomputation may find extra accidental boundary hits.
+        let fds = FunctionalDeps::empty(t.ncols());
+        for config in [GgrConfig::paper(), GgrConfig::exhaustive(), GgrConfig {
+            fallback: FallbackOrdering::StatFixed,
+            ..GgrConfig::paper()
+        }] {
+            let s = Ggr::new(config).reorder(&t, &fds).unwrap();
+            let actual = phc_of_plan(&t, &s.plan).phc;
+            prop_assert!(
+                actual >= s.claimed_phc,
+                "claim {} exceeds ground truth {}",
+                s.claimed_phc, actual
+            );
+        }
+    }
+
+    #[test]
+    fn ggr_beats_or_matches_original(t in table_strategy(14, 4)) {
+        let fds = FunctionalDeps::empty(t.ncols());
+        let ggr = Ggr::default().reorder(&t, &fds).unwrap();
+        let orig = OriginalOrder.reorder(&t, &fds).unwrap();
+        prop_assert!(
+            phc_of_plan(&t, &ggr.plan).phc >= phc_of_plan(&t, &orig.plan).phc * 99 / 100
+        );
+    }
+
+    #[test]
+    fn plans_are_deterministic(t in table_strategy(10, 3)) {
+        let fds = FunctionalDeps::empty(t.ncols());
+        let a = Ggr::default().reorder(&t, &fds).unwrap();
+        let b = Ggr::default().reorder(&t, &fds).unwrap();
+        prop_assert_eq!(a.plan, b.plan);
+    }
+
+    #[test]
+    fn wrong_fds_never_break_validity(t in table_strategy(10, 3)) {
+        // Deliberately wrong FDs (claiming all columns equivalent) must not
+        // produce invalid plans — only possibly worse schedules.
+        let m = t.ncols();
+        if m >= 2 {
+            let groups = vec![(0..m as u32).collect::<Vec<_>>()];
+            let fds = FunctionalDeps::from_groups(m, groups).unwrap();
+            let s = Ggr::default().reorder(&t, &fds).unwrap();
+            prop_assert!(s.plan.validate(&t).is_ok());
+        }
+    }
+}
+
+#[test]
+fn exact_fds_make_ggr_claims_exact() {
+    // Build a table where col0 ↔ col1 exactly; GGR's FD-aware HITCOUNT must
+    // then claim precisely the ground-truth PHC (no estimation error).
+    let cols = vec!["k".to_string(), "name".to_string(), "x".to_string()];
+    let mut t = ReorderTable::new(cols).unwrap();
+    for r in 0..30u32 {
+        let k = r % 5;
+        t.push_row(vec![
+            Cell::new(ValueId::from_raw(k), 3),
+            Cell::new(ValueId::from_raw(100 + k), 7),
+            Cell::new(ValueId::from_raw(1000 + r), 2),
+        ])
+        .unwrap();
+    }
+    let fds = FunctionalDeps::from_groups(3, vec![vec![0, 1]]).unwrap();
+    let s = Ggr::new(GgrConfig::exhaustive()).reorder(&t, &fds).unwrap();
+    assert_eq!(s.claimed_phc, phc_of_plan(&t, &s.plan).phc);
+    // All 5 groups captured: (30 − 5) rows × (3² + 7²) = 25 × 58.
+    assert_eq!(s.claimed_phc, 25 * 58);
+}
+
+#[test]
+fn ophr_budget_is_honored_under_pressure() {
+    // A 24-row, 4-column table with rich group structure: the exact solver
+    // must either finish or report budget exhaustion, never hang.
+    let cols = (0..4).map(|c| format!("c{c}")).collect();
+    let mut t = ReorderTable::new(cols).unwrap();
+    for r in 0..24u32 {
+        t.push_row(vec![
+            Cell::new(ValueId::from_raw(r % 2), 2),
+            Cell::new(ValueId::from_raw(10 + r % 3), 2),
+            Cell::new(ValueId::from_raw(20 + r % 4), 2),
+            Cell::new(ValueId::from_raw(30 + r % 6), 2),
+        ])
+        .unwrap();
+    }
+    let fds = FunctionalDeps::empty(4);
+    let start = std::time::Instant::now();
+    let result = Ophr::with_budget(std::time::Duration::from_millis(200)).reorder(&t, &fds);
+    assert!(start.elapsed() < std::time::Duration::from_secs(30));
+    match result {
+        Ok(s) => assert!(s.plan.validate(&t).is_ok()),
+        Err(e) => assert!(e.to_string().contains("budget")),
+    }
+}
