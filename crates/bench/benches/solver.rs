@@ -3,9 +3,7 @@
 //! OPHR on a small table (it is exponential; Table 6 covers larger samples).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use llmqo_core::{
-    FunctionalDeps, Ggr, Ophr, OriginalOrder, Reorderer, SortedFixed, StatFixed,
-};
+use llmqo_core::{FunctionalDeps, Ggr, Ophr, OriginalOrder, Reorderer, SortedFixed, StatFixed};
 use llmqo_datasets::{Dataset, DatasetId};
 use llmqo_relational::{encode_table, project_fds, QueryKind};
 use llmqo_tokenizer::Tokenizer;

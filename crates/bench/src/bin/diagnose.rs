@@ -58,17 +58,23 @@ fn main() {
             ("sorted-fixed", Box::new(SortedFixed)),
             ("stat-fixed", Box::new(StatFixed)),
             ("ggr(paper)", Box::new(Ggr::default())),
-            ("ggr(deep)", Box::new(Ggr::new(GgrConfig {
-                max_row_depth: Some(64),
-                max_col_depth: Some(8),
-                min_hitcount: None,
-                use_fds: true,
-                fallback: FallbackOrdering::StatFixed,
-            }))),
-            ("ggr(nofd)", Box::new(Ggr::new(GgrConfig {
-                use_fds: false,
-                ..GgrConfig::paper()
-            }))),
+            (
+                "ggr(deep)",
+                Box::new(Ggr::new(GgrConfig {
+                    max_row_depth: Some(64),
+                    max_col_depth: Some(8),
+                    min_hitcount: None,
+                    use_fds: true,
+                    fallback: FallbackOrdering::StatFixed,
+                })),
+            ),
+            (
+                "ggr(nofd)",
+                Box::new(Ggr::new(GgrConfig {
+                    use_fds: false,
+                    ..GgrConfig::paper()
+                })),
+            ),
         ];
         let mut rows = Vec::new();
         for (name, solver) in solvers {
@@ -78,9 +84,8 @@ fn main() {
             let r = phc_of_plan(&encoded.reorder, &s.plan);
             // Engine-equivalent rate including instruction prefix per row.
             let instr = (encoded.instruction.len() * n) as u64;
-            let engine_like =
-                (r.hit_tokens + instr - encoded.instruction.len() as u64) as f64
-                    / (r.total_tokens + instr) as f64;
+            let engine_like = (r.hit_tokens + instr - encoded.instruction.len() as u64) as f64
+                / (r.total_tokens + instr) as f64;
             rows.push(vec![
                 name.to_owned(),
                 report::pct(r.hit_rate()),

@@ -13,7 +13,7 @@
 
 use llmqo_bench::report;
 use llmqo_core::{
-    phc_of_plan, Cell, FunctionalDeps, Ggr, Ophr, OriginalOrder, Reorderer, ReorderTable,
+    phc_of_plan, Cell, FunctionalDeps, Ggr, Ophr, OriginalOrder, ReorderTable, Reorderer,
     SortedFixed, ValueId,
 };
 
@@ -59,7 +59,11 @@ fn main() {
     let ta = case_a(n, m);
     let fds_a = FunctionalDeps::empty(m as usize);
     let mut rows = Vec::new();
-    for solver in [&OriginalOrder as &dyn Reorderer, &SortedFixed, &Ggr::default()] {
+    for solver in [
+        &OriginalOrder as &dyn Reorderer,
+        &SortedFixed,
+        &Ggr::default(),
+    ] {
         let s = solver.reorder(&ta, &fds_a).unwrap();
         rows.push(vec![
             solver.name().to_owned(),

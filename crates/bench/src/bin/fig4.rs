@@ -19,8 +19,7 @@ fn main() {
         let stages = ds.multi_stages().expect("T3 stages exist");
         let mut jct = Vec::new();
         for method in harness::Method::all() {
-            let outs =
-                harness::run_multi_method(&ds, stages, method, &deployment).expect("run");
+            let outs = harness::run_multi_method(&ds, stages, method, &deployment).expect("run");
             jct.push(
                 outs.iter()
                     .map(|o| o.report.engine.job_completion_time_s)

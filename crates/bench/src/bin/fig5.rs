@@ -19,11 +19,10 @@ fn main() {
     ] {
         let ds = harness::load(id);
         let query = ds.query_of_kind(QueryKind::Filter).expect("T1 exists");
-        let orig =
-            harness::run_method(&ds, query, harness::Method::CacheOriginal, &deployment)
-                .expect("run");
-        let ggr = harness::run_method(&ds, query, harness::Method::CacheGgr, &deployment)
+        let orig = harness::run_method(&ds, query, harness::Method::CacheOriginal, &deployment)
             .expect("run");
+        let ggr =
+            harness::run_method(&ds, query, harness::Method::CacheGgr, &deployment).expect("run");
         rows.push(vec![
             id.name().to_owned(),
             report::secs(orig.report.engine.job_completion_time_s),

@@ -21,8 +21,7 @@ fn main() {
             .or_else(|| ds.query_of_kind(QueryKind::Rag))
             .expect("every dataset has a T1 or T5 query");
         let encoded = encode_table(&tok, &ds.table, query).expect("encoding succeeds");
-        let measured_input =
-            encoded.total_prompt_tokens() as f64 / encoded.reorder.nrows() as f64;
+        let measured_input = encoded.total_prompt_tokens() as f64 / encoded.reorder.nrows() as f64;
         let outputs: Vec<String> = ds
             .queries
             .iter()

@@ -19,8 +19,8 @@ fn main() {
             .query_of_kind(QueryKind::Filter)
             .or_else(|| ds.query_of_kind(QueryKind::Rag))
             .expect("T1 or T5 query");
-        let out = harness::run_method(&ds, query, harness::Method::CacheGgr, &deployment)
-            .expect("run");
+        let out =
+            harness::run_method(&ds, query, harness::Method::CacheGgr, &deployment).expect("run");
         let solver = out.report.solve_time_s;
         let query_time = out.report.engine.job_completion_time_s;
         rows.push(vec![

@@ -65,9 +65,11 @@ fn main() {
                     format!("{:+.1}pp", (ggr_rate - rate) * 100.0),
                 )
             }
-            Err(SolveError::BudgetExceeded { .. }) => {
-                ("timeout".to_owned(), format!(">{budget_s}s"), "n/a".to_owned())
-            }
+            Err(SolveError::BudgetExceeded { .. }) => (
+                "timeout".to_owned(),
+                format!(">{budget_s}s"),
+                "n/a".to_owned(),
+            ),
             Err(e) => panic!("unexpected solver error: {e}"),
         };
         rows.push(vec![

@@ -1,0 +1,180 @@
+//! Aggregated results of a sharded serving run.
+
+use llmqo_serve::{percentile, Completion, EngineReport};
+use std::fmt;
+
+/// One replica's share of the job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaReport {
+    /// The replica's aggregate engine metrics. `job_completion_time_s` is
+    /// the replica's final clock on the shared timeline (including idle
+    /// gaps), so the cluster makespan is the max over replicas.
+    pub engine: EngineReport,
+    /// Per-request completion records on this replica.
+    pub completions: Vec<Completion>,
+    /// Requests routed to this replica.
+    pub assigned: usize,
+    /// Seconds this replica spent idle waiting for work.
+    pub idle_s: f64,
+}
+
+impl ReplicaReport {
+    /// The replica's prefix hit rate.
+    pub fn prefix_hit_rate(&self) -> f64 {
+        self.engine.prefix_hit_rate()
+    }
+}
+
+/// Whole-cluster results for one routed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Routing policy name.
+    pub policy: String,
+    /// Per-replica breakdowns, indexed by replica.
+    pub replicas: Vec<ReplicaReport>,
+    /// Time the last replica finished, seconds (the sharded job-completion
+    /// time — the paper's primary metric, lifted to the cluster).
+    pub makespan_s: f64,
+    /// Requests completed across all replicas.
+    pub completed: usize,
+    /// Prompt tokens across all replicas.
+    pub total_prompt_tokens: u64,
+    /// Prompt tokens served from some replica's prefix cache.
+    pub cached_prompt_tokens: u64,
+    /// Median admission-queue wait (arrival to engine admission), seconds.
+    pub queue_wait_p50_s: f64,
+    /// 99th-percentile queue wait, seconds.
+    pub queue_wait_p99_s: f64,
+    /// Worst queue wait, seconds.
+    pub queue_wait_max_s: f64,
+}
+
+impl ClusterReport {
+    pub(crate) fn assemble(
+        policy: &str,
+        replicas: Vec<ReplicaReport>,
+        mut queue_waits: Vec<f64>,
+    ) -> Self {
+        queue_waits.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        ClusterReport {
+            policy: policy.to_owned(),
+            makespan_s: replicas
+                .iter()
+                .map(|r| r.engine.job_completion_time_s)
+                .fold(0.0, f64::max),
+            completed: replicas.iter().map(|r| r.engine.completed).sum(),
+            total_prompt_tokens: replicas.iter().map(|r| r.engine.total_prompt_tokens).sum(),
+            cached_prompt_tokens: replicas.iter().map(|r| r.engine.cached_prompt_tokens).sum(),
+            queue_wait_p50_s: percentile(&queue_waits, 0.50),
+            queue_wait_p99_s: percentile(&queue_waits, 0.99),
+            queue_wait_max_s: queue_waits.last().copied().unwrap_or(0.0),
+            replicas,
+        }
+    }
+
+    /// Cluster-wide prefix hit rate: cached prompt tokens over all prompt
+    /// tokens, across every replica (Table 2's PHR, lifted to the cluster).
+    pub fn prefix_hit_rate(&self) -> f64 {
+        if self.total_prompt_tokens == 0 {
+            0.0
+        } else {
+            self.cached_prompt_tokens as f64 / self.total_prompt_tokens as f64
+        }
+    }
+
+    /// Load skew: the busiest replica's assignment count over the mean
+    /// (1.0 = perfectly balanced; `replicas` = everything on one replica).
+    pub fn load_skew(&self) -> f64 {
+        let total: usize = self.replicas.iter().map(|r| r.assigned).sum();
+        if total == 0 || self.replicas.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / self.replicas.len() as f64;
+        let max = self.replicas.iter().map(|r| r.assigned).max().unwrap_or(0);
+        max as f64 / mean
+    }
+
+    /// Completed requests per second of makespan.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / self.makespan_s
+        }
+    }
+}
+
+impl fmt::Display for ClusterReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "policy {:<16} replicas {:>2}  makespan {:>8.2}s  PHR {:>5.1}%  \
+             skew {:>4.2}  wait p50/p99 {:>6.2}s/{:>6.2}s  done {}",
+            self.policy,
+            self.replicas.len(),
+            self.makespan_s,
+            self.prefix_hit_rate() * 100.0,
+            self.load_skew(),
+            self.queue_wait_p50_s,
+            self.queue_wait_p99_s,
+            self.completed
+        )?;
+        for (i, r) in self.replicas.iter().enumerate() {
+            writeln!(
+                f,
+                "  replica {i}: assigned {:>5}  PHR {:>5.1}%  finish {:>8.2}s  idle {:>7.2}s",
+                r.assigned,
+                r.prefix_hit_rate() * 100.0,
+                r.engine.job_completion_time_s,
+                r.idle_s
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replica(assigned: usize, total: u64, cached: u64, finish: f64) -> ReplicaReport {
+        ReplicaReport {
+            engine: EngineReport {
+                job_completion_time_s: finish,
+                total_prompt_tokens: total,
+                cached_prompt_tokens: cached,
+                completed: assigned,
+                ..EngineReport::default()
+            },
+            completions: Vec::new(),
+            assigned,
+            idle_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn aggregates_cover_all_replicas() {
+        let r = ClusterReport::assemble(
+            "test",
+            vec![replica(10, 1000, 500, 4.0), replica(30, 3000, 600, 9.0)],
+            vec![0.5, 0.1, 2.0, 0.2],
+        );
+        assert_eq!(r.makespan_s, 9.0);
+        assert_eq!(r.completed, 40);
+        assert!((r.prefix_hit_rate() - 1100.0 / 4000.0).abs() < 1e-12);
+        assert!((r.load_skew() - 1.5).abs() < 1e-12);
+        assert_eq!(r.queue_wait_max_s, 2.0);
+        assert_eq!(r.queue_wait_p50_s, 0.2);
+        assert!((r.throughput_rps() - 40.0 / 9.0).abs() < 1e-12);
+        assert!(r.to_string().contains("replica 1"));
+    }
+
+    #[test]
+    fn empty_cluster_edge_cases() {
+        let r = ClusterReport::assemble("empty", Vec::new(), Vec::new());
+        assert_eq!(r.prefix_hit_rate(), 0.0);
+        assert_eq!(r.load_skew(), 1.0);
+        assert_eq!(r.throughput_rps(), 0.0);
+        assert_eq!(r.queue_wait_p99_s, 0.0);
+    }
+}

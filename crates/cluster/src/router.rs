@@ -1,0 +1,277 @@
+//! Routing policies: which replica serves the next request.
+//!
+//! The dispatcher consults the [`Router`] at *placement* time — when a
+//! request leaves the admission queue for a replica's bounded queue — with a
+//! live [`ReplicaSnapshot`] of every replica. Policies therefore see
+//! backpressure as it happens: a router that returns a replica whose queue
+//! is full simply leaves the request at the head of the admission queue
+//! until the situation changes (the dispatcher re-asks after every
+//! simulation event).
+
+use std::fmt;
+
+/// Point-in-time view of one replica, handed to [`Router::route`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaSnapshot {
+    /// Replica index in `0..replicas`.
+    pub index: usize,
+    /// Requests waiting in the replica's admission queue.
+    pub queued: usize,
+    /// Sequences currently in the replica's running batch.
+    pub running: usize,
+    /// KV blocks referenced or cached on the replica.
+    pub kv_blocks_in_use: usize,
+    /// The replica's total KV capacity in blocks.
+    pub capacity_blocks: usize,
+    /// The replica's local clock, seconds.
+    pub clock_s: f64,
+    /// Requests routed to this replica so far.
+    pub assigned: usize,
+}
+
+impl ReplicaSnapshot {
+    /// Queued plus running work — the scalar load most policies compare.
+    pub fn load(&self) -> usize {
+        self.queued + self.running
+    }
+}
+
+/// A routing policy. Implementations must return an index `< replicas.len()`
+/// and should be deterministic: the cluster simulator's reports are
+/// reproducible only if its router is.
+pub trait Router {
+    /// Display name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses the replica for a request with `prefix_key`.
+    ///
+    /// Called once per placement attempt; if the chosen replica's queue is
+    /// full the dispatcher retries after the next simulation event, so
+    /// stateful policies observe one extra call per retry.
+    fn route(&mut self, prefix_key: u64, replicas: &[ReplicaSnapshot]) -> usize;
+}
+
+impl fmt::Debug for dyn Router + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Router({})", self.name())
+    }
+}
+
+/// Cycles through replicas in order, ignoring both load and prefix
+/// identity. The classic default of dispatch layers — and the policy that
+/// destroys solver-created prefix locality, since consecutive rows of a
+/// shared-prefix group land on different replicas.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Router for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(&mut self, _prefix_key: u64, replicas: &[ReplicaSnapshot]) -> usize {
+        let choice = self.next % replicas.len();
+        self.next = (self.next + 1) % replicas.len();
+        choice
+    }
+}
+
+/// Sends each request to the replica with the least outstanding work
+/// (queued + running), breaking ties toward lower KV pressure, then lower
+/// index. Balances load tightly but is as prefix-blind as round-robin.
+#[derive(Debug, Clone, Default)]
+pub struct LeastLoaded;
+
+impl Router for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn route(&mut self, _prefix_key: u64, replicas: &[ReplicaSnapshot]) -> usize {
+        replicas
+            .iter()
+            .min_by_key(|r| (r.load(), r.kv_blocks_in_use, r.index))
+            .expect("route is never called with zero replicas")
+            .index
+    }
+}
+
+/// Consistent routing on shared-prefix identity via rendezvous (highest
+/// random weight) hashing: every request with the same `prefix_key` maps to
+/// the same replica, so a shared-prefix group's KV blocks are computed once
+/// cluster-wide instead of once per replica. Adding or removing a replica
+/// remaps only the groups whose winner changed — the standard consistent-
+/// hashing property, which keeps caches warm across resizes.
+///
+/// The pure form ([`PrefixAffinity::default`]) always takes the top-ranked
+/// replica: maximal locality, but a workload with few large prefix groups
+/// can pile onto one replica and serialize the job. The bounded form
+/// ([`PrefixAffinity::bounded`]) applies consistent hashing with bounded
+/// loads: replicas are tried in rendezvous rank order and the first whose
+/// outstanding work is below `factor ×` the cluster mean wins, so a group
+/// spills to its *second*-ranked replica only while its first is genuinely
+/// overloaded — trading a bounded amount of prefix recomputation for
+/// parallelism.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixAffinity {
+    max_load_factor: Option<f64>,
+}
+
+impl PrefixAffinity {
+    /// Bounded-load affinity: spill down the rendezvous ranking whenever the
+    /// candidate's queued+running work reaches `factor` times the cluster
+    /// mean (`factor` ≥ 1; 1.25 is the classic choice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0` or is not finite.
+    pub fn bounded(factor: f64) -> Self {
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "load factor must be finite and at least 1.0"
+        );
+        PrefixAffinity {
+            max_load_factor: Some(factor),
+        }
+    }
+}
+
+/// SplitMix64 finalizer — mixes a (key, replica) pair into a rank.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Router for PrefixAffinity {
+    fn name(&self) -> &'static str {
+        match self.max_load_factor {
+            None => "prefix-affinity",
+            Some(_) => "prefix-affinity-bounded",
+        }
+    }
+
+    fn route(&mut self, prefix_key: u64, replicas: &[ReplicaSnapshot]) -> usize {
+        let mut ranked: Vec<(u64, usize)> = replicas
+            .iter()
+            .map(|r| (mix(prefix_key ^ mix(r.index as u64)), r.index))
+            .collect();
+        ranked.sort_unstable_by(|a, b| b.cmp(a));
+        let Some(factor) = self.max_load_factor else {
+            return ranked[0].1;
+        };
+        // Consistent hashing with bounded loads: capacity is `factor` times
+        // the mean outstanding work counting the incoming request, so at
+        // least one replica is always below it.
+        let total: usize = replicas.iter().map(|r| r.load()).sum();
+        let capacity = (factor * (total + 1) as f64 / replicas.len() as f64).ceil();
+        ranked
+            .iter()
+            .find(|&&(_, i)| (replicas[i].load() as f64) < capacity)
+            .unwrap_or(&ranked[0])
+            .1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshots(loads: &[(usize, usize)]) -> Vec<ReplicaSnapshot> {
+        loads
+            .iter()
+            .enumerate()
+            .map(|(index, &(queued, running))| ReplicaSnapshot {
+                index,
+                queued,
+                running,
+                kv_blocks_in_use: 0,
+                capacity_blocks: 1000,
+                clock_s: 0.0,
+                assigned: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let snaps = snapshots(&[(0, 0), (0, 0), (0, 0)]);
+        let mut rr = RoundRobin::default();
+        let picks: Vec<usize> = (0..6).map(|k| rr.route(k, &snaps)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_loaded_picks_min_and_breaks_ties_low() {
+        let mut ll = LeastLoaded;
+        assert_eq!(ll.route(0, &snapshots(&[(5, 1), (0, 2), (4, 0)])), 1);
+        assert_eq!(ll.route(0, &snapshots(&[(1, 1), (2, 0), (0, 2)])), 0);
+    }
+
+    #[test]
+    fn bounded_affinity_spills_only_under_overload() {
+        let mut pa = PrefixAffinity::bounded(1.25);
+        // Balanced cluster: behaves exactly like pure affinity.
+        let balanced = snapshots(&[(2, 1), (2, 1), (2, 1), (2, 1)]);
+        let mut pure = PrefixAffinity::default();
+        for key in 0..100u64 {
+            assert_eq!(pa.route(key, &balanced), pure.route(key, &balanced));
+        }
+        // One replica hogging nearly all work: keys ranked onto it must
+        // spill to their next-ranked replica instead.
+        let skewed = snapshots(&[(40, 8), (0, 0), (0, 0), (0, 0)]);
+        for key in 0..200u64 {
+            assert_ne!(pa.route(key, &skewed), 0, "key {key} routed to hot spot");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1.0")]
+    fn bounded_affinity_rejects_sub_unit_factor() {
+        let _ = PrefixAffinity::bounded(0.5);
+    }
+
+    #[test]
+    fn prefix_affinity_is_sticky_per_key() {
+        let snaps = snapshots(&[(0, 0); 8]);
+        let mut pa = PrefixAffinity::default();
+        for key in 0..200u64 {
+            let first = pa.route(key, &snaps);
+            for _ in 0..3 {
+                assert_eq!(pa.route(key, &snaps), first);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_affinity_spreads_keys_roughly_evenly() {
+        let snaps = snapshots(&[(0, 0); 4]);
+        let mut pa = PrefixAffinity::default();
+        let mut counts = [0usize; 4];
+        for key in 0..4000u64 {
+            counts[pa.route(mix(key), &snaps)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "replica share {c} of 4000");
+        }
+    }
+
+    #[test]
+    fn prefix_affinity_resize_moves_only_remapped_keys() {
+        let four = snapshots(&[(0, 0); 4]);
+        let five = snapshots(&[(0, 0); 5]);
+        let mut pa = PrefixAffinity::default();
+        let moved = (0..2000u64)
+            .filter(|&k| {
+                let a = pa.route(k, &four);
+                let b = pa.route(k, &five);
+                a != b && b != 4
+            })
+            .count();
+        // Rendezvous hashing: keys either stay or move to the new replica.
+        assert_eq!(moved, 0, "{moved} keys moved between surviving replicas");
+    }
+}

@@ -1,0 +1,568 @@
+//! The sharded serving simulator: admission queue → router → N replica
+//! engine sessions on one shared timeline.
+//!
+//! Discrete-event loop invariants:
+//!
+//! * Every replica is an [`EngineSession`] whose local clock lives on the
+//!   shared cluster timeline (idle replicas are fast-forwarded via
+//!   `advance_to` when work reaches them).
+//! * An arrival is delivered only once every *busy* replica's clock has
+//!   reached its arrival time, so routing decisions never see a replica
+//!   state from the past.
+//! * Each replica's waiting queue is bounded by `queue_cap`: when the
+//!   router's chosen replica is full, the request blocks at the head of the
+//!   global admission queue (backpressure) and the router is re-consulted
+//!   after the next event.
+//!
+//! Everything is deterministic: fixed inputs and a deterministic router give
+//! bit-identical [`ClusterReport`]s.
+
+use crate::report::{ClusterReport, ReplicaReport};
+use crate::request::ClusterRequest;
+use crate::router::{ReplicaSnapshot, Router};
+use llmqo_serve::{EngineError, EngineSession, SimEngine};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Cluster topology and flow-control parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of identical engine replicas.
+    pub replicas: usize,
+    /// Per-replica admission-queue bound (requests waiting, not running).
+    /// The global admission queue stalls when the routed-to replica is full.
+    pub queue_cap: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            replicas: 4,
+            queue_cap: 64,
+        }
+    }
+}
+
+/// Failures of a cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The configuration cannot serve anything.
+    InvalidConfig {
+        /// What is wrong.
+        reason: &'static str,
+    },
+    /// A request carried a negative, NaN, or infinite arrival time.
+    InvalidArrival {
+        /// Index of the offending request.
+        index: usize,
+    },
+    /// The router chose a replica outside `0..replicas`.
+    RouterOutOfRange {
+        /// The router's choice.
+        chose: usize,
+        /// Number of replicas.
+        replicas: usize,
+    },
+    /// A replica engine failed.
+    Engine(EngineError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidConfig { reason } => write!(f, "invalid cluster config: {reason}"),
+            ClusterError::InvalidArrival { index } => {
+                write!(
+                    f,
+                    "request {index} has a non-finite or negative arrival time"
+                )
+            }
+            ClusterError::RouterOutOfRange { chose, replicas } => {
+                write!(f, "router chose replica {chose} of {replicas}")
+            }
+            ClusterError::Engine(e) => write!(f, "replica engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<EngineError> for ClusterError {
+    fn from(e: EngineError) -> Self {
+        ClusterError::Engine(e)
+    }
+}
+
+/// A fleet of identical [`SimEngine`] replicas behind a routed admission
+/// queue.
+///
+/// # Examples
+///
+/// ```
+/// use llmqo_cluster::{ClusterConfig, ClusterRequest, ClusterSim, PrefixAffinity};
+/// use llmqo_serve::{Deployment, EngineConfig, GpuCluster, GpuSpec, ModelSpec, SimEngine,
+///                   SimRequest};
+///
+/// let engine = SimEngine::new(
+///     Deployment::new(ModelSpec::llama3_8b(), GpuCluster::single(GpuSpec::l4())),
+///     EngineConfig::default(),
+/// );
+/// let sim = ClusterSim::new(engine, ClusterConfig { replicas: 2, queue_cap: 8 });
+/// // Two prefix groups of 10 requests each.
+/// let requests: Vec<ClusterRequest> = (0..20usize)
+///     .map(|i| {
+///         let group = (i / 10) as u32;
+///         let mut toks: Vec<u32> = (0..32).map(|j| group * 1000 + j).collect();
+///         toks.extend((0..8).map(|j| 10_000 + i as u32 * 64 + j));
+///         ClusterRequest::new(SimRequest::from_tokens(i, toks, 2), u64::from(group))
+///     })
+///     .collect();
+/// let report = sim.run(&mut PrefixAffinity::default(), &requests).unwrap();
+/// assert_eq!(report.completed, 20);
+/// assert!(report.prefix_hit_rate() > 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    engine: SimEngine,
+    config: ClusterConfig,
+}
+
+/// Mutable per-replica state during a run.
+struct Replica {
+    session: EngineSession,
+    assigned: usize,
+    /// Arrival times of requests enqueued here, in enqueue (= admission)
+    /// order; zipped with admission-ordered completions for queue waits.
+    arrivals: Vec<f64>,
+}
+
+impl ClusterSim {
+    /// Creates a cluster of identical replicas of `engine`.
+    pub fn new(engine: SimEngine, config: ClusterConfig) -> Self {
+        ClusterSim { engine, config }
+    }
+
+    /// The per-replica engine template.
+    pub fn engine(&self) -> &SimEngine {
+        &self.engine
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Serves `requests` (in arrival order) through `router` across the
+    /// replica fleet and reports cluster metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidConfig`] for a zero-replica or zero-capacity
+    /// cluster, [`ClusterError::InvalidArrival`] for non-finite arrival
+    /// times, [`ClusterError::RouterOutOfRange`] for a misbehaving router,
+    /// and [`ClusterError::Engine`] when a replica rejects a request
+    /// outright (model or request too large).
+    pub fn run(
+        &self,
+        router: &mut dyn Router,
+        requests: &[ClusterRequest],
+    ) -> Result<ClusterReport, ClusterError> {
+        if self.config.replicas == 0 {
+            return Err(ClusterError::InvalidConfig {
+                reason: "need at least one replica",
+            });
+        }
+        if self.config.queue_cap == 0 {
+            return Err(ClusterError::InvalidConfig {
+                reason: "queue capacity must be at least one",
+            });
+        }
+        for (index, r) in requests.iter().enumerate() {
+            if !r.arrival_s.is_finite() || r.arrival_s < 0.0 {
+                return Err(ClusterError::InvalidArrival { index });
+            }
+        }
+
+        let mut replicas: Vec<Replica> = (0..self.config.replicas)
+            .map(|_| {
+                Ok(Replica {
+                    session: self.engine.session()?,
+                    assigned: 0,
+                    arrivals: Vec::new(),
+                })
+            })
+            .collect::<Result<_, EngineError>>()?;
+
+        // Arrival order: by time, original order on ties (stable sort).
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by(|&a, &b| {
+            requests[a]
+                .arrival_s
+                .partial_cmp(&requests[b].arrival_s)
+                .expect("arrivals validated finite")
+        });
+        let mut next_arrival = 0usize;
+        // Requests that have arrived but not yet been placed on a replica.
+        let mut admission: VecDeque<usize> = VecDeque::new();
+        // The simulation's current instant: the time of the latest event
+        // processed (arrival delivery or replica step). A request delayed in
+        // the admission queue by backpressure can be dispatched no earlier
+        // than `now`, whatever its arrival time.
+        let mut now = 0.0f64;
+
+        loop {
+            // Place as many admission-queue requests as the routed-to
+            // replicas can take. No simulated time passes while placing.
+            while let Some(&j) = admission.front() {
+                let snapshots: Vec<ReplicaSnapshot> = replicas
+                    .iter()
+                    .enumerate()
+                    .map(|(index, r)| ReplicaSnapshot {
+                        index,
+                        queued: r.session.queued(),
+                        running: r.session.running(),
+                        kv_blocks_in_use: r.session.kv_blocks_in_use(),
+                        capacity_blocks: r.session.capacity_blocks(),
+                        clock_s: r.session.clock(),
+                        assigned: r.assigned,
+                    })
+                    .collect();
+                let choice = router.route(requests[j].prefix_key, &snapshots);
+                if choice >= replicas.len() {
+                    return Err(ClusterError::RouterOutOfRange {
+                        chose: choice,
+                        replicas: replicas.len(),
+                    });
+                }
+                if replicas[choice].session.queued() >= self.config.queue_cap {
+                    break; // Backpressure: head-of-line waits for an event.
+                }
+                admission.pop_front();
+                let replica = &mut replicas[choice];
+                // An idle replica has been frozen since it last worked;
+                // catch it up to the moment the request reaches it — its
+                // arrival, or later if backpressure held it in admission.
+                replica.session.advance_to(requests[j].arrival_s.max(now));
+                replica.session.enqueue(requests[j].request.clone());
+                replica.assigned += 1;
+                replica.arrivals.push(requests[j].arrival_s);
+            }
+
+            // Next event: the earliest busy replica step, or the next
+            // arrival — whichever comes first on the shared timeline.
+            let mut busy: Option<usize> = None;
+            for (i, r) in replicas.iter().enumerate() {
+                if !r.session.is_idle()
+                    && busy.is_none_or(|b| r.session.clock() < replicas[b].session.clock())
+                {
+                    busy = Some(i);
+                }
+            }
+            let arrival_due = next_arrival < order.len();
+            let deliver_arrival = match (busy, arrival_due) {
+                (_, false) => false,
+                (None, true) => true,
+                (Some(b), true) => {
+                    requests[order[next_arrival]].arrival_s <= replicas[b].session.clock()
+                }
+            };
+
+            if deliver_arrival {
+                // Deliver every arrival due at (or before) this instant.
+                let t = requests[order[next_arrival]].arrival_s;
+                while next_arrival < order.len() && requests[order[next_arrival]].arrival_s <= t {
+                    admission.push_back(order[next_arrival]);
+                    next_arrival += 1;
+                }
+                now = now.max(t);
+            } else if let Some(b) = busy {
+                replicas[b].session.step()?;
+                now = now.max(replicas[b].session.clock());
+            } else if admission.is_empty() {
+                break; // No work anywhere: the job is done.
+            } else {
+                // All replicas idle yet something is stuck in admission:
+                // impossible with queue_cap >= 1 (idle means empty queue).
+                return Err(ClusterError::InvalidConfig {
+                    reason: "dispatcher stalled (router refuses idle replicas?)",
+                });
+            }
+        }
+
+        // Collect per-replica reports and queue waits. Engine admission is
+        // FIFO, so completions sorted by admission time pair with arrivals
+        // in enqueue order.
+        let mut queue_waits: Vec<f64> = Vec::new();
+        let mut reports: Vec<ReplicaReport> = Vec::new();
+        for replica in replicas {
+            let idle_s = replica.session.idle_time_s();
+            let outcome = replica.session.finish();
+            let mut admissions: Vec<f64> =
+                outcome.completions.iter().map(|c| c.admitted_s).collect();
+            admissions.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            for (&arrival, &admitted) in replica.arrivals.iter().zip(&admissions) {
+                queue_waits.push((admitted - arrival).max(0.0));
+            }
+            reports.push(ReplicaReport {
+                engine: outcome.report,
+                completions: outcome.completions,
+                assigned: replica.assigned,
+                idle_s,
+            });
+        }
+        Ok(ClusterReport::assemble(router.name(), reports, queue_waits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ArrivalProcess;
+    use crate::router::{LeastLoaded, PrefixAffinity, RoundRobin};
+    use llmqo_serve::{Deployment, EngineConfig, GpuCluster, GpuSpec, ModelSpec, SimRequest};
+
+    fn engine() -> SimEngine {
+        SimEngine::new(
+            Deployment::new(ModelSpec::llama3_8b(), GpuCluster::single(GpuSpec::l4())),
+            EngineConfig::default(),
+        )
+    }
+
+    /// `groups` prefix groups of `per_group` requests; each group shares a
+    /// 64-token prefix and each request has a 16-token unique tail.
+    fn grouped_requests(groups: usize, per_group: usize) -> Vec<ClusterRequest> {
+        (0..groups * per_group)
+            .map(|i| {
+                let g = (i / per_group) as u32;
+                let mut toks: Vec<u32> = (0..64).map(|j| g * 10_000 + j).collect();
+                toks.extend((0..16).map(|j| 1_000_000 + i as u32 * 64 + j));
+                ClusterRequest::new(SimRequest::from_tokens(i, toks, 2), u64::from(g))
+            })
+            .collect()
+    }
+
+    fn sim(replicas: usize) -> ClusterSim {
+        ClusterSim::new(
+            engine(),
+            ClusterConfig {
+                replicas,
+                queue_cap: 16,
+            },
+        )
+    }
+
+    #[test]
+    fn every_request_completes_exactly_once_under_every_policy() {
+        let requests = grouped_requests(12, 10);
+        for router in [
+            &mut RoundRobin::default() as &mut dyn Router,
+            &mut LeastLoaded,
+            &mut PrefixAffinity::default(),
+        ] {
+            let report = sim(4).run(router, &requests).unwrap();
+            assert_eq!(report.completed, 120, "{}", router.name());
+            let mut ids: Vec<usize> = report
+                .replicas
+                .iter()
+                .flat_map(|r| r.completions.iter().map(|c| c.id))
+                .collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..120).collect::<Vec<_>>(), "{}", router.name());
+        }
+    }
+
+    #[test]
+    fn affinity_beats_round_robin_on_hit_rate() {
+        let requests = grouped_requests(40, 8);
+        let rr = sim(4).run(&mut RoundRobin::default(), &requests).unwrap();
+        let pa = sim(4)
+            .run(&mut PrefixAffinity::default(), &requests)
+            .unwrap();
+        assert!(
+            pa.prefix_hit_rate() > rr.prefix_hit_rate(),
+            "affinity {} <= round-robin {}",
+            pa.prefix_hit_rate(),
+            rr.prefix_hit_rate()
+        );
+    }
+
+    #[test]
+    fn single_replica_matches_plain_engine_run() {
+        // With one replica and a non-binding queue cap, the cluster layer
+        // must be a transparent pass-through over the engine's batch run.
+        let requests = grouped_requests(5, 6);
+        let wide_queue = ClusterSim::new(
+            engine(),
+            ClusterConfig {
+                replicas: 1,
+                queue_cap: requests.len(),
+            },
+        );
+        let cluster = wide_queue
+            .run(&mut RoundRobin::default(), &requests)
+            .unwrap();
+        let plain = engine()
+            .run(
+                &requests
+                    .iter()
+                    .map(|r| r.request.clone())
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+        assert_eq!(cluster.replicas[0].engine, plain);
+        assert_eq!(cluster.makespan_s, plain.job_completion_time_s);
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let mut requests = grouped_requests(20, 6);
+        ArrivalProcess::Poisson {
+            rate_rps: 500.0,
+            seed: 11,
+        }
+        .assign(&mut requests);
+        let a = sim(4)
+            .run(&mut PrefixAffinity::default(), &requests)
+            .unwrap();
+        let b = sim(4)
+            .run(&mut PrefixAffinity::default(), &requests)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backpressure_never_loses_requests() {
+        let requests = grouped_requests(30, 4);
+        let tight = ClusterSim::new(
+            engine(),
+            ClusterConfig {
+                replicas: 3,
+                queue_cap: 1,
+            },
+        );
+        let report = tight.run(&mut LeastLoaded, &requests).unwrap();
+        assert_eq!(report.completed, 120);
+    }
+
+    #[test]
+    fn staggered_arrivals_record_queue_waits() {
+        let mut requests = grouped_requests(10, 10);
+        ArrivalProcess::Uniform { rate_rps: 2000.0 }.assign(&mut requests);
+        let report = sim(2).run(&mut LeastLoaded, &requests).unwrap();
+        assert_eq!(report.completed, 100);
+        assert!(report.queue_wait_p50_s >= 0.0);
+        assert!(report.queue_wait_p99_s >= report.queue_wait_p50_s);
+        assert!(report.queue_wait_max_s >= report.queue_wait_p99_s);
+        // Replicas that started late must carry idle time on the shared
+        // timeline rather than compressing history.
+        assert!(report.makespan_s >= requests.last().unwrap().arrival_s);
+    }
+
+    #[test]
+    fn config_validation() {
+        let requests = grouped_requests(1, 2);
+        let no_replicas = ClusterSim::new(
+            engine(),
+            ClusterConfig {
+                replicas: 0,
+                queue_cap: 4,
+            },
+        );
+        assert!(matches!(
+            no_replicas.run(&mut LeastLoaded, &requests),
+            Err(ClusterError::InvalidConfig { .. })
+        ));
+        let no_queue = ClusterSim::new(
+            engine(),
+            ClusterConfig {
+                replicas: 2,
+                queue_cap: 0,
+            },
+        );
+        assert!(matches!(
+            no_queue.run(&mut LeastLoaded, &requests),
+            Err(ClusterError::InvalidConfig { .. })
+        ));
+        let mut bad = requests.clone();
+        bad[1].arrival_s = f64::NAN;
+        assert!(matches!(
+            sim(2).run(&mut LeastLoaded, &bad),
+            Err(ClusterError::InvalidArrival { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn backpressure_delay_is_not_served_retroactively() {
+        // Key = target replica. Six long-prompt requests for replica 0 with
+        // queue_cap 1 block the admission queue's head; the final request
+        // (for idle replica 1) arrives at t=0 but can only be *dispatched*
+        // once replica 0 unblocks the head of the line — its admission time
+        // must reflect that delay, not its arrival time.
+        struct ByKey;
+        impl Router for ByKey {
+            fn name(&self) -> &'static str {
+                "by-key"
+            }
+            fn route(&mut self, key: u64, _replicas: &[ReplicaSnapshot]) -> usize {
+                key as usize
+            }
+        }
+        let mut requests: Vec<ClusterRequest> = (0..6)
+            .map(|i| {
+                let toks: Vec<u32> = (0..2048).map(|j| i as u32 * 4096 + j).collect();
+                ClusterRequest::new(SimRequest::from_tokens(i, toks, 2), 0)
+            })
+            .collect();
+        requests.push(ClusterRequest::new(
+            SimRequest::from_tokens(99, (0..64).map(|j| 900_000 + j).collect(), 2),
+            1,
+        ));
+        let tight = ClusterSim::new(
+            engine(),
+            ClusterConfig {
+                replicas: 2,
+                queue_cap: 1,
+            },
+        );
+        let report = tight.run(&mut ByKey, &requests).unwrap();
+        assert_eq!(report.completed, 7);
+        let late = report.replicas[1]
+            .completions
+            .iter()
+            .find(|c| c.id == 99)
+            .expect("request 99 served on replica 1");
+        // One engine step on replica 0 costs at least a full weight read
+        // (~50ms on an L4); request 99 cannot be admitted before that.
+        assert!(
+            late.admitted_s > 0.04,
+            "blocked request served retroactively at {}s",
+            late.admitted_s
+        );
+        assert!(report.queue_wait_max_s > 0.02);
+    }
+
+    #[test]
+    fn rogue_router_is_rejected() {
+        struct Rogue;
+        impl Router for Rogue {
+            fn name(&self) -> &'static str {
+                "rogue"
+            }
+            fn route(&mut self, _k: u64, replicas: &[ReplicaSnapshot]) -> usize {
+                replicas.len() + 7
+            }
+        }
+        assert!(matches!(
+            sim(2).run(&mut Rogue, &grouped_requests(1, 2)),
+            Err(ClusterError::RouterOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_job_reports_cleanly() {
+        let report = sim(3).run(&mut PrefixAffinity::default(), &[]).unwrap();
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.makespan_s, 0.0);
+        assert_eq!(report.prefix_hit_rate(), 0.0);
+    }
+}

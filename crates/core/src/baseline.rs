@@ -14,7 +14,7 @@
 use crate::fd::FunctionalDeps;
 use crate::phc::phc_of_plan;
 use crate::plan::{ReorderPlan, RowPlan};
-use crate::solver::{check_fd_arity, Reorderer, SolveError, Solution};
+use crate::solver::{check_fd_arity, Reorderer, Solution, SolveError};
 use crate::stats::TableStats;
 use crate::table::ReorderTable;
 use std::time::Instant;
@@ -28,11 +28,7 @@ impl Reorderer for OriginalOrder {
         "original"
     }
 
-    fn reorder(
-        &self,
-        table: &ReorderTable,
-        fds: &FunctionalDeps,
-    ) -> Result<Solution, SolveError> {
+    fn reorder(&self, table: &ReorderTable, fds: &FunctionalDeps) -> Result<Solution, SolveError> {
         check_fd_arity(table, fds)?;
         let start = Instant::now();
         let plan = ReorderPlan::identity(table);
@@ -59,11 +55,7 @@ impl Reorderer for SortedFixed {
         "sorted-fixed"
     }
 
-    fn reorder(
-        &self,
-        table: &ReorderTable,
-        fds: &FunctionalDeps,
-    ) -> Result<Solution, SolveError> {
+    fn reorder(&self, table: &ReorderTable, fds: &FunctionalDeps) -> Result<Solution, SolveError> {
         check_fd_arity(table, fds)?;
         let start = Instant::now();
         let fields: Vec<u32> = (0..table.ncols() as u32).collect();
@@ -91,11 +83,7 @@ impl Reorderer for StatFixed {
         "stat-fixed"
     }
 
-    fn reorder(
-        &self,
-        table: &ReorderTable,
-        fds: &FunctionalDeps,
-    ) -> Result<Solution, SolveError> {
+    fn reorder(&self, table: &ReorderTable, fds: &FunctionalDeps) -> Result<Solution, SolveError> {
         check_fd_arity(table, fds)?;
         let start = Instant::now();
         let fields = TableStats::compute(table).stat_field_order();
@@ -155,7 +143,9 @@ mod tests {
     #[test]
     fn original_is_identity() {
         let t = sample();
-        let s = OriginalOrder.reorder(&t, &FunctionalDeps::empty(2)).unwrap();
+        let s = OriginalOrder
+            .reorder(&t, &FunctionalDeps::empty(2))
+            .unwrap();
         assert_eq!(s.plan, ReorderPlan::identity(&t));
         assert_eq!(s.claimed_phc, 0); // nothing adjacent matches in col0-first order
         assert!(s.plan.validate(&t).is_ok());

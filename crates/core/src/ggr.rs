@@ -29,7 +29,7 @@
 use crate::fd::FunctionalDeps;
 use crate::phc::phc_of_plan;
 use crate::plan::{ReorderPlan, RowPlan};
-use crate::solver::{check_fd_arity, Reorderer, SolveError, Solution};
+use crate::solver::{check_fd_arity, Reorderer, Solution, SolveError};
 use crate::table::ReorderTable;
 use crate::ValueId;
 use serde::{Deserialize, Serialize};
@@ -149,11 +149,7 @@ impl Reorderer for Ggr {
         "ggr"
     }
 
-    fn reorder(
-        &self,
-        table: &ReorderTable,
-        fds: &FunctionalDeps,
-    ) -> Result<Solution, SolveError> {
+    fn reorder(&self, table: &ReorderTable, fds: &FunctionalDeps) -> Result<Solution, SolveError> {
         check_fd_arity(table, fds)?;
         let start = Instant::now();
         let ctx = Ctx {
@@ -292,8 +288,7 @@ impl<'a> Ctx<'a> {
             for (value, members) in groups {
                 // HITCOUNT (lines 3–8): len(v)² plus the mean squared length
                 // of each FD-inferred column over the group.
-                let mut tot_len =
-                    self.table.cell(members[0] as usize, c as usize).sq_len() as f64;
+                let mut tot_len = self.table.cell(members[0] as usize, c as usize).sq_len() as f64;
                 for &ic in &inferred {
                     let sum: f64 = members
                         .iter()
@@ -638,11 +633,7 @@ mod tests {
 
     #[test]
     fn zero_row_depth_is_pure_fallback() {
-        let t = table(&[
-            &[(0, 1), (10, 5)],
-            &[(1, 1), (11, 5)],
-            &[(2, 1), (10, 5)],
-        ]);
+        let t = table(&[&[(0, 1), (10, 5)], &[(1, 1), (11, 5)], &[(2, 1), (10, 5)]]);
         let fds = FunctionalDeps::empty(2);
         let s = ggr(
             &t,
@@ -655,10 +646,7 @@ mod tests {
         );
         let b = crate::baseline::StatFixed.reorder(&t, &fds).unwrap();
         assert_eq!(s.claimed_phc, b.claimed_phc);
-        assert_eq!(
-            phc_of_plan(&t, &s.plan).phc,
-            phc_of_plan(&t, &b.plan).phc
-        );
+        assert_eq!(phc_of_plan(&t, &s.plan).phc, phc_of_plan(&t, &b.plan).phc);
     }
 
     #[test]
@@ -693,10 +681,7 @@ mod tests {
 
     #[test]
     fn huge_threshold_forces_fallback() {
-        let t = table(&[
-            &[(0, 1), (10, 5)],
-            &[(1, 1), (10, 5)],
-        ]);
+        let t = table(&[&[(0, 1), (10, 5)], &[(1, 1), (10, 5)]]);
         let fds = FunctionalDeps::empty(2);
         let s = ggr(
             &t,
@@ -758,11 +743,7 @@ mod tests {
 
     #[test]
     fn fallback_variants_are_valid() {
-        let t = table(&[
-            &[(0, 1), (10, 5)],
-            &[(1, 1), (11, 5)],
-            &[(2, 1), (10, 5)],
-        ]);
+        let t = table(&[&[(0, 1), (10, 5)], &[(1, 1), (11, 5)], &[(2, 1), (10, 5)]]);
         let fds = FunctionalDeps::empty(2);
         for fallback in [
             FallbackOrdering::StatFixed,

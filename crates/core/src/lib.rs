@@ -65,6 +65,6 @@ pub use order::{adaptive_prefix_plan, greedy_prefix_order};
 pub use partition::Partitioned;
 pub use phc::{hit_prefix_cells, phc_of_plan, phc_of_rows, PhcReport};
 pub use plan::{PlanError, ReorderPlan, RowPlan};
-pub use solver::{Reorderer, SolveError, Solution};
+pub use solver::{Reorderer, Solution, SolveError};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Cell, ReorderTable, TableBuilder, TableError};

@@ -17,7 +17,7 @@
 
 use crate::fd::FunctionalDeps;
 use crate::plan::{ReorderPlan, RowPlan};
-use crate::solver::{check_fd_arity, Reorderer, SolveError, Solution};
+use crate::solver::{check_fd_arity, Reorderer, Solution, SolveError};
 use crate::table::ReorderTable;
 use crate::ValueId;
 use std::collections::HashMap;
@@ -74,7 +74,9 @@ impl Ophr {
     /// A solver with the given time budget.
     pub fn with_budget(budget: Duration) -> Self {
         Ophr {
-            config: OphrConfig { budget: Some(budget) },
+            config: OphrConfig {
+                budget: Some(budget),
+            },
         }
     }
 }
@@ -84,11 +86,7 @@ impl Reorderer for Ophr {
         "ophr"
     }
 
-    fn reorder(
-        &self,
-        table: &ReorderTable,
-        fds: &FunctionalDeps,
-    ) -> Result<Solution, SolveError> {
+    fn reorder(&self, table: &ReorderTable, fds: &FunctionalDeps) -> Result<Solution, SolveError> {
         check_fd_arity(table, fds)?;
         let start = Instant::now();
         let deadline = self.config.budget.map(|b| start + b);
@@ -101,11 +99,11 @@ impl Reorderer for Ophr {
         };
         let rows: Vec<u32> = (0..table.nrows() as u32).collect();
         let cols: Vec<u32> = (0..table.ncols() as u32).collect();
-        let claimed_phc = ctx.solve(&rows, &cols).map_err(|TimedOut| {
-            SolveError::BudgetExceeded {
-                budget: self.config.budget.unwrap_or_default(),
-            }
-        })?;
+        let claimed_phc =
+            ctx.solve(&rows, &cols)
+                .map_err(|TimedOut| SolveError::BudgetExceeded {
+                    budget: self.config.budget.unwrap_or_default(),
+                })?;
         let ordered = ctx.build(&rows, &cols);
         let plan = ReorderPlan {
             rows: ordered
@@ -191,8 +189,7 @@ impl<'t> Ctx<'t> {
                 .filter(|r| !group.rows.contains(r))
                 .collect();
             let sub_cols: Vec<u32> = cols.iter().copied().filter(|&c| c != group.col).collect();
-            let score =
-                contrib + self.solve(&rest, cols)? + self.solve(&group.rows, &sub_cols)?;
+            let score = contrib + self.solve(&rest, cols)? + self.solve(&group.rows, &sub_cols)?;
             let better = match best {
                 None => true,
                 // Deterministic tiebreak: higher score, then lower column,
@@ -274,9 +271,7 @@ fn multi_groups(table: &ReorderTable, rows: &[u32], cols: &[u32]) -> Vec<Group> 
         // Deterministic candidate order regardless of hash iteration.
         groups.sort_by_key(|(v, _)| *v);
         for (value, members) in groups {
-            let sq_len = table
-                .cell(members[0] as usize, c as usize)
-                .sq_len();
+            let sq_len = table.cell(members[0] as usize, c as usize).sq_len();
             out.push(Group {
                 col: c,
                 value,
@@ -434,11 +429,7 @@ mod tests {
     fn overlapping_groups_choose_best() {
         // Row 1 belongs to both the col0 group (len 2) and the col1 group
         // (len 5); only one can lead its prefix.
-        let t = table(&[
-            &[(1, 2), (7, 5)],
-            &[(1, 2), (8, 5)],
-            &[(3, 2), (8, 5)],
-        ]);
+        let t = table(&[&[(1, 2), (7, 5)], &[(1, 2), (8, 5)], &[(3, 2), (8, 5)]]);
         // Split on col1 value 8 (rows 1,2): 25. Remaining rows {0} scores 0.
         // Within the group, col0 left: values 1,3 distinct → 0. Alternative
         // split on col0 value 1 (rows 0,1): 4 + sub-table col1 {7,8} → 0.

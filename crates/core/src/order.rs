@@ -50,9 +50,7 @@ pub fn greedy_prefix_order(table: &ReorderTable, rows: &[u32], cols: &[u32]) -> 
             let gain = (sum_sq / n as f64) * (n - distinct.len()) as f64;
             let better = match best {
                 None => true,
-                Some((bg, bi)) => {
-                    gain > bg || (gain == bg && remaining[bi] > c)
-                }
+                Some((bg, bi)) => gain > bg || (gain == bg && remaining[bi] > c),
             };
             if better {
                 best = Some((gain, i));
@@ -153,9 +151,7 @@ fn adaptive_rec(
                 sum_sq += cell.sq_len() as f64;
             }
             let gain = (sum_sq / n as f64) * (n - distinct.len()) as f64;
-            if gain > 0.0
-                && best.is_none_or(|(bg, bc)| gain > bg || (gain == bg && c < bc))
-            {
+            if gain > 0.0 && best.is_none_or(|(bg, bc)| gain > bg || (gain == bg && c < bc)) {
                 best = Some((gain, c));
             }
         }
@@ -244,13 +240,7 @@ mod tests {
         // col0: per-row-unique, length 9 (classic trap: big total mass, zero
         // sharing). col1, col2: binary flags, length 4.
         let rows: Vec<Vec<(u32, u32)>> = (0..16)
-            .map(|r| {
-                vec![
-                    (100 + r, 9),
-                    (r % 2, 4),
-                    (1000 + (r / 2) % 2, 4),
-                ]
-            })
+            .map(|r| vec![(100 + r, 9), (r % 2, 4), (1000 + (r / 2) % 2, 4)])
             .collect();
         let refs: Vec<&[(u32, u32)]> = rows.iter().map(Vec::as_slice).collect();
         let t = table(&refs);
@@ -264,9 +254,7 @@ mod tests {
         // colA: card 2, len 3. colB: card 8 (unique per pair), len 10.
         // Naive mass ordering puts B first (100·(n−8) > 9·(n−2) for n=8? —
         // B has no duplicates at all here, so gain_B = 0 and A must lead.
-        let rows: Vec<Vec<(u32, u32)>> = (0..8)
-            .map(|r| vec![(r % 2, 3), (50 + r, 10)])
-            .collect();
+        let rows: Vec<Vec<(u32, u32)>> = (0..8).map(|r| vec![(r % 2, 3), (50 + r, 10)]).collect();
         let refs: Vec<&[(u32, u32)]> = rows.iter().map(Vec::as_slice).collect();
         let t = table(&refs);
         let all: Vec<u32> = (0..8).collect();
@@ -276,11 +264,7 @@ mod tests {
 
     #[test]
     fn works_on_row_and_column_subsets() {
-        let t = table(&[
-            &[(0, 1), (10, 5)],
-            &[(1, 1), (10, 5)],
-            &[(2, 1), (11, 5)],
-        ]);
+        let t = table(&[&[(0, 1), (10, 5)], &[(1, 1), (10, 5)], &[(2, 1), (11, 5)]]);
         let order = greedy_prefix_order(&t, &[0, 1], &[1]);
         assert_eq!(order, vec![1]);
         let order = greedy_prefix_order(&t, &[], &[0, 1]);

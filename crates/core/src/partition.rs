@@ -16,7 +16,7 @@
 
 use crate::fd::FunctionalDeps;
 use crate::plan::{ReorderPlan, RowPlan};
-use crate::solver::{check_fd_arity, Reorderer, SolveError, Solution};
+use crate::solver::{check_fd_arity, Reorderer, Solution, SolveError};
 use crate::table::{Cell, ReorderTable};
 use std::time::Instant;
 
@@ -66,11 +66,7 @@ impl<R: Reorderer + Sync> Reorderer for Partitioned<R> {
         "partitioned"
     }
 
-    fn reorder(
-        &self,
-        table: &ReorderTable,
-        fds: &FunctionalDeps,
-    ) -> Result<Solution, SolveError> {
+    fn reorder(&self, table: &ReorderTable, fds: &FunctionalDeps) -> Result<Solution, SolveError> {
         check_fd_arity(table, fds)?;
         let start = Instant::now();
         let n = table.nrows();
@@ -89,9 +85,8 @@ impl<R: Reorderer + Sync> Reorderer for Partitioned<R> {
                 .map(|&(lo, hi)| {
                     let inner = &self.inner;
                     scope.spawn(move || {
-                        let mut chunk =
-                            ReorderTable::new(table.column_names().to_vec())
-                                .expect("table has columns");
+                        let mut chunk = ReorderTable::new(table.column_names().to_vec())
+                            .expect("table has columns");
                         for r in lo..hi {
                             let row: Vec<Cell> = table.row(r).to_vec();
                             chunk.push_row(row).expect("arity preserved");
@@ -198,7 +193,9 @@ mod tests {
     fn claimed_phc_is_a_lower_bound() {
         let t = join_table(90, 9);
         let fds = FunctionalDeps::empty(2);
-        let s = Partitioned::new(Ggr::default(), 20).reorder(&t, &fds).unwrap();
+        let s = Partitioned::new(Ggr::default(), 20)
+            .reorder(&t, &fds)
+            .unwrap();
         // Cross-boundary accidental matches only add hits.
         assert!(phc_of_plan(&t, &s.plan).phc >= s.claimed_phc);
     }
@@ -207,8 +204,12 @@ mod tests {
     fn deterministic_across_runs() {
         let t = join_table(64, 4);
         let fds = FunctionalDeps::empty(2);
-        let a = Partitioned::new(Ggr::default(), 16).reorder(&t, &fds).unwrap();
-        let b = Partitioned::new(Ggr::default(), 16).reorder(&t, &fds).unwrap();
+        let a = Partitioned::new(Ggr::default(), 16)
+            .reorder(&t, &fds)
+            .unwrap();
+        let b = Partitioned::new(Ggr::default(), 16)
+            .reorder(&t, &fds)
+            .unwrap();
         assert_eq!(a.plan, b.plan);
     }
 
@@ -218,8 +219,8 @@ mod tests {
         // Zero budget on a table with group structure: some partition fails.
         let t = join_table(40, 2);
         let fds = FunctionalDeps::empty(2);
-        let r = Partitioned::new(Ophr::with_budget(std::time::Duration::ZERO), 20)
-            .reorder(&t, &fds);
+        let r =
+            Partitioned::new(Ophr::with_budget(std::time::Duration::ZERO), 20).reorder(&t, &fds);
         assert!(matches!(r, Err(SolveError::BudgetExceeded { .. })));
     }
 

@@ -176,11 +176,7 @@ mod tests {
     #[test]
     fn hits_are_pairwise_with_previous_row_only() {
         // Row 3 matches row 1 but not row 2: no hit (Eq. 2 compares r−1).
-        let rows = vec![
-            vec![(0, c(1, 3))],
-            vec![(0, c(2, 3))],
-            vec![(0, c(1, 3))],
-        ];
+        let rows = vec![vec![(0, c(1, 3))], vec![(0, c(2, 3))], vec![(0, c(1, 3))]];
         assert_eq!(phc_of_rows(&rows).phc, 0);
     }
 

@@ -107,6 +107,41 @@ impl ReorderPlan {
         self.rows.len()
     }
 
+    /// Shared-prefix identity of every scheduled row, in schedule order.
+    ///
+    /// The key for a row is a hash over its first `depth` scheduled
+    /// `(field, value)` pairs, so two rows receive equal keys exactly when
+    /// they serialize the same leading fields with the same values — i.e.
+    /// when their prompts share a prefix at least `depth` fields deep. This
+    /// is the routing tag a sharded serving layer needs: dispatching rows
+    /// with equal keys to the same replica preserves the prefix locality the
+    /// solver created (`llmqo-cluster`'s `PrefixAffinity` policy consumes
+    /// these keys).
+    ///
+    /// `depth` is clamped to each row's field count; `depth == 0` puts every
+    /// row in one group. Keys say nothing about *adjacent* hits — they
+    /// capture group identity, not schedule position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan references rows or fields outside `table` (call
+    /// [`validate`](ReorderPlan::validate) first for untrusted plans).
+    pub fn prefix_keys(&self, table: &ReorderTable, depth: usize) -> Vec<u64> {
+        self.rows
+            .iter()
+            .map(|rp| {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for &f in rp.fields.iter().take(depth) {
+                    let v = table.cell(rp.row, f as usize).value.as_u32();
+                    for b in f.to_le_bytes().into_iter().chain(v.to_le_bytes()) {
+                        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+                    }
+                }
+                h
+            })
+            .collect()
+    }
+
     /// Whether the plan schedules no rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
@@ -178,7 +213,10 @@ mod tests {
         p.rows.pop();
         assert_eq!(
             p.validate(&t),
-            Err(PlanError::RowCount { expected: 3, got: 2 })
+            Err(PlanError::RowCount {
+                expected: 3,
+                got: 2
+            })
         );
     }
 
@@ -187,7 +225,10 @@ mod tests {
         let t = table(2, 2);
         let mut p = ReorderPlan::identity(&t);
         p.rows[1].row = 0;
-        assert_eq!(p.validate(&t), Err(PlanError::NotARowPermutation { row: 0 }));
+        assert_eq!(
+            p.validate(&t),
+            Err(PlanError::NotARowPermutation { row: 0 })
+        );
     }
 
     #[test]
@@ -195,7 +236,10 @@ mod tests {
         let t = table(2, 2);
         let mut p = ReorderPlan::identity(&t);
         p.rows[1].row = 7;
-        assert_eq!(p.validate(&t), Err(PlanError::NotARowPermutation { row: 7 }));
+        assert_eq!(
+            p.validate(&t),
+            Err(PlanError::NotARowPermutation { row: 7 })
+        );
     }
 
     #[test]
@@ -232,12 +276,61 @@ mod tests {
     #[test]
     fn errors_display() {
         for e in [
-            PlanError::RowCount { expected: 1, got: 2 },
+            PlanError::RowCount {
+                expected: 1,
+                got: 2,
+            },
             PlanError::NotARowPermutation { row: 3 },
             PlanError::NotAFieldPermutation { position: 0 },
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn prefix_keys_group_rows_sharing_leading_cells() {
+        // Rows 0..4: leading value repeats in pairs; second column unique.
+        let mut t = ReorderTable::new(vec!["a".into(), "b".into()]).unwrap();
+        for r in 0..4u32 {
+            t.push_row(vec![
+                Cell::new(ValueId::from_raw(r / 2), 3),
+                Cell::new(ValueId::from_raw(100 + r), 2),
+            ])
+            .unwrap();
+        }
+        let plan = ReorderPlan::identity(&t);
+        let keys = plan.prefix_keys(&t, 1);
+        assert_eq!(keys.len(), 4);
+        assert_eq!(keys[0], keys[1]);
+        assert_eq!(keys[2], keys[3]);
+        assert_ne!(keys[0], keys[2]);
+        // Depth 2 separates rows with distinct second fields.
+        let deep = plan.prefix_keys(&t, 2);
+        assert_ne!(deep[0], deep[1]);
+        // Depth 0 collapses everything into one routing group.
+        let flat = plan.prefix_keys(&t, 0);
+        assert!(flat.windows(2).all(|w| w[0] == w[1]));
+        // Depth beyond the field count is clamped, not a panic.
+        let clamped = plan.prefix_keys(&t, 99);
+        assert_eq!(clamped, plan.prefix_keys(&t, 2));
+    }
+
+    #[test]
+    fn prefix_keys_respect_field_order() {
+        // Same values, but one row schedules its fields reversed: the
+        // serialized prefixes differ, so the keys must differ.
+        let mut t = ReorderTable::new(vec!["a".into(), "b".into()]).unwrap();
+        for _ in 0..2 {
+            t.push_row(vec![
+                Cell::new(ValueId::from_raw(1), 3),
+                Cell::new(ValueId::from_raw(2), 2),
+            ])
+            .unwrap();
+        }
+        let mut plan = ReorderPlan::identity(&t);
+        plan.rows[1].fields = vec![1, 0];
+        let keys = plan.prefix_keys(&t, 1);
+        assert_ne!(keys[0], keys[1]);
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl fmt::Display for SolveError {
             SolveError::BudgetExceeded { budget } => {
                 write!(f, "solver exceeded its time budget of {budget:?}")
             }
-            SolveError::FdArityMismatch { table_cols, fd_cols } => write!(
+            SolveError::FdArityMismatch {
+                table_cols,
+                fd_cols,
+            } => write!(
                 f,
                 "functional dependencies cover {fd_cols} columns but table has {table_cols}"
             ),
@@ -70,15 +73,11 @@ pub trait Reorderer {
     ///
     /// [`SolveError::BudgetExceeded`] for budgeted exact solvers;
     /// [`SolveError::FdArityMismatch`] if `fds` does not match the table.
-    fn reorder(&self, table: &ReorderTable, fds: &FunctionalDeps)
-        -> Result<Solution, SolveError>;
+    fn reorder(&self, table: &ReorderTable, fds: &FunctionalDeps) -> Result<Solution, SolveError>;
 }
 
 /// Validates FD/table arity, shared by solver implementations.
-pub(crate) fn check_fd_arity(
-    table: &ReorderTable,
-    fds: &FunctionalDeps,
-) -> Result<(), SolveError> {
+pub(crate) fn check_fd_arity(table: &ReorderTable, fds: &FunctionalDeps) -> Result<(), SolveError> {
     if table.ncols() != fds.ncols() {
         return Err(SolveError::FdArityMismatch {
             table_cols: table.ncols(),

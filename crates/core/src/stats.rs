@@ -74,7 +74,11 @@ impl TableStats {
                 }
                 ColumnStats {
                     cardinality: counts.len(),
-                    avg_len: if n == 0 { 0.0 } else { total_len as f64 / n as f64 },
+                    avg_len: if n == 0 {
+                        0.0
+                    } else {
+                        total_len as f64 / n as f64
+                    },
                     avg_sq_len: if n == 0 { 0.0 } else { total_sq / n as f64 },
                     total_len,
                     max_group: counts.values().copied().max().unwrap_or(0),
@@ -142,11 +146,7 @@ mod tests {
 
     #[test]
     fn cardinality_and_lengths() {
-        let t = table(&[
-            &[(0, 2), (10, 4)],
-            &[(1, 2), (10, 4)],
-            &[(0, 2), (11, 6)],
-        ]);
+        let t = table(&[&[(0, 2), (10, 4)], &[(1, 2), (10, 4)], &[(0, 2), (11, 6)]]);
         let s = TableStats::compute(&t);
         assert_eq!(s.nrows(), 3);
         assert_eq!(s.column(0).cardinality, 2);

@@ -298,7 +298,13 @@ mod tests {
     fn arity_mismatch_is_an_error() {
         let mut t = ReorderTable::new(vec!["a".into()]).unwrap();
         let err = t.push_row(vec![cell(0, 1), cell(1, 1)]).unwrap_err();
-        assert_eq!(err, TableError::ArityMismatch { expected: 1, got: 2 });
+        assert_eq!(
+            err,
+            TableError::ArityMismatch {
+                expected: 1,
+                got: 2
+            }
+        );
         assert!(!err.to_string().is_empty());
     }
 
@@ -341,7 +347,8 @@ mod tests {
     #[test]
     fn select_columns_projects_in_order() {
         let mut t = ReorderTable::new(vec!["a".into(), "b".into(), "c".into()]).unwrap();
-        t.push_row(vec![cell(0, 1), cell(1, 2), cell(2, 3)]).unwrap();
+        t.push_row(vec![cell(0, 1), cell(1, 2), cell(2, 3)])
+            .unwrap();
         let s = t.select_columns(&[2, 0]);
         assert_eq!(s.column_names(), &["c".to_string(), "a".to_string()]);
         assert_eq!(s.cell(0, 0), cell(2, 3));

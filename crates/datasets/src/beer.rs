@@ -83,7 +83,9 @@ pub(crate) fn generate(nrows: usize) -> (Table, FunctionalDeps, Vec<LlmQuery>) {
         const LADDER: [&str; 9] = ["1", "1.5", "2", "2.5", "3", "3.5", "4", "4.5", "5"];
         let score = |rng: &mut StdRng| {
             // Mostly the beer's consensus score, occasionally ±one step.
-            let offset: i64 = *[0i64, 0, 0, 0, 1, -1].get(rng.random_range(0..6usize)).unwrap();
+            let offset: i64 = *[0i64, 0, 0, 0, 1, -1]
+                .get(rng.random_range(0..6usize))
+                .unwrap();
             let idx = (beer.quality as i64 + offset).clamp(0, 8) as usize;
             LADDER[idx].to_string()
         };
@@ -96,8 +98,11 @@ pub(crate) fn generate(nrows: usize) -> (Table, FunctionalDeps, Vec<LlmQuery>) {
                 score(&mut rng).into(),
                 score(&mut rng).into(),
                 reviewers[reviewer_zipf.sample(&mut rng)].clone().into(),
-                format!("{}", 1_100_000_000u64 + row as u64 * 977 + rng.random_range(0..900u64))
-                    .into(),
+                format!(
+                    "{}",
+                    1_100_000_000u64 + row as u64 * 977 + rng.random_range(0..900u64)
+                )
+                .into(),
             ])
             .expect("beer schema arity");
     }

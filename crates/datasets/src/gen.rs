@@ -13,21 +13,140 @@ use rand::Rng;
 /// A compact English vocabulary; enough variety that hashing/embedding see
 /// realistic token diversity.
 const WORDS: &[&str] = &[
-    "the", "quiet", "mountain", "river", "follows", "ancient", "stone", "path", "toward",
-    "evening", "light", "small", "village", "market", "opens", "before", "dawn", "farmers",
-    "carry", "baskets", "fresh", "bread", "warm", "honey", "children", "laugh", "narrow",
-    "streets", "music", "drifts", "open", "windows", "travelers", "rest", "under", "willow",
-    "trees", "stories", "gather", "around", "fires", "winter", "brings", "heavy", "snow",
-    "across", "northern", "hills", "spring", "melts", "into", "bright", "meadows", "full",
-    "wild", "flowers", "summer", "days", "stretch", "long", "golden", "autumn", "turns",
-    "forest", "crimson", "amber", "harvest", "moon", "rises", "over", "fields", "wheat",
-    "sailors", "watch", "distant", "storms", "roll", "across", "gray", "water", "lanterns",
-    "glow", "along", "harbor", "wall", "old", "clock", "tower", "marks", "slow", "hours",
-    "library", "holds", "countless", "maps", "forgotten", "roads", "scholars", "debate",
-    "meaning", "faded", "letters", "garden", "gates", "creak", "wind", "shifts", "south",
-    "birds", "return", "carrying", "seeds", "new", "seasons", "bells", "ring", "twice",
-    "noon", "merchants", "close", "shutters", "against", "heat", "rain", "washes", "dust",
-    "from", "cobblestones", "morning", "fog", "lifts", "reveal", "valley", "below",
+    "the",
+    "quiet",
+    "mountain",
+    "river",
+    "follows",
+    "ancient",
+    "stone",
+    "path",
+    "toward",
+    "evening",
+    "light",
+    "small",
+    "village",
+    "market",
+    "opens",
+    "before",
+    "dawn",
+    "farmers",
+    "carry",
+    "baskets",
+    "fresh",
+    "bread",
+    "warm",
+    "honey",
+    "children",
+    "laugh",
+    "narrow",
+    "streets",
+    "music",
+    "drifts",
+    "open",
+    "windows",
+    "travelers",
+    "rest",
+    "under",
+    "willow",
+    "trees",
+    "stories",
+    "gather",
+    "around",
+    "fires",
+    "winter",
+    "brings",
+    "heavy",
+    "snow",
+    "across",
+    "northern",
+    "hills",
+    "spring",
+    "melts",
+    "into",
+    "bright",
+    "meadows",
+    "full",
+    "wild",
+    "flowers",
+    "summer",
+    "days",
+    "stretch",
+    "long",
+    "golden",
+    "autumn",
+    "turns",
+    "forest",
+    "crimson",
+    "amber",
+    "harvest",
+    "moon",
+    "rises",
+    "over",
+    "fields",
+    "wheat",
+    "sailors",
+    "watch",
+    "distant",
+    "storms",
+    "roll",
+    "across",
+    "gray",
+    "water",
+    "lanterns",
+    "glow",
+    "along",
+    "harbor",
+    "wall",
+    "old",
+    "clock",
+    "tower",
+    "marks",
+    "slow",
+    "hours",
+    "library",
+    "holds",
+    "countless",
+    "maps",
+    "forgotten",
+    "roads",
+    "scholars",
+    "debate",
+    "meaning",
+    "faded",
+    "letters",
+    "garden",
+    "gates",
+    "creak",
+    "wind",
+    "shifts",
+    "south",
+    "birds",
+    "return",
+    "carrying",
+    "seeds",
+    "new",
+    "seasons",
+    "bells",
+    "ring",
+    "twice",
+    "noon",
+    "merchants",
+    "close",
+    "shutters",
+    "against",
+    "heat",
+    "rain",
+    "washes",
+    "dust",
+    "from",
+    "cobblestones",
+    "morning",
+    "fog",
+    "lifts",
+    "reveal",
+    "valley",
+    "below",
 ];
 
 /// Deterministic text generator with token-count targets.
@@ -208,7 +327,12 @@ mod tests {
         for _ in 0..10_000 {
             counts[z.sample(&mut r)] += 1;
         }
-        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
         assert!(counts[0] > counts[10]);
     }
 

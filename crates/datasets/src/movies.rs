@@ -27,8 +27,18 @@ pub(crate) const FIELDS: [&str; 8] = [
 ];
 
 const GENRES: [&str; 12] = [
-    "Drama", "Comedy", "Action", "Romance", "Thriller", "Documentary", "Animation", "Horror",
-    "Mystery", "Adventure", "Fantasy", "Musical",
+    "Drama",
+    "Comedy",
+    "Action",
+    "Romance",
+    "Thriller",
+    "Documentary",
+    "Animation",
+    "Horror",
+    "Mystery",
+    "Adventure",
+    "Fantasy",
+    "Musical",
 ];
 
 struct Movie {
@@ -72,8 +82,16 @@ pub(crate) fn generate(nrows: usize) -> (Table, FunctionalDeps, Vec<LlmQuery>) {
         let movie = &movies[m];
         // Rotten Tomatoes critic blurbs are short.
         let review = tg.text(&mut rng, 16);
-        let review_type = if rng.random_bool(0.6) { "Fresh" } else { "Rotten" };
-        let top_critic = if rng.random_bool(0.3) { "true" } else { "false" };
+        let review_type = if rng.random_bool(0.6) {
+            "Fresh"
+        } else {
+            "Rotten"
+        };
+        let top_critic = if rng.random_bool(0.3) {
+            "true"
+        } else {
+            "false"
+        };
         table
             .push_row(vec![
                 movie.genres.clone().into(),
@@ -89,8 +107,8 @@ pub(crate) fn generate(nrows: usize) -> (Table, FunctionalDeps, Vec<LlmQuery>) {
     }
 
     // Appendix B: movieinfo ↔ movietitle ↔ rottentomatoeslink.
-    let fds = FunctionalDeps::from_groups(FIELDS.len(), vec![vec![1, 2, 6]])
-        .expect("indices in range");
+    let fds =
+        FunctionalDeps::from_groups(FIELDS.len(), vec![vec![1, 2, 6]]).expect("indices in range");
 
     let all_fields: Vec<String> = FIELDS.iter().map(|s| s.to_string()).collect();
     let yes_no = vec!["Yes".to_string(), "No".to_string()];

@@ -77,17 +77,49 @@ pub(crate) const FIELDS: [&str; 57] = [
 ];
 
 const GENRES: [&str; 20] = [
-    "classical", "folk", "jazz", "march", "waltz", "hymn", "ragtime", "polka", "tango",
-    "overture", "sonata", "etude", "nocturne", "prelude", "fugue", "minuet", "ballad",
-    "carol", "anthem", "serenade",
+    "classical",
+    "folk",
+    "jazz",
+    "march",
+    "waltz",
+    "hymn",
+    "ragtime",
+    "polka",
+    "tango",
+    "overture",
+    "sonata",
+    "etude",
+    "nocturne",
+    "prelude",
+    "fugue",
+    "minuet",
+    "ballad",
+    "carol",
+    "anthem",
+    "serenade",
 ];
 const LICENSES: [(&str, &str); 6] = [
     ("CC-BY-4.0", "https://creativecommons.org/licenses/by/4.0/"),
-    ("CC-BY-SA-4.0", "https://creativecommons.org/licenses/by-sa/4.0/"),
-    ("CC0-1.0", "https://creativecommons.org/publicdomain/zero/1.0/"),
-    ("CC-BY-NC-4.0", "https://creativecommons.org/licenses/by-nc/4.0/"),
-    ("PD-Mark", "https://creativecommons.org/publicdomain/mark/1.0/"),
-    ("CC-BY-ND-4.0", "https://creativecommons.org/licenses/by-nd/4.0/"),
+    (
+        "CC-BY-SA-4.0",
+        "https://creativecommons.org/licenses/by-sa/4.0/",
+    ),
+    (
+        "CC0-1.0",
+        "https://creativecommons.org/publicdomain/zero/1.0/",
+    ),
+    (
+        "CC-BY-NC-4.0",
+        "https://creativecommons.org/licenses/by-nc/4.0/",
+    ),
+    (
+        "PD-Mark",
+        "https://creativecommons.org/publicdomain/mark/1.0/",
+    ),
+    (
+        "CC-BY-ND-4.0",
+        "https://creativecommons.org/licenses/by-nd/4.0/",
+    ),
 ];
 const INSTRUMENT_SETS: [&str; 8] = [
     "piano",
@@ -107,11 +139,15 @@ pub(crate) fn generate(nrows: usize) -> (Table, FunctionalDeps, Vec<LlmQuery>) {
     let ncomposers = (nrows / 60).max(1);
     let npublishers = 150.min(nrows).max(1);
 
-    let artists: Vec<String> = (0..nartists).map(|i| tg.name(&mut rng, 2, Some(i))).collect();
-    let composers: Vec<String> =
-        (0..ncomposers).map(|i| tg.name(&mut rng, 2, Some(i))).collect();
-    let publishers: Vec<String> =
-        (0..npublishers).map(|i| tg.name(&mut rng, 1, Some(i))).collect();
+    let artists: Vec<String> = (0..nartists)
+        .map(|i| tg.name(&mut rng, 2, Some(i)))
+        .collect();
+    let composers: Vec<String> = (0..ncomposers)
+        .map(|i| tg.name(&mut rng, 2, Some(i)))
+        .collect();
+    let publishers: Vec<String> = (0..npublishers)
+        .map(|i| tg.name(&mut rng, 1, Some(i)))
+        .collect();
 
     // Distributions are deliberately skewed — most flags are rare, most
     // counters are zero-inflated, licenses/genres follow popularity — which
@@ -148,79 +184,76 @@ pub(crate) fn generate(nrows: usize) -> (Table, FunctionalDeps, Vec<LlmQuery>) {
         let complexity = [1i64, 1, 1, 2, 2, 3, 4][rng.random_range(0..7usize)];
         let genre = GENRES[genre_zipf.sample(&mut rng)];
         let values: Vec<Value> = vec![
-            artists[artist_zipf.sample(&mut rng)].clone().into(),       // artistname
-            b(&mut rng, 0.06),                                          // bestarrangement
-            b(&mut rng, 0.93),                                          // bestpath
-            b(&mut rng, 0.04),                                          // bestuniquearrangement
-            composers[composer_zipf.sample(&mut rng)].clone().into(),   // composername
-            complexity.to_string().into(),                              // complexity
-            genre.into(),                                               // genre
-            format!("{:.1}", rng.random::<f64>()).into(),               // grooveconsistency
-            format!("set-{}", rng.random_range(0..8u32)).into(),        // groups
-            fb(flag),                                                   // hasannotations (FD)
-            b(&mut rng, 0.03),                                          // hascustomaudio
-            b(&mut rng, 0.01),                                          // hascustomvideo
-            b(&mut rng, 0.2),                                           // haslyrics
-            fb(flag),                                                   // hasmetadata (FD)
-            b(&mut rng, 0.02),                                          // haspaywall
-            format!("pdmx-{row:07}").into(),                            // id
-            b(&mut rng, 0.08),                                          // isbestarrangement
-            b(&mut rng, 0.92),                                          // isbestpath
-            b(&mut rng, 0.04),                                          // isbestuniquearrangement
-            fb(!flag),                                                  // isdraft (FD)
-            fb(flag),                                                   // isofficial (FD)
-            b(&mut rng, 0.94),                                          // isoriginal
-            b(&mut rng, 0.04),                                          // isuserpro
-            fb(!flag),                                                  // isuserpublisher (FD)
-            b(&mut rng, 0.01),                                          // isuserstaff
-            license.into(),                                             // license
-            license_url.into(),                                         // licenseurl
-            format!("meta/{uuid}").into(),                              // metadata (FD w/ path)
-            zcount(&mut rng, 12),                                       // nannotations
-            zcount(&mut rng, 30),                                       // ncomments
-            zcount(&mut rng, 40),                                       // nfavorites
-            zcount(&mut rng, 60),                                       // nlyrics
-            format!("{:.1}", 2.0 + complexity as f64 * 0.8).into(),     // notesperbar (≈complexity)
-            (length_k * 100).to_string().into(),                        // nnotes (≈length)
-            zcount(&mut rng, 20),                                       // nratings
-            [1i64, 1, 1, 2, 2, 4][rng.random_range(0..6usize)].to_string().into(), // ntracks
-            (length_k * 240).to_string().into(),                        // ntokens (≈length)
-            zcount(&mut rng, 300),                                      // nviews
-            format!("data/scores/{uuid}.musicxml").into(),              // path (FD w/ metadata)
-            format!("{:.3}", rng.random::<f64>() * 3.5).into(),         // pitchclassentropy
+            artists[artist_zipf.sample(&mut rng)].clone().into(), // artistname
+            b(&mut rng, 0.06),                                    // bestarrangement
+            b(&mut rng, 0.93),                                    // bestpath
+            b(&mut rng, 0.04),                                    // bestuniquearrangement
+            composers[composer_zipf.sample(&mut rng)].clone().into(), // composername
+            complexity.to_string().into(),                        // complexity
+            genre.into(),                                         // genre
+            format!("{:.1}", rng.random::<f64>()).into(),         // grooveconsistency
+            format!("set-{}", rng.random_range(0..8u32)).into(),  // groups
+            fb(flag),                                             // hasannotations (FD)
+            b(&mut rng, 0.03),                                    // hascustomaudio
+            b(&mut rng, 0.01),                                    // hascustomvideo
+            b(&mut rng, 0.2),                                     // haslyrics
+            fb(flag),                                             // hasmetadata (FD)
+            b(&mut rng, 0.02),                                    // haspaywall
+            format!("pdmx-{row:07}").into(),                      // id
+            b(&mut rng, 0.08),                                    // isbestarrangement
+            b(&mut rng, 0.92),                                    // isbestpath
+            b(&mut rng, 0.04),                                    // isbestuniquearrangement
+            fb(!flag),                                            // isdraft (FD)
+            fb(flag),                                             // isofficial (FD)
+            b(&mut rng, 0.94),                                    // isoriginal
+            b(&mut rng, 0.04),                                    // isuserpro
+            fb(!flag),                                            // isuserpublisher (FD)
+            b(&mut rng, 0.01),                                    // isuserstaff
+            license.into(),                                       // license
+            license_url.into(),                                   // licenseurl
+            format!("meta/{uuid}").into(),                        // metadata (FD w/ path)
+            zcount(&mut rng, 12),                                 // nannotations
+            zcount(&mut rng, 30),                                 // ncomments
+            zcount(&mut rng, 40),                                 // nfavorites
+            zcount(&mut rng, 60),                                 // nlyrics
+            format!("{:.1}", 2.0 + complexity as f64 * 0.8).into(), // notesperbar (≈complexity)
+            (length_k * 100).to_string().into(),                  // nnotes (≈length)
+            zcount(&mut rng, 20),                                 // nratings
+            [1i64, 1, 1, 2, 2, 4][rng.random_range(0..6usize)]
+                .to_string()
+                .into(), // ntracks
+            (length_k * 240).to_string().into(),                  // ntokens (≈length)
+            zcount(&mut rng, 300),                                // nviews
+            format!("data/scores/{uuid}.musicxml").into(),        // path (FD w/ metadata)
+            format!("{:.3}", rng.random::<f64>() * 3.5).into(),   // pitchclassentropy
             format!(
                 "20{:02}-{:02}",
                 rng.random_range(20..24u32),
                 rng.random_range(1..=12u32),
             )
             .into(), // postdate
-            format!("p{row:07}").into(),                                // postid
+            format!("p{row:07}").into(),                          // postid
             publishers[publisher_zipf.sample(&mut rng)].clone().into(), // publisher
             ["0.0", "4.5", "4.0", "5.0", "3.5"][rng.random_range(0..5usize)].into(), // rating
-            format!("{:.1}", rng.random::<f64>()).into(),               // scaleconsistency
-            (length_k * 10).to_string().into(),                         // songlength
-            (length_k * 4).to_string().into(),                          // songlengthbars
-            (length_k * 16).to_string().into(),                         // songlengthbeats
-            (length_k * 10).to_string().into(),                         // songlengthseconds
-            tg.name(&mut rng, 2, Some(row)).into(),                     // songname
-            fb(flag),                                                   // subsetall (FD)
-            tg.name(&mut rng, 1, None).into(),                          // subtitle
+            format!("{:.1}", rng.random::<f64>()).into(),         // scaleconsistency
+            (length_k * 10).to_string().into(),                   // songlength
+            (length_k * 4).to_string().into(),                    // songlengthbars
+            (length_k * 16).to_string().into(),                   // songlengthbeats
+            (length_k * 10).to_string().into(),                   // songlengthseconds
+            tg.name(&mut rng, 2, Some(row)).into(),               // songname
+            fb(flag),                                             // subsetall (FD)
+            tg.name(&mut rng, 1, None).into(),                    // subtitle
             format!("{}, {}", genre, GENRES[genre_zipf.sample(&mut rng)]).into(), // tags (lead tag = genre)
-            tg.text(&mut rng, 70).into(),                               // text
-            tg.name(&mut rng, 3, Some(row)).into(),                     // title
-            INSTRUMENT_SETS[rng.random_range(0..INSTRUMENT_SETS.len())].into(), // tracks
-            ["1.0", "2.0", "3.0"][rng.random_range(0..3usize)].into(),  // version
+            tg.text(&mut rng, 70).into(),                                         // text
+            tg.name(&mut rng, 3, Some(row)).into(),                               // title
+            INSTRUMENT_SETS[rng.random_range(0..INSTRUMENT_SETS.len())].into(),   // tracks
+            ["1.0", "2.0", "3.0"][rng.random_range(0..3usize)].into(),            // version
         ];
         table.push_row(values).expect("pdmx schema arity");
     }
 
     // Appendix B: [metadata, path] and the six co-varying flags.
-    let idx = |name: &str| {
-        FIELDS
-            .iter()
-            .position(|f| *f == name)
-            .expect("known field") as u32
-    };
+    let idx = |name: &str| FIELDS.iter().position(|f| *f == name).expect("known field") as u32;
     let fds = FunctionalDeps::from_groups(
         FIELDS.len(),
         vec![

@@ -60,14 +60,19 @@ pub(crate) fn generate(nrows: usize) -> (Table, FunctionalDeps, Vec<LlmQuery>) {
                 rating.to_string().into(),
                 tg.name(&mut rng, 2, None).into(),
                 tg.text(&mut rng, 36).into(),
-                if rng.random_bool(0.85) { "true" } else { "false" }.into(),
+                if rng.random_bool(0.85) {
+                    "true"
+                } else {
+                    "false"
+                }
+                .into(),
             ])
             .expect("products schema arity");
     }
 
     // Appendix B: parent_asin ↔ product_title.
-    let fds = FunctionalDeps::from_groups(FIELDS.len(), vec![vec![2, 3]])
-        .expect("indices in range");
+    let fds =
+        FunctionalDeps::from_groups(FIELDS.len(), vec![vec![2, 3]]).expect("indices in range");
 
     let all_fields: Vec<String> = FIELDS.iter().map(|s| s.to_string()).collect();
     let tri = vec![

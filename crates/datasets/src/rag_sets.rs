@@ -124,10 +124,7 @@ fn generate_rag(nrows: usize, shape: &RagShape, question_field: &str) -> Table {
     for (q, ctx) in questions.iter().zip(&retrieved) {
         let mut row = vec![q.clone().into()];
         for i in 0..shape.k {
-            let text = ctx
-                .get(i)
-                .map(|&id| corpus[id].clone())
-                .unwrap_or_default();
+            let text = ctx.get(i).map(|&id| corpus[id].clone()).unwrap_or_default();
             row.push(text.into());
         }
         table.push_row(row).expect("rag schema arity");
@@ -147,7 +144,12 @@ pub(crate) fn generate_squad(nrows: usize) -> (Table, FunctionalDeps, Vec<LlmQue
     };
     let table = generate_rag(nrows, &shape, "question");
     let fds = FunctionalDeps::empty(table.ncols());
-    let fields: Vec<String> = table.schema().names().iter().map(|s| s.to_string()).collect();
+    let fields: Vec<String> = table
+        .schema()
+        .names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let queries = vec![LlmQuery::rag(
         "squad-rag",
         "Given a question and supporting contexts, answer the provided question.",

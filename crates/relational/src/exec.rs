@@ -14,9 +14,7 @@
 use crate::prompt::encode_table;
 use crate::query::{LlmQuery, QueryKind};
 use crate::table::{Table, TableError};
-use llmqo_core::{
-    phc_of_plan, FunctionalDeps, PhcReport, Reorderer, SolveError,
-};
+use llmqo_core::{phc_of_plan, FunctionalDeps, PhcReport, Reorderer, SolveError};
 use llmqo_serve::{EngineError, EngineReport, GenRequest, SimEngine, SimLlm, SimRequest};
 use llmqo_tokenizer::Tokenizer;
 use serde::{Deserialize, Serialize};
@@ -48,7 +46,10 @@ impl fmt::Display for ExecError {
             ExecError::Engine(e) => write!(f, "engine error: {e}"),
             ExecError::EmptyFields => write!(f, "query must pass at least one field"),
             ExecError::NotAFilter { stage } => {
-                write!(f, "non-final multi-invocation stage {stage} must be a filter")
+                write!(
+                    f,
+                    "non-final multi-invocation stage {stage} must be a filter"
+                )
             }
         }
     }
@@ -169,25 +170,7 @@ impl<'a> QueryExecutor<'a> {
         debug_assert!(solution.plan.validate(&encoded.reorder).is_ok());
         let field_phc = phc_of_plan(&encoded.reorder, &solution.plan);
 
-        // Build engine requests in schedule order.
-        let requests: Vec<SimRequest> = solution
-            .plan
-            .rows
-            .iter()
-            .map(|rp| {
-                let mut prompt = Vec::with_capacity(1 + rp.fields.len());
-                prompt.push(encoded.instruction.clone());
-                for &f in &rp.fields {
-                    let cell = encoded.reorder.cell(rp.row, f as usize);
-                    prompt.push(encoded.fragments[cell.value.as_u32() as usize].clone());
-                }
-                SimRequest {
-                    id: rp.row,
-                    prompt,
-                    output_len: sample_output_len(&query.name, rp.row, query.output_tokens_mean),
-                }
-            })
-            .collect();
+        let requests = plan_requests(&encoded, &solution.plan, query);
         let engine_report = self.engine.run(&requests)?;
 
         // Generate and parse outputs (original row order for determinism).
@@ -299,9 +282,8 @@ impl<'a> QueryExecutor<'a> {
             for o in &mut out.outputs {
                 o.row = row_map[o.row];
             }
-            let selected_local: Vec<usize> = std::mem::take(&mut out.selected_rows)
-                .into_iter()
-                .collect();
+            let selected_local: Vec<usize> =
+                std::mem::take(&mut out.selected_rows).into_iter().collect();
             out.selected_rows = selected_local.iter().map(|&r| row_map[r]).collect();
             if !is_last {
                 current = current.select_rows(&selected_local);
@@ -311,6 +293,37 @@ impl<'a> QueryExecutor<'a> {
         }
         Ok(results)
     }
+}
+
+/// Builds the engine request stream for a schedule: one [`SimRequest`] per
+/// scheduled row, carrying the query's instruction prefix followed by the
+/// row's field fragments in scheduled order. Fragments are `Arc`-shared with
+/// the [`EncodedTable`](crate::EncodedTable), so equal field values across
+/// rows share token storage. Request ids are *original* row indices, and
+/// output lengths are the executor's deterministic per-row draws — callers
+/// (the executor itself, benchmarks, the cluster router) therefore all
+/// serve byte-identical workloads for a given plan.
+pub fn plan_requests(
+    encoded: &crate::EncodedTable,
+    plan: &llmqo_core::ReorderPlan,
+    query: &LlmQuery,
+) -> Vec<SimRequest> {
+    plan.rows
+        .iter()
+        .map(|rp| {
+            let mut prompt = Vec::with_capacity(1 + rp.fields.len());
+            prompt.push(encoded.instruction.clone());
+            for &f in &rp.fields {
+                let cell = encoded.reorder.cell(rp.row, f as usize);
+                prompt.push(encoded.fragments[cell.value.as_u32() as usize].clone());
+            }
+            SimRequest {
+                id: rp.row,
+                prompt,
+                output_len: sample_output_len(&query.name, rp.row, query.output_tokens_mean),
+            }
+        })
+        .collect()
 }
 
 /// Projects full-schema functional dependencies onto the used columns,
@@ -352,9 +365,7 @@ mod tests {
     use super::*;
     use crate::schema::Schema;
     use llmqo_core::{Ggr, OriginalOrder};
-    use llmqo_serve::{
-        Deployment, EngineConfig, GpuCluster, GpuSpec, ModelSpec, OracleLlm,
-    };
+    use llmqo_serve::{Deployment, EngineConfig, GpuCluster, GpuSpec, ModelSpec, OracleLlm};
 
     fn engine() -> SimEngine {
         SimEngine::new(
@@ -391,9 +402,21 @@ mod tests {
         let eng = engine();
         let ex = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
         let t = table(20);
-        let truth = |row: usize| if row.is_multiple_of(2) { "Yes".into() } else { "No".into() };
+        let truth = |row: usize| {
+            if row.is_multiple_of(2) {
+                "Yes".into()
+            } else {
+                "No".into()
+            }
+        };
         let out = ex
-            .execute(&t, &filter_query(), &OriginalOrder, &FunctionalDeps::empty(2), &truth)
+            .execute(
+                &t,
+                &filter_query(),
+                &OriginalOrder,
+                &FunctionalDeps::empty(2),
+                &truth,
+            )
             .unwrap();
         let expected: Vec<usize> = (0..20).filter(|r| r % 2 == 0).collect();
         assert_eq!(out.selected_rows, expected);
@@ -405,7 +428,13 @@ mod tests {
         let eng = engine();
         let ex = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
         let t = table(30);
-        let truth = |row: usize| if row.is_multiple_of(3) { "Yes".into() } else { "No".into() };
+        let truth = |row: usize| {
+            if row.is_multiple_of(3) {
+                "Yes".into()
+            } else {
+                "No".into()
+            }
+        };
         let fds = FunctionalDeps::empty(2);
         let a = ex
             .execute(&t, &filter_query(), &OriginalOrder, &fds, &truth)
@@ -436,9 +465,7 @@ mod tests {
             ggr.report.engine.prefix_hit_rate(),
             orig.report.engine.prefix_hit_rate()
         );
-        assert!(
-            ggr.report.engine.job_completion_time_s < orig.report.engine.job_completion_time_s
-        );
+        assert!(ggr.report.engine.job_completion_time_s < orig.report.engine.job_completion_time_s);
         assert!(ggr.report.field_phc.phc >= orig.report.field_phc.phc);
     }
 

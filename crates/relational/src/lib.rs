@@ -61,13 +61,13 @@ mod table;
 mod value;
 
 pub use exec::{
-    project_fds, ExecError, ExecutionReport, QueryExecutor, QueryOutput, RowOutput,
-};
-pub use sql::{
-    parse_sql, LlmCall, Projection, SqlDefaults, SqlError, SqlResult, SqlRunner, SqlStatement,
+    plan_requests, project_fds, ExecError, ExecutionReport, QueryExecutor, QueryOutput, RowOutput,
 };
 pub use prompt::{encode_table, field_fragment, EncodedTable};
 pub use query::{LlmQuery, QueryKind};
 pub use schema::{DataType, Field, Schema};
+pub use sql::{
+    parse_sql, LlmCall, Projection, SqlDefaults, SqlError, SqlResult, SqlRunner, SqlStatement,
+};
 pub use table::{Table, TableError};
 pub use value::Value;

@@ -160,10 +160,7 @@ mod tests {
         let cell = e.reorder.cell(0, 0);
         let expected = tok.count(&field_fragment("review", "good"));
         assert_eq!(cell.len as usize, expected);
-        assert_eq!(
-            e.fragments[cell.value.as_u32() as usize].len(),
-            expected
-        );
+        assert_eq!(e.fragments[cell.value.as_u32() as usize].len(), expected);
     }
 
     #[test]

@@ -512,7 +512,12 @@ impl<'a> SqlRunner<'a> {
 
     fn resolve_fields(&self, call: &LlmCall, table: &Table) -> Vec<String> {
         if call.star || call.fields.is_empty() {
-            table.schema().names().iter().map(|s| s.to_string()).collect()
+            table
+                .schema()
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
         } else {
             call.fields.clone()
         }
@@ -523,18 +528,14 @@ impl<'a> SqlRunner<'a> {
     /// # Errors
     ///
     /// [`SqlError`] on parse, catalog, or execution failure.
-    pub fn run(
-        &self,
-        sql: &str,
-        truth: &dyn Fn(usize) -> String,
-    ) -> Result<SqlResult, SqlError> {
+    pub fn run(&self, sql: &str, truth: &dyn Fn(usize) -> String) -> Result<SqlResult, SqlError> {
         let stmt = parse_sql(sql)?;
-        let &(table, fds) = self
-            .catalog
-            .get(&stmt.table)
-            .ok_or_else(|| SqlError::UnknownTable {
-                name: stmt.table.clone(),
-            })?;
+        let &(table, fds) =
+            self.catalog
+                .get(&stmt.table)
+                .ok_or_else(|| SqlError::UnknownTable {
+                    name: stmt.table.clone(),
+                })?;
 
         let mut stages: Vec<QueryOutput> = Vec::new();
 
@@ -572,15 +573,19 @@ impl<'a> SqlRunner<'a> {
         let (columns, rows, aggregate) = match &stmt.projection {
             Projection::Columns(cols) => {
                 let names: Vec<String> = if cols.iter().any(|c| c == "*") {
-                    table.schema().names().iter().map(|s| s.to_string()).collect()
+                    table
+                        .schema()
+                        .names()
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect()
                 } else {
                     cols.clone()
                 };
                 let idx = table
                     .resolve_columns(&names)
                     .map_err(|e| SqlError::Exec(ExecError::Table(e)))?;
-                let row_ids: Vec<usize> =
-                    selected.unwrap_or_else(|| (0..table.nrows()).collect());
+                let row_ids: Vec<usize> = selected.unwrap_or_else(|| (0..table.nrows()).collect());
                 let rows: Vec<Vec<String>> = row_ids
                     .iter()
                     .map(|&r| idx.iter().map(|&c| table.value(r, c).to_string()).collect())
@@ -665,7 +670,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(stmt.table, "movies");
-        assert_eq!(stmt.projection, Projection::Columns(vec!["movietitle".into()]));
+        assert_eq!(
+            stmt.projection,
+            Projection::Columns(vec!["movietitle".into()])
+        );
         let (call, label, negated) = stmt.filter.unwrap();
         assert_eq!(call.prompt, "kids?");
         assert_eq!(call.fields, vec!["movieinfo", "reviewcontent"]);
@@ -688,17 +696,15 @@ mod tests {
     #[test]
     fn parses_aggregation() {
         let stmt =
-            parse_sql("SELECT AVG(LLM('Rate 1-5', reviewcontent)) AS score FROM movies")
-                .unwrap();
+            parse_sql("SELECT AVG(LLM('Rate 1-5', reviewcontent)) AS score FROM movies").unwrap();
         assert!(matches!(stmt.projection, Projection::AvgLlm { .. }));
     }
 
     #[test]
     fn parses_negated_predicate_and_limit() {
-        let stmt = parse_sql(
-            "SELECT * FROM t WHERE LLM('sentiment', review) <> 'NEGATIVE' LIMIT 5",
-        )
-        .unwrap();
+        let stmt =
+            parse_sql("SELECT * FROM t WHERE LLM('sentiment', review) <> 'NEGATIVE' LIMIT 5")
+                .unwrap();
         assert!(stmt.filter.unwrap().2);
         assert_eq!(stmt.limit, Some(5));
     }
@@ -760,7 +766,13 @@ mod tests {
         let solver = Ggr::default();
         let mut runner = SqlRunner::new(&executor, &solver);
         runner.register("tickets", &table, &fds);
-        let truth = |row: usize| if row.is_multiple_of(2) { "Yes".into() } else { "No".into() };
+        let truth = |row: usize| {
+            if row.is_multiple_of(2) {
+                "Yes".into()
+            } else {
+                "No".into()
+            }
+        };
         let res = runner
             .run(
                 "SELECT review FROM tickets WHERE LLM('good?', review, product) = 'Yes'",
@@ -813,7 +825,10 @@ mod tests {
         runner.register("t", &table, &fds);
         let truth = |row: usize| ((row % 5) + 1).to_string();
         let res = runner
-            .run("SELECT AVG(LLM('rate', review, product)) AS score FROM t", &truth)
+            .run(
+                "SELECT AVG(LLM('rate', review, product)) AS score FROM t",
+                &truth,
+            )
             .unwrap();
         assert_eq!(res.aggregate, Some(3.0));
         assert_eq!(res.rows, vec![vec!["3.000".to_string()]]);
@@ -829,7 +844,10 @@ mod tests {
         runner.register("t", &table, &fds);
         let truth = |row: usize| if row < 12 { "Yes".into() } else { "No".into() };
         let res = runner
-            .run("SELECT review FROM t WHERE LLM('keep?', review) <> 'Yes'", &truth)
+            .run(
+                "SELECT review FROM t WHERE LLM('keep?', review) <> 'Yes'",
+                &truth,
+            )
             .unwrap();
         assert_eq!(res.rows.len(), 18);
     }
@@ -843,9 +861,7 @@ mod tests {
         let mut runner = SqlRunner::new(&executor, &solver);
         runner.register("t", &table, &fds);
         let truth = |_: usize| "Yes".to_string();
-        let res = runner
-            .run("SELECT * FROM t LIMIT 3", &truth)
-            .unwrap();
+        let res = runner.run("SELECT * FROM t LIMIT 3", &truth).unwrap();
         assert_eq!(res.rows.len(), 3);
         assert_eq!(res.columns.len(), 2);
     }

@@ -207,7 +207,10 @@ mod tests {
         let mut t = sample();
         assert_eq!(
             t.push_row(vec!["only one".into()]),
-            Err(TableError::ArityMismatch { expected: 2, got: 1 })
+            Err(TableError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
         );
     }
 
@@ -233,7 +236,8 @@ mod tests {
     fn resolve_columns_by_name() {
         let t = sample();
         assert_eq!(
-            t.resolve_columns(&["b".to_string(), "a".to_string()]).unwrap(),
+            t.resolve_columns(&["b".to_string(), "a".to_string()])
+                .unwrap(),
             vec![1, 0]
         );
         assert!(matches!(

@@ -131,6 +131,9 @@ mod tests {
     fn equal_text_means_equal_prompt_fragment() {
         // The exact-match caching identity is the serialized text.
         assert_eq!(Value::Int(5).to_string(), Value::Int(5).to_string());
-        assert_ne!(Value::Int(5).to_string(), Value::Float(5.0).to_string().as_str().repeat(2));
+        assert_ne!(
+            Value::Int(5).to_string(),
+            Value::Float(5.0).to_string().as_str().repeat(2)
+        );
     }
 }

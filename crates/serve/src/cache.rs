@@ -297,9 +297,7 @@ impl PrefixCache {
                 }
             }
         }
-        self.private_blocks = self
-            .private_blocks
-            .saturating_sub(alloc.private_blocks);
+        self.private_blocks = self.private_blocks.saturating_sub(alloc.private_blocks);
     }
 
     /// Evicts one LRU leaf block. Returns `None` if nothing is evictable.
@@ -500,8 +498,8 @@ mod tests {
         let mut c = cache(2);
         let a = c.try_admit(&toks(8, 0), 0).unwrap();
         c.release(a); // both blocks rc=0, leaf+parent: one evictable (leaf)
-        // Re-admitting the same prompt must revive both blocks, not evict
-        // them out from under itself.
+                      // Re-admitting the same prompt must revive both blocks, not evict
+                      // them out from under itself.
         let b = c.try_admit(&toks(8, 0), 0).unwrap();
         assert_eq!(b.prompt_tokens, 8);
         assert_eq!(c.free_blocks(), 0);
@@ -588,10 +586,7 @@ mod proptests {
     /// A randomized schedule of admissions (with varying prefix sharing,
     /// tails, decode reservations) and immediate/deferred releases.
     fn ops_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8, bool)>> {
-        proptest::collection::vec(
-            (0u8..6, 0u8..40, 0u8..12, proptest::bool::ANY),
-            1..80,
-        )
+        proptest::collection::vec((0u8..6, 0u8..40, 0u8..12, proptest::bool::ANY), 1..80)
     }
 
     proptest! {

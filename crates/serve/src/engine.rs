@@ -9,12 +9,11 @@
 //! the prefill phase and frees memory for larger decode batches — the two
 //! mechanisms behind the paper's end-to-end speedups (§6.2, Appendix D.2).
 
-use crate::cache::{CacheConfig, PrefixCache, SeqAlloc};
 use crate::hardware::GpuCluster;
 use crate::model::ModelSpec;
+use crate::session::EngineSession;
 use llmqo_tokenizer::TokenId;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
@@ -32,7 +31,7 @@ pub struct EngineConfig {
     pub enable_prefix_cache: bool,
     /// Whether concurrent requests with equal prefixes are deduplicated
     /// (SGLang RadixAttention / cascade-inference semantics; see
-    /// [`CacheConfig::share_in_flight`]). Default `true`.
+    /// [`crate::CacheConfig::share_in_flight`]). Default `true`.
     pub in_flight_sharing: bool,
     /// Fraction of GPU memory usable by the engine (vLLM
     /// `gpu_memory_utilization`).
@@ -254,25 +253,6 @@ pub struct SimEngine {
     config: EngineConfig,
 }
 
-struct Running {
-    idx: usize,
-    alloc: SeqAlloc,
-    prompt_len: usize,
-    prefilled: usize,
-    output_done: u32,
-    admitted_at: f64,
-    first_token_at: Option<f64>,
-}
-
-/// Percentile of a sorted sample (nearest-rank); 0 for empty samples.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
-
 impl SimEngine {
     /// Creates an engine.
     pub fn new(deployment: Deployment, config: EngineConfig) -> Self {
@@ -289,6 +269,18 @@ impl SimEngine {
         &self.config
     }
 
+    /// Opens an incremental [`EngineSession`] over this deployment: the same
+    /// scheduling loop as [`run`](SimEngine::run), but driven one step at a
+    /// time by the caller, with requests arriving at any point. This is the
+    /// hook the `llmqo-cluster` replica scheduler builds on.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ModelTooLarge`] if weights do not fit.
+    pub fn session(&self) -> Result<EngineSession, EngineError> {
+        EngineSession::new(&self.deployment, self.config)
+    }
+
     /// Runs the batch job to completion, processing `requests` in order.
     ///
     /// # Errors
@@ -296,209 +288,12 @@ impl SimEngine {
     /// [`EngineError::ModelTooLarge`] if weights do not fit;
     /// [`EngineError::RequestTooLarge`] if a request can never be admitted.
     pub fn run(&self, requests: &[SimRequest]) -> Result<EngineReport, EngineError> {
-        let capacity_blocks = self.deployment.kv_capacity_blocks(&self.config);
-        if capacity_blocks == 0 {
-            return Err(EngineError::ModelTooLarge {
-                weight_bytes: self.deployment.model.weight_bytes(),
-                mem_bytes: self.deployment.cluster.total_mem_bytes(),
-            });
+        let mut session = self.session()?;
+        for request in requests {
+            session.enqueue(request.clone());
         }
-        let mut cache = PrefixCache::new(CacheConfig {
-            block_size: self.config.block_size,
-            capacity_blocks,
-            enabled: self.config.enable_prefix_cache,
-            share_in_flight: self.config.in_flight_sharing,
-        });
-
-        let model = &self.deployment.model;
-        let cluster = &self.deployment.cluster;
-        let flops = cluster.total_flops();
-        let bw = cluster.total_mem_bw();
-        let kv_bytes = model.kv_bytes_per_token() as f64;
-        let weight_bytes = model.weight_bytes() as f64;
-
-        let mut report = EngineReport::default();
-        let mut waiting: VecDeque<usize> = (0..requests.len()).collect();
-        let mut running: Vec<Running> = Vec::new();
-        let mut scratch: Vec<TokenId> = Vec::new();
-        let mut ttfts: Vec<f64> = Vec::with_capacity(requests.len());
-        let mut latencies: Vec<f64> = Vec::with_capacity(requests.len());
-        let mut clock = 0.0f64;
-
-        while !waiting.is_empty() || !running.is_empty() {
-            // Build the step: decode every running sequence that finished
-            // prefill, plus chunked prefill within the token budget.
-            let mut decode_tokens = 0u64;
-            let mut decode_ctx = 0u64;
-            for r in &running {
-                if r.prefilled >= r.prompt_len && r.output_done < requests[r.idx].output_len {
-                    decode_tokens += 1;
-                    decode_ctx += (r.prompt_len as u64) + u64::from(r.output_done);
-                }
-            }
-            let mut budget = self
-                .config
-                .max_batch_tokens
-                .saturating_sub(decode_tokens as usize);
-            let mut prefill_flops = 0.0f64;
-            let mut prefill_kv_bytes = 0.0f64;
-            let mut chunks: Vec<(usize, usize)> = Vec::new(); // (running idx, chunk)
-            let take_chunk = |r: &Running,
-                                  i: usize,
-                                  budget: &mut usize,
-                                  prefill_flops: &mut f64,
-                                  prefill_kv_bytes: &mut f64,
-                                  chunks: &mut Vec<(usize, usize)>| {
-                let chunk = (r.prompt_len - r.prefilled).min(*budget);
-                if chunk == 0 {
-                    return;
-                }
-                *budget -= chunk;
-                let ctx_mid = r.prefilled as f64 + chunk as f64 / 2.0;
-                *prefill_flops +=
-                    chunk as f64 * (model.flops_per_token() + model.attn_flops(ctx_mid as u64));
-                *prefill_kv_bytes += (r.prefilled + chunk) as f64 * kv_bytes;
-                chunks.push((i, chunk));
-            };
-            // In-flight prefills continue first (FIFO, vLLM-style) …
-            for (i, r) in running.iter().enumerate() {
-                if budget == 0 {
-                    break;
-                }
-                if r.prefilled < r.prompt_len {
-                    take_chunk(
-                        r,
-                        i,
-                        &mut budget,
-                        &mut prefill_flops,
-                        &mut prefill_kv_bytes,
-                        &mut chunks,
-                    );
-                }
-            }
-            // … then waiting requests are admitted lazily, only when the step
-            // has prefill budget for them. Cache lookups therefore happen at
-            // schedule time, after earlier prefills have marked their blocks
-            // computed — matching vLLM, and meaning the first wave of
-            // concurrent requests does not magically share cold prefixes.
-            while (budget > 0 || decode_tokens + chunks.len() as u64 == 0)
-                && running.len() < self.config.max_num_seqs
-            {
-                let Some(&idx) = waiting.front() else { break };
-                let req = &requests[idx];
-                scratch.clear();
-                for frag in &req.prompt {
-                    scratch.extend_from_slice(frag);
-                }
-                match cache.try_admit(&scratch, req.output_len as usize) {
-                    Some(alloc) => {
-                        waiting.pop_front();
-                        clock += self.config.per_request_overhead_s;
-                        report.overhead_time_s += self.config.per_request_overhead_s;
-                        report.total_prompt_tokens += alloc.prompt_tokens as u64;
-                        report.cached_prompt_tokens += alloc.cached_tokens as u64;
-                        running.push(Running {
-                            idx,
-                            prompt_len: alloc.prompt_tokens,
-                            prefilled: alloc.cached_tokens,
-                            output_done: 0,
-                            alloc,
-                            admitted_at: clock,
-                            first_token_at: None,
-                        });
-                        let i = running.len() - 1;
-                        let r = &running[i];
-                        if r.prefilled < r.prompt_len {
-                            take_chunk(
-                                r,
-                                i,
-                                &mut budget,
-                                &mut prefill_flops,
-                                &mut prefill_kv_bytes,
-                                &mut chunks,
-                            );
-                        }
-                    }
-                    None => {
-                        if running.is_empty() {
-                            let needed = (scratch.len() + req.output_len as usize)
-                                .div_ceil(self.config.block_size);
-                            return Err(EngineError::RequestTooLarge {
-                                id: req.id,
-                                needed_blocks: needed,
-                                capacity_blocks,
-                            });
-                        }
-                        break;
-                    }
-                }
-            }
-            report.peak_running = report.peak_running.max(running.len());
-            if running.is_empty() {
-                break;
-            }
-
-            // Roofline step time.
-            let decode_flops =
-                decode_tokens as f64 * model.flops_per_token() + model.attn_flops(decode_ctx);
-            let compute_t = (prefill_flops + decode_flops) / flops;
-            let mem_t = (weight_bytes + decode_ctx as f64 * kv_bytes + prefill_kv_bytes) / bw;
-            let step_t = compute_t.max(mem_t) + self.config.step_overhead_s;
-
-            // Attribute time to phases for the report (by compute share).
-            let total_work = (prefill_flops + decode_flops).max(1.0);
-            report.prefill_time_s += step_t * prefill_flops / total_work;
-            report.decode_time_s += step_t * decode_flops / total_work;
-            clock += step_t;
-            report.steps += 1;
-
-            // Apply effects: prefill progress (marking blocks computed) and
-            // one decoded token per decoding sequence.
-            for (i, chunk) in chunks {
-                let r = &mut running[i];
-                r.prefilled += chunk;
-                report.computed_prompt_tokens += chunk as u64;
-                cache.mark_computed(&r.alloc, r.prefilled);
-            }
-            let mut i = 0;
-            while i < running.len() {
-                let done_prefill = running[i].prefilled >= running[i].prompt_len;
-                if done_prefill {
-                    let out_target = requests[running[i].idx].output_len;
-                    if running[i].output_done < out_target {
-                        running[i].output_done += 1;
-                        report.total_output_tokens += 1;
-                        if running[i].first_token_at.is_none() {
-                            running[i].first_token_at = Some(clock);
-                            ttfts.push(clock - running[i].admitted_at);
-                        }
-                    }
-                    if running[i].output_done >= out_target {
-                        let r = running.swap_remove(i);
-                        if r.first_token_at.is_none() {
-                            // Zero-output request: first "token" is completion.
-                            ttfts.push(clock - r.admitted_at);
-                        }
-                        latencies.push(clock - r.admitted_at);
-                        cache.release(r.alloc);
-                        report.completed += 1;
-                        continue;
-                    }
-                }
-                i += 1;
-            }
-        }
-
-        ttfts.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        report.ttft_p50_s = percentile(&ttfts, 0.50);
-        report.ttft_p99_s = percentile(&ttfts, 0.99);
-        report.latency_p50_s = percentile(&latencies, 0.50);
-        report.latency_p99_s = percentile(&latencies, 0.99);
-        report.job_completion_time_s = clock;
-        report.peak_blocks = cache.stats().peak_blocks;
-        report.evictions = cache.stats().evictions;
-        Ok(report)
+        while session.step()? {}
+        Ok(session.finish().report)
     }
 }
 
@@ -516,7 +311,10 @@ mod tests {
         (0..n)
             .map(|i| {
                 let mut t: Vec<TokenId> = (0..shared_prefix as u32).collect();
-                t.extend((0..(prompt_len - shared_prefix) as u32).map(|j| 1_000_000 + i as u32 * 10_000 + j));
+                t.extend(
+                    (0..(prompt_len - shared_prefix) as u32)
+                        .map(|j| 1_000_000 + i as u32 * 10_000 + j),
+                );
                 SimRequest::from_tokens(i, t, output)
             })
             .collect()
@@ -609,7 +407,11 @@ mod tests {
     fn request_too_large_is_detected() {
         let engine = SimEngine::new(l4_8b(), EngineConfig::default());
         let cap_tokens = engine.deployment().kv_capacity_tokens(engine.config()) as usize;
-        let huge = vec![SimRequest::from_tokens(7, (0..(cap_tokens as u32 + 64)).collect(), 1)];
+        let huge = vec![SimRequest::from_tokens(
+            7,
+            (0..(cap_tokens as u32 + 64)).collect(),
+            1,
+        )];
         match engine.run(&huge) {
             Err(EngineError::RequestTooLarge { id, .. }) => assert_eq!(id, 7),
             other => panic!("expected RequestTooLarge, got {other:?}"),
@@ -676,14 +478,6 @@ mod tests {
         assert!(r.ttft_p50_s <= r.ttft_p99_s);
         assert!(r.latency_p50_s >= r.ttft_p50_s);
         assert!(r.latency_p99_s <= r.job_completion_time_s + 1e-9);
-    }
-
-    #[test]
-    fn percentile_helper_edges() {
-        assert_eq!(percentile(&[], 0.5), 0.0);
-        assert_eq!(percentile(&[3.0], 0.5), 3.0);
-        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 0.5), 2.0);
-        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 0.99), 4.0);
     }
 
     #[test]

@@ -149,8 +149,9 @@ impl SimLlm for ModelProfile {
                 .iter()
                 .position(|l| l == request.truth)
                 .unwrap_or(0);
-            let offset = 1 + (mix(self.seed ^ 0xabcd, request.row_id)
-                % (request.label_space.len() as u64 - 1)) as usize;
+            let offset = 1
+                + (mix(self.seed ^ 0xabcd, request.row_id) % (request.label_space.len() as u64 - 1))
+                    as usize;
             request.label_space[(idx + offset) % request.label_space.len()].clone()
         } else {
             "UNCLEAR".to_owned()

@@ -58,11 +58,11 @@ mod engine;
 mod hardware;
 mod labeler;
 mod model;
+mod session;
 
 pub use cache::{CacheConfig, CacheStats, PrefixCache, SeqAlloc};
-pub use engine::{
-    Deployment, EngineConfig, EngineError, EngineReport, SimEngine, SimRequest,
-};
+pub use engine::{Deployment, EngineConfig, EngineError, EngineReport, SimEngine, SimRequest};
 pub use hardware::{GpuCluster, GpuSpec};
 pub use labeler::{GenRequest, KeyFieldPreference, ModelProfile, OracleLlm, SimLlm};
 pub use model::ModelSpec;
+pub use session::{percentile, Completion, EngineSession, SessionReport};

@@ -1,0 +1,81 @@
+//! Sharded serving: route a GGR-reordered workload across engine replicas
+//! and watch prefix-affinity routing preserve the hit rate that round-robin
+//! dispatch destroys.
+//!
+//! ```sh
+//! cargo run --release --example cluster_routing
+//! ```
+
+use llmqo::cluster::{
+    tag_requests, ArrivalProcess, ClusterConfig, ClusterSim, LeastLoaded, PrefixAffinity,
+    RoundRobin, Router,
+};
+use llmqo::core::{FunctionalDeps, Ggr, Reorderer};
+use llmqo::relational::{encode_table, plan_requests, LlmQuery, Schema, Table};
+use llmqo::serve::{Deployment, EngineConfig, GpuCluster, GpuSpec, ModelSpec, SimEngine};
+use llmqo::tokenizer::Tokenizer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A reviews⨝products table: 600 rows over 75 products, so GGR groups
+    //    rows into 75 shared-prefix families.
+    let mut table = Table::new(Schema::of_strings(&["review", "product"]));
+    for i in 0..600 {
+        table.push_row(vec![
+            format!("review {i}: arrived in {} pieces, assembly was wild", i % 9).into(),
+            format!(
+                "Acme Gadget {} — titanium chassis, self-winding mainspring, \
+                 includes safety goggles and a 40-page manual",
+                i % 75
+            )
+            .into(),
+        ])?;
+    }
+    let query = LlmQuery::filter(
+        "cluster-demo",
+        "Is the review positive? Answer ONLY 'Yes' or 'No'.",
+        vec!["product".into(), "review".into()],
+        vec!["Yes".into(), "No".into()],
+        "Yes",
+        2.0,
+    );
+
+    // 2. GGR builds the shared-prefix schedule; the plan also yields each
+    //    row's prefix identity for the router.
+    let encoded = encode_table(&Tokenizer::new(), &table, &query)?;
+    let solution = Ggr::default().reorder(&encoded.reorder, &FunctionalDeps::empty(2))?;
+    let requests = plan_requests(&encoded, &solution.plan, &query);
+    let keys = solution.plan.prefix_keys(&encoded.reorder, 1);
+    let mut tagged = tag_requests(requests, &keys);
+    ArrivalProcess::Poisson {
+        rate_rps: 2000.0,
+        seed: 42,
+    }
+    .assign(&mut tagged);
+
+    // 3. Serve the same stream across 4 replicas under each policy.
+    let engine = SimEngine::new(
+        Deployment::new(ModelSpec::llama3_8b(), GpuCluster::single(GpuSpec::l4())),
+        EngineConfig::default(),
+    );
+    let sim = ClusterSim::new(
+        engine,
+        ClusterConfig {
+            replicas: 4,
+            queue_cap: 64,
+        },
+    );
+    for router in [
+        &mut RoundRobin::default() as &mut dyn Router,
+        &mut LeastLoaded,
+        &mut PrefixAffinity::default(),
+        &mut PrefixAffinity::bounded(1.25),
+    ] {
+        let report = sim.run(router, &tagged)?;
+        print!("{report}");
+    }
+    println!(
+        "\nprefix-affinity keeps each product's rows on one replica, so its \
+         description is prefilled once cluster-wide instead of once per replica."
+    );
+    Ok(())
+}

@@ -25,13 +25,17 @@ fn main() {
                 format!("{:>6.1}% of base", ratio * 100.0)
             })
             .collect();
-        println!("{:<10} {:>14} {:>16}", format!("{pct}%"), cells[0], cells[1]);
+        println!(
+            "{:<10} {:>14} {:>16}",
+            format!("{pct}%"),
+            cells[0],
+            cells[1]
+        );
     }
 
     // Break-even hit rate for Anthropic: (write − input) / (write − read).
     let a = Pricing::claude35_sonnet();
-    let breakeven =
-        (a.write_per_mtok - a.input_per_mtok) / (a.write_per_mtok - a.cached_per_mtok);
+    let breakeven = (a.write_per_mtok - a.input_per_mtok) / (a.write_per_mtok - a.cached_per_mtok);
     println!(
         "\nAnthropic caching only pays off above a {:.1}% hit rate (write premium).",
         breakeven * 100.0

@@ -81,7 +81,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         EngineConfig::default(),
     );
     let executor = QueryExecutor::new(&engine, &OracleLlm, Tokenizer::new());
-    let truth = |row: usize| if row % 5 != 4 { "Yes".into() } else { "No".into() };
+    let truth = |row: usize| {
+        if row % 5 != 4 {
+            "Yes".into()
+        } else {
+            "No".into()
+        }
+    };
     let fds = FunctionalDeps::empty(3);
 
     println!("{n} tickets, {} support macros\n", MACROS.len());

@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = Table::new(Schema::of_strings(&["review", "product", "rating"]));
     for i in 0..200 {
         table.push_row(vec![
-            format!("review number {i}: the anvil arrived {} days late but works", i % 7).into(),
+            format!(
+                "review number {i}: the anvil arrived {} days late but works",
+                i % 7
+            )
+            .into(),
             format!(
                 "Acme Anvil model {} — drop-forged steel, 10kg, lifetime warranty, \
                  suitable for blacksmithing and cartoon physics experiments",
@@ -44,11 +48,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         EngineConfig::default(),
     );
     let executor = QueryExecutor::new(&engine, &OracleLlm, Tokenizer::new());
-    let truth = |row: usize| if !row.is_multiple_of(3) { "Yes".into() } else { "No".into() };
+    let truth = |row: usize| {
+        if !row.is_multiple_of(3) {
+            "Yes".into()
+        } else {
+            "No".into()
+        }
+    };
     let fds = FunctionalDeps::empty(3);
 
     // 4. Execute under the original ordering and under GGR.
-    println!("{:<12} {:>10} {:>8} {:>12}", "ordering", "job time", "PHR", "field PHC");
+    println!(
+        "{:<12} {:>10} {:>8} {:>12}",
+        "ordering", "job time", "PHR", "field PHC"
+    );
     for solver in [&OriginalOrder as &dyn Reorderer, &Ggr::default()] {
         let out = executor.execute(&table, &query, solver, &fds, &truth)?;
         println!(
@@ -69,7 +82,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nGGR schedule: first row {:?} (shared product description leads), \
          field-level hit rate {:.1}%",
-        solution.plan.rows[0], report.hit_rate() * 100.0
+        solution.plan.rows[0],
+        report.hit_rate() * 100.0
     );
     Ok(())
 }

@@ -85,7 +85,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let truth = |row: usize| labels[row % 3].to_string();
     let fds = FunctionalDeps::empty(5);
 
-    println!("{} claims over {} evidence passages\n", claims.len(), corpus.len());
+    println!(
+        "{} claims over {} evidence passages\n",
+        claims.len(),
+        corpus.len()
+    );
     for solver in [&OriginalOrder as &dyn Reorderer, &Ggr::default()] {
         let out = executor.execute(&table, &query, solver, &fds, &truth)?;
         println!(

@@ -7,7 +7,7 @@
 //! ```
 
 use llmqo::core::{
-    phc_of_plan, Cell, FunctionalDeps, Ggr, Ophr, OriginalOrder, Reorderer, ReorderTable,
+    phc_of_plan, Cell, FunctionalDeps, Ggr, Ophr, OriginalOrder, ReorderTable, Reorderer,
     SortedFixed, StatFixed, ValueId,
 };
 use rand::rngs::StdRng;

@@ -68,6 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          AS AverageScore FROM movies",
         &truth_score,
     )?;
-    println!("\nT4 aggregation: AverageScore = {:.3}", res.aggregate.unwrap());
+    println!(
+        "\nT4 aggregation: AverageScore = {:.3}",
+        res.aggregate.unwrap()
+    );
     Ok(())
 }

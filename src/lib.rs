@@ -6,6 +6,8 @@
 //!
 //! * [`core`] — the paper's contribution: the PHC objective, the exact OPHR
 //!   solver, the greedy GGR solver (Algorithm 1), and fixed-order baselines.
+//! * [`cluster`] — sharded serving across N engine replicas with
+//!   prefix-affinity routing, bounded queues, and cluster-level reports.
 //! * [`relational`] — a columnar table engine with an `LLM(...)` operator
 //!   supporting filter / projection / multi-invocation / aggregation / RAG
 //!   queries, plus statistics and functional-dependency discovery.
@@ -35,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use llmqo_cluster as cluster;
 pub use llmqo_core as core;
 pub use llmqo_costmodel as costmodel;
 pub use llmqo_datasets as datasets;

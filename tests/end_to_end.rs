@@ -63,7 +63,11 @@ fn ggr_dominates_original_on_every_dataset() {
             ggr.report.engine.job_completion_time_s,
             orig.report.engine.job_completion_time_s
         );
-        assert!(ggr.report.field_phc.phc >= orig.report.field_phc.phc, "{}", id.name());
+        assert!(
+            ggr.report.field_phc.phc >= orig.report.field_phc.phc,
+            "{}",
+            id.name()
+        );
     }
 }
 
@@ -128,7 +132,13 @@ fn multi_invocation_pipeline_runs_both_stages() {
     let t1 = ds.truth_fn(s1);
     let t2 = ds.truth_fn(s2);
     let outs = executor
-        .execute_multi(&ds.table, &[s1, s2], &Ggr::default(), &ds.fds, &[&*t1, &*t2])
+        .execute_multi(
+            &ds.table,
+            &[s1, s2],
+            &Ggr::default(),
+            &ds.fds,
+            &[&*t1, &*t2],
+        )
         .unwrap();
     assert_eq!(outs.len(), 2);
     // Stage 2 ran over exactly the rows stage 1 selected.
@@ -153,7 +163,10 @@ fn aggregation_is_order_insensitive_and_near_center() {
         .unwrap();
     assert_eq!(a.aggregate, b.aggregate);
     let avg = a.aggregate.unwrap();
-    assert!((2.5..3.5).contains(&avg), "uniform 1..5 labels average ≈ 3, got {avg}");
+    assert!(
+        (2.5..3.5).contains(&avg),
+        "uniform 1..5 labels average ≈ 3, got {avg}"
+    );
 }
 
 #[test]

@@ -149,11 +149,7 @@ fn memory_pressure_reduces_but_never_deadlocks() {
     // all complete (admission waits for completions).
     let reqs: Vec<SimRequest> = (0..300)
         .map(|i| {
-            SimRequest::from_tokens(
-                i,
-                (0..2048u32).map(|j| i as u32 * 4096 + j).collect(),
-                64,
-            )
+            SimRequest::from_tokens(i, (0..2048u32).map(|j| i as u32 * 4096 + j).collect(), 64)
         })
         .collect();
     let r = engine(false).run(&reqs).unwrap();

@@ -3,7 +3,7 @@
 //! mechanics. The full-size regenerations live in `llmqo-bench` binaries;
 //! these tests guard the same relationships in CI time.
 
-use llmqo::core::{phc_of_plan, Cell, FunctionalDeps, Ggr, Ophr, Reorderer, ReorderTable, ValueId};
+use llmqo::core::{phc_of_plan, Cell, FunctionalDeps, Ggr, Ophr, ReorderTable, Reorderer, ValueId};
 use llmqo::costmodel::{AnthropicCache, OpenAiCache, Pricing, ProviderCache, Usage};
 use llmqo::datasets::{Dataset, DatasetId};
 use llmqo::relational::{encode_table, project_fds, QueryKind};

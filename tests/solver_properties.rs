@@ -4,22 +4,16 @@
 
 use llmqo::core::{
     phc_of_plan, Cell, FallbackOrdering, FunctionalDeps, Ggr, GgrConfig, Ophr, OriginalOrder,
-    Reorderer, ReorderTable, SortedFixed, StatFixed, ValueId,
+    ReorderTable, Reorderer, SortedFixed, StatFixed, ValueId,
 };
 use proptest::prelude::*;
 
 /// Strategy: a small random table as (rows × cols) of (pool index, length),
 /// with per-column pools so duplicates are common.
-fn table_strategy(
-    max_rows: usize,
-    max_cols: usize,
-) -> impl Strategy<Value = ReorderTable> {
+fn table_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = ReorderTable> {
     (1..=max_cols, 1..=max_rows)
         .prop_flat_map(move |(m, n)| {
-            proptest::collection::vec(
-                proptest::collection::vec((0u32..4, 1u32..6), m),
-                n,
-            )
+            proptest::collection::vec(proptest::collection::vec((0u32..4, 1u32..6), m), n)
         })
         .prop_map(|rows| {
             let m = rows[0].len();
@@ -32,10 +26,7 @@ fn table_strategy(
                     .map(|(c, &(v, _))| {
                         // Length is a function of (col, value) so exact-match
                         // semantics hold (same value ⇒ same fragment).
-                        Cell::new(
-                            ValueId::from_raw(c as u32 * 16 + v),
-                            1 + (v + c as u32) % 5,
-                        )
+                        Cell::new(ValueId::from_raw(c as u32 * 16 + v), 1 + (v + c as u32) % 5)
                     })
                     .collect();
                 t.push_row(cells).unwrap();

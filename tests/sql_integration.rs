@@ -51,12 +51,22 @@ fn sql_filter_agrees_with_programmatic_api() {
     let query = LlmQuery::filter(
         "api-filter",
         "Suitable for kids? Answer ONLY 'Yes' or 'No'.",
-        vec!["movieinfo".into(), "reviewcontent".into(), "movietitle".into()],
+        vec![
+            "movieinfo".into(),
+            "reviewcontent".into(),
+            "movietitle".into(),
+        ],
         vec!["Yes".into(), "No".into()],
         "Yes",
         2.0,
     );
-    let truth = |row: usize| if row % 4 == 0 { "Yes".into() } else { "No".into() };
+    let truth = |row: usize| {
+        if row.is_multiple_of(4) {
+            "Yes".into()
+        } else {
+            "No".into()
+        }
+    };
     let api = executor
         .execute(&ds.table, &query, &solver, &ds.fds, &truth)
         .unwrap();

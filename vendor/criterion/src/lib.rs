@@ -1,0 +1,204 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Runs each benchmark closure `sample_size` times after one warm-up
+//! iteration and prints min/mean wall-clock times. No statistical analysis,
+//! plotting, or baseline storage — just enough to keep `cargo bench`
+//! meaningful in a network-less container while preserving the upstream
+//! criterion API shape used by `crates/bench/benches/*`.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`];
+/// retained for API compatibility (all variants behave identically here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: setup cost amortized across a batch.
+    SmallInput,
+    /// Large inputs: one setup per iteration.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group; recorded for API
+/// compatibility (the shim reports wall-clock only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Measurement driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            results: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Times `routine` once per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine()); // warm-up
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warm-up
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, results: &[Duration]) {
+    if results.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let min = results.iter().min().expect("non-empty");
+    let total: Duration = results.iter().sum();
+    let mean = total / results.len() as u32;
+    println!(
+        "{label:<48} min {:>12?}  mean {:>12?}  (n={})",
+        min,
+        mean,
+        results.len()
+    );
+}
+
+/// A named collection of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepts a throughput annotation (ignored by the shim's reporting).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&label, &b.results);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; we report eagerly).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark context.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.benchmark_group(&id).bench_function("", f);
+        self
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("iter", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 4, "1 warm-up + 3 samples");
+        let mut batched = 0usize;
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 2usize, |x| batched += x, BatchSize::SmallInput)
+        });
+        assert_eq!(batched, 8);
+        group.finish();
+    }
+}
