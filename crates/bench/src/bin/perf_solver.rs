@@ -1,0 +1,182 @@
+//! Solver performance suite: wall-time and claimed PHC for every reordering
+//! solver on the movies filter workload at 250 / 1000 / 4000 rows, plus the
+//! exact OPHR on a 16-row prefix. Writes `BENCH_solver.json` — the repo's
+//! solver-performance trajectory — and prints the table with the speedup of
+//! the columnar [`Ggr`]/[`Ophr`] core over the frozen
+//! [`GgrReference`]/[`OphrReference`] implementations.
+//!
+//! Times are medians over repeated runs (more repeats at small sizes);
+//! claimed PHC is asserted identical between each optimized solver and its
+//! reference before timing, so the numbers always describe equivalent work.
+
+use llmqo_bench::report;
+use llmqo_core::{
+    FunctionalDeps, Ggr, GgrReference, Ophr, OphrReference, OriginalOrder, ReorderTable, Reorderer,
+    SortedFixed, StatFixed,
+};
+use llmqo_datasets::{Dataset, DatasetId};
+use llmqo_relational::{encode_table, project_fds, QueryKind};
+use llmqo_tokenizer::Tokenizer;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Measurement {
+    solver: &'static str,
+    rows: usize,
+    median_ms: f64,
+    claimed_phc: u64,
+}
+
+fn movies_table(rows: usize) -> (ReorderTable, FunctionalDeps) {
+    let ds = Dataset::generate_with_rows(DatasetId::Movies, rows);
+    let q = ds.query_of_kind(QueryKind::Filter).expect("filter query");
+    let e = encode_table(&Tokenizer::new(), &ds.table, q).expect("encoding succeeds");
+    let fds = project_fds(&ds.fds, &e.used_cols);
+    (e.reorder, fds)
+}
+
+fn median_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn measure(
+    solver: &dyn Reorderer,
+    name: &'static str,
+    table: &ReorderTable,
+    fds: &FunctionalDeps,
+    rows: usize,
+    iters: usize,
+) -> Measurement {
+    let claimed_phc = solver
+        .reorder(table, fds)
+        .expect("solver succeeds")
+        .claimed_phc;
+    let median_ms = median_ms(iters, || {
+        solver.reorder(table, fds).expect("solver succeeds");
+    });
+    Measurement {
+        solver: name,
+        rows,
+        median_ms,
+        claimed_phc,
+    }
+}
+
+fn main() {
+    let sizes = [250usize, 1000, 4000];
+    let mut all: Vec<Measurement> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+
+    for &rows in &sizes {
+        let (table, fds) = movies_table(rows);
+        let iters = if rows >= 4000 { 15 } else { 41 };
+        let ggr_reference = GgrReference::default();
+        let ggr = Ggr::default();
+        let solvers: Vec<(&dyn Reorderer, &'static str)> = vec![
+            (&OriginalOrder, "original"),
+            (&SortedFixed, "sorted-fixed"),
+            (&StatFixed, "stat-fixed"),
+            (&ggr_reference, "ggr-reference"),
+            (&ggr, "ggr"),
+        ];
+        let mut by_name: Vec<Measurement> = solvers
+            .into_iter()
+            .map(|(solver, name)| measure(solver, name, &table, &fds, rows, iters))
+            .collect();
+        let ggr = by_name.iter().find(|m| m.solver == "ggr").expect("ggr ran");
+        let reference = by_name
+            .iter()
+            .find(|m| m.solver == "ggr-reference")
+            .expect("reference ran");
+        assert_eq!(
+            ggr.claimed_phc, reference.claimed_phc,
+            "columnar GGR diverged from the reference at {rows} rows"
+        );
+        speedups.push((
+            format!("ggr/movies-{rows}"),
+            reference.median_ms / ggr.median_ms,
+        ));
+        all.append(&mut by_name);
+    }
+
+    // Exact solver on a small prefix (OPHR is exponential).
+    let (full, fds) = movies_table(64);
+    let head = full.head(16);
+    let ophr = measure(&Ophr::unbounded(), "ophr", &head, &fds, 16, 21);
+    let ophr_ref = measure(
+        &OphrReference::unbounded(),
+        "ophr-reference",
+        &head,
+        &fds,
+        16,
+        21,
+    );
+    assert_eq!(ophr.claimed_phc, ophr_ref.claimed_phc, "OPHR diverged");
+    speedups.push(("ophr/movies-16".into(), ophr_ref.median_ms / ophr.median_ms));
+    all.push(ophr_ref);
+    all.push(ophr);
+
+    // Report table.
+    let rows_fmt: Vec<Vec<String>> = all
+        .iter()
+        .map(|m| {
+            vec![
+                m.solver.to_string(),
+                m.rows.to_string(),
+                format!("{:.3}", m.median_ms),
+                m.claimed_phc.to_string(),
+            ]
+        })
+        .collect();
+    report::section(
+        "Solver wall-time (movies filter workload, medians)",
+        &["solver", "rows", "median ms", "claimed PHC"],
+        &rows_fmt,
+    );
+    let speedup_rows: Vec<Vec<String>> = speedups
+        .iter()
+        .map(|(k, v)| vec![k.clone(), format!("{v:.1}x")])
+        .collect();
+    report::section(
+        "Columnar core vs frozen reference",
+        &["workload", "speedup"],
+        &speedup_rows,
+    );
+
+    // BENCH_solver.json: hand-rolled (the vendored serde has no JSON
+    // backend), schema kept flat so future sessions can extend it.
+    let mut json =
+        String::from("{\n  \"workload\": \"movies filter query (synthetic, seeded)\",\n");
+    json.push_str("  \"metric\": \"median wall-time ms over repeated in-process runs\",\n");
+    json.push_str("  \"measurements\": [\n");
+    for (i, m) in all.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"solver\": \"{}\", \"rows\": {}, \"median_ms\": {:.4}, \"claimed_phc\": {}}}{}",
+            m.solver,
+            m.rows,
+            m.median_ms,
+            m.claimed_phc,
+            if i + 1 == all.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n  \"speedup_vs_reference\": {\n");
+    for (i, (k, v)) in speedups.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{k}\": {v:.2}{}",
+            if i + 1 == speedups.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_solver.json", &json).expect("write BENCH_solver.json");
+    println!("\nwrote BENCH_solver.json");
+}

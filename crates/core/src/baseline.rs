@@ -99,14 +99,18 @@ impl Reorderer for StatFixed {
 
 /// Builds a plan with the given fixed `fields` order and rows sorted
 /// lexicographically by the value ids under that order (original index as a
-/// final tiebreak, for determinism).
+/// final tiebreak, for determinism). The comparator walks the table's
+/// column-major value arrays, so each field comparison is one contiguous
+/// 4-byte load per row.
 pub(crate) fn sorted_plan(table: &ReorderTable, fields: &[u32]) -> ReorderPlan {
+    let field_cols: Vec<&[crate::ValueId]> = fields
+        .iter()
+        .map(|&f| table.col_values(f as usize))
+        .collect();
     let mut order: Vec<usize> = (0..table.nrows()).collect();
     order.sort_by(|&a, &b| {
-        for &f in fields {
-            let va = table.cell(a, f as usize).value;
-            let vb = table.cell(b, f as usize).value;
-            match va.cmp(&vb) {
+        for values in &field_cols {
+            match values[a].cmp(&values[b]) {
                 std::cmp::Ordering::Equal => continue,
                 other => return other,
             }

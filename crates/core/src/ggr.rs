@@ -25,15 +25,30 @@
 //! appends `L_A`. Line 6 divides plain lengths by `|R_v|`; we average
 //! *squared* lengths, the unit PHC is defined in (Eq. 2), which also makes
 //! `HITCOUNT` exact whenever the FDs are exact.
+//!
+//! # Implementation notes (columnar core)
+//!
+//! This solver is plan-for-plan identical to the frozen
+//! [`GgrReference`](crate::GgrReference) transcription but engineered like a
+//! database operator: grouping scans the table's column-major
+//! [`col_values`](ReorderTable::col_values)/[`col_sq_lens`](ReorderTable::col_sq_lens)
+//! arrays, per-level `HashMap`s are replaced by an epoch-cleared
+//! [`SlotMap`](crate::scratch) whose dense slots carry the per-group
+//! accumulators, rest/sub-view filtering is a single O(n) value-compare pass
+//! instead of `Vec::contains`, and all row/column index buffers come from a
+//! per-solve pool so steady-state recursion allocates nothing but the output
+//! plan. `HITCOUNT` float sums accumulate in the exact member order the
+//! reference uses, so claimed scores match bit-for-bit (enforced by the
+//! differential tests in `tests/solver_differential.rs`).
 
 use crate::fd::FunctionalDeps;
 use crate::phc::phc_of_plan;
 use crate::plan::{ReorderPlan, RowPlan};
+use crate::scratch::{partition_rows_by_value, DeadCols, Scratch};
 use crate::solver::{check_fd_arity, Reorderer, Solution, SolveError};
 use crate::table::ReorderTable;
 use crate::ValueId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// How a stopped subtable is ordered (§4.2.2 fall-back).
@@ -156,10 +171,13 @@ impl Reorderer for Ggr {
             table,
             fds,
             config: &self.config,
+            col_vals: (0..table.ncols()).map(|c| table.col_values(c)).collect(),
+            col_sqs: (0..table.ncols()).map(|c| table.col_sq_lens(c)).collect(),
         };
+        let mut scratch = Scratch::for_table(table);
         let rows: Vec<u32> = (0..table.nrows() as u32).collect();
         let cols: Vec<u32> = (0..table.ncols() as u32).collect();
-        let (score, ordered) = ctx.ggr(&rows, &cols, 0, 0);
+        let (score, ordered) = ctx.ggr(&mut scratch, rows, &cols, 0, 0, DeadCols::default());
         let plan = ReorderPlan {
             rows: ordered
                 .into_iter()
@@ -178,79 +196,135 @@ struct Ctx<'a> {
     table: &'a ReorderTable,
     fds: &'a FunctionalDeps,
     config: &'a GgrConfig,
+    /// Column slices hoisted once per solve (avoids per-cell accessor calls
+    /// in block scoring and sorting).
+    col_vals: Vec<&'a [ValueId]>,
+    col_sqs: Vec<&'a [u64]>,
 }
 
-/// The winning group of one greedy step.
+/// The winning group of one greedy step: identity and score only — its
+/// member rows are materialized by a single partition pass afterwards.
 struct BestGroup {
     col: u32,
     value: ValueId,
     hitcount: f64,
-    rows: Vec<u32>,
-    /// `[col] ++ inferred columns present in the view` — the prefix columns.
-    prefix_cols: Vec<u32>,
 }
 
 impl<'a> Ctx<'a> {
+    /// A field list seeded with `src` but sized for the full column count,
+    /// so ancestor prefix-splices never reallocate (every row's field list
+    /// ends as a permutation of all columns).
+    fn field_vec(&self, src: &[u32]) -> Vec<u32> {
+        let mut v = Vec::with_capacity(self.table.ncols());
+        v.extend_from_slice(src);
+        v
+    }
+
     /// Algorithm 1's `GGR(T, FD)` on the view (rows × cols). Returns the
     /// claimed score and the ordering (row, field order over `cols`).
+    ///
+    /// `rows` is an owned pool buffer; it is returned to the pool before the
+    /// call completes.
     fn ggr(
         &self,
-        rows: &[u32],
+        s: &mut Scratch,
+        rows: Vec<u32>,
         cols: &[u32],
         row_depth: usize,
         col_depth: usize,
+        mut dead: DeadCols,
     ) -> (f64, Vec<(u32, Vec<u32>)>) {
         if rows.is_empty() {
+            s.pool.put(rows);
             return (0.0, Vec::new());
         }
         if rows.len() == 1 {
-            return (0.0, vec![(rows[0], cols.to_vec())]);
+            let out = vec![(rows[0], self.field_vec(cols))];
+            s.pool.put(rows);
+            return (0.0, out);
         }
         if cols.len() == 1 {
-            return self.single_column(rows, cols[0]);
+            let out = self.single_column(&rows, cols[0]);
+            s.pool.put(rows);
+            return out;
         }
         let row_stop = self.config.max_row_depth.is_some_and(|d| row_depth >= d);
         let col_stop = self.config.max_col_depth.is_some_and(|d| col_depth >= d);
         if row_stop || col_stop {
-            return self.fallback(rows, cols);
+            let out = self.fallback(s, &rows, cols, dead);
+            s.pool.put(rows);
+            return out;
         }
 
-        let best = match self.best_group(rows, cols) {
+        let best = match self.best_group(s, &rows, cols, &mut dead) {
             Some(b) => b,
             // Every value in the view is unique: no ordering can score.
-            None => return (0.0, rows.iter().map(|&r| (r, cols.to_vec())).collect()),
+            None => {
+                let out = rows.iter().map(|&r| (r, self.field_vec(cols))).collect();
+                s.pool.put(rows);
+                return (0.0, out);
+            }
         };
         if self
             .config
             .min_hitcount
             .is_some_and(|t| (best.hitcount as u64) < t)
         {
-            return self.fallback(rows, cols);
+            let out = self.fallback(s, &rows, cols, dead);
+            s.pool.put(rows);
+            return out;
         }
 
-        let rest: Vec<u32> = rows
-            .iter()
-            .copied()
-            .filter(|r| !best.rows.contains(r))
-            .collect();
-        let sub_cols: Vec<u32> = cols
-            .iter()
-            .copied()
-            .filter(|c| !best.prefix_cols.contains(c))
-            .collect();
+        // One O(n) pass splits the view into the winning group and the rest.
+        let mut members = s.pool.take();
+        let mut rest = s.pool.take();
+        partition_rows_by_value(
+            self.col_vals[best.col as usize],
+            &rows,
+            best.value,
+            &mut members,
+            &mut rest,
+        );
+        s.pool.put(rows);
 
-        let (a_score, a_rows) = self.ggr(&rest, cols, row_depth + 1, col_depth);
+        // Prefix columns: the winning column plus its FD-inferred columns
+        // present in the view; `sub_cols` is the view minus that prefix.
+        let mut prefix_cols = vec![best.col];
+        if self.config.use_fds {
+            prefix_cols.extend(
+                self.fds
+                    .inferred(best.col as usize)
+                    .iter()
+                    .copied()
+                    .filter(|&ic| cols.contains(&ic)),
+            );
+        }
+        let mut sub_cols = s.pool.take();
+        for &pc in &prefix_cols {
+            s.col_mask[pc as usize] = true;
+        }
+        sub_cols.extend(cols.iter().copied().filter(|&c| !s.col_mask[c as usize]));
+        for &pc in &prefix_cols {
+            s.col_mask[pc as usize] = false;
+        }
+
+        let (a_score, a_rows) = self.ggr(s, rest, cols, row_depth + 1, col_depth, dead);
         let (b_score, b_rows) = if sub_cols.is_empty() {
-            (0.0, best.rows.iter().map(|&r| (r, Vec::new())).collect())
+            let b = members
+                .iter()
+                .map(|&r| (r, Vec::with_capacity(self.table.ncols())))
+                .collect();
+            s.pool.put(members);
+            (0.0, b)
         } else {
-            self.ggr(&best.rows, &sub_cols, row_depth, col_depth + 1)
+            self.ggr(s, members, &sub_cols, row_depth, col_depth + 1, dead)
         };
+        s.pool.put(sub_cols);
 
-        let mut out = Vec::with_capacity(rows.len());
-        for (row, fields) in b_rows {
-            let mut full = best.prefix_cols.clone();
-            full.extend(fields);
-            out.push((row, full));
+        let mut out = Vec::with_capacity(b_rows.len() + a_rows.len());
+        for (row, mut fields) in b_rows {
+            fields.splice(0..0, prefix_cols.iter().copied());
+            out.push((row, fields));
         }
         out.extend(a_rows);
         (a_score + b_score + best.hitcount, out)
@@ -258,114 +332,163 @@ impl<'a> Ctx<'a> {
 
     /// Lines 17–23 of Algorithm 1: scan every (column, value) group and keep
     /// the one with the maximum `HITCOUNT`.
-    fn best_group(&self, rows: &[u32], cols: &[u32]) -> Option<BestGroup> {
-        let mut best: Option<BestGroup> = None;
+    ///
+    /// Grouping and FD scoring run over the precomputed dense value indexes
+    /// with id-indexed accumulators; no group's member list is materialized
+    /// here. Per-group float sums accumulate in view-row order — the member
+    /// order the reference implementation sums in — so `hitcount` is
+    /// bit-identical.
+    fn best_group(
+        &self,
+        s: &mut Scratch,
+        rows: &[u32],
+        cols: &[u32],
+        dead: &mut DeadCols,
+    ) -> Option<BestGroup> {
         for &c in cols {
-            let mut by_value: HashMap<ValueId, Vec<u32>> = HashMap::new();
-            for &r in rows {
-                by_value
-                    .entry(self.table.cell(r as usize, c as usize).value)
-                    .or_default()
-                    .push(r);
+            s.col_mask[c as usize] = true;
+        }
+        let mut best: Option<(BestGroup, u32)> = None; // (group, member count)
+        for &c in cols {
+            if dead.is_dead(c) {
+                continue;
             }
-            let mut groups: Vec<(ValueId, Vec<u32>)> = by_value
-                .into_iter()
-                .filter(|(_, members)| members.len() >= 2)
-                .collect();
-            groups.sort_by_key(|(v, _)| *v);
-
-            let inferred: Vec<u32> = if self.config.use_fds {
-                self.fds
+            // Columns whose FD group is live need per-row dense ids for the
+            // inferred-length accumulation; count-only grouping otherwise.
+            let wants_fd = self.config.use_fds
+                && self
+                    .fds
                     .inferred(c as usize)
                     .iter()
-                    .copied()
-                    .filter(|ic| cols.contains(ic))
-                    .collect()
+                    .any(|&ic| s.col_mask[ic as usize]);
+            let n_groups = if wants_fd {
+                s.group_dense(c as usize, self.col_sqs[c as usize], rows)
             } else {
-                Vec::new()
+                s.group_dense_counts(c as usize, self.col_sqs[c as usize], rows)
             };
+            if (0..n_groups).all(|g| s.counts[s.touched[g] as usize] < 2) {
+                // No duplicated value in this view ⇒ none in any sub-view.
+                dead.kill(c);
+                continue;
+            }
 
-            for (value, members) in groups {
-                // HITCOUNT (lines 3–8): len(v)² plus the mean squared length
-                // of each FD-inferred column over the group.
-                let mut tot_len = self.table.cell(members[0] as usize, c as usize).sq_len() as f64;
-                for &ic in &inferred {
-                    let sum: f64 = members
-                        .iter()
-                        .map(|&r| self.table.cell(r as usize, ic as usize).sq_len() as f64)
-                        .sum();
-                    tot_len += sum / members.len() as f64;
+            // tot[d] starts at len(v)² of the group's first view member —
+            // the same `members[0]` representative the reference reads.
+            for g in 0..n_groups {
+                let d = s.touched[g] as usize;
+                s.tot[d] = s.first_sq[d] as f64;
+            }
+            // … and accumulates the mean squared length of each FD-inferred
+            // column over the group (§4.2.1).
+            if self.config.use_fds {
+                for &ic in self.fds.inferred(c as usize) {
+                    if !s.col_mask[ic as usize] {
+                        continue;
+                    }
+                    let inferred_sq = self.table.col_sq_lens(ic as usize);
+                    for g in 0..n_groups {
+                        s.acc[s.touched[g] as usize] = 0.0;
+                    }
+                    for (k, &r) in rows.iter().enumerate() {
+                        s.acc[s.row_dense[k] as usize] += inferred_sq[r as usize] as f64;
+                    }
+                    for g in 0..n_groups {
+                        let d = s.touched[g] as usize;
+                        s.tot[d] += s.acc[d] / f64::from(s.counts[d]);
+                    }
                 }
-                let hitcount = tot_len * (members.len() as f64 - 1.0);
+            }
+
+            for g in 0..n_groups {
+                let d = s.touched[g];
+                let count = s.counts[d as usize];
+                if count < 2 {
+                    continue;
+                }
+                let value = s.value_of(c as usize, d);
+                let hitcount = s.tot[d as usize] * (f64::from(count) - 1.0);
                 let better = match &best {
                     None => true,
-                    Some(b) => {
+                    Some((b, b_count)) => {
                         hitcount > b.hitcount
                             || (hitcount == b.hitcount
-                                && (members.len() > b.rows.len()
-                                    || (members.len() == b.rows.len()
+                                && (count > *b_count
+                                    || (count == *b_count
                                         && (c < b.col || (c == b.col && value < b.value)))))
                     }
                 };
                 if better {
-                    let mut prefix_cols = vec![c];
-                    prefix_cols.extend(&inferred);
-                    best = Some(BestGroup {
-                        col: c,
-                        value,
-                        hitcount,
-                        rows: members,
-                        prefix_cols,
-                    });
+                    best = Some((
+                        BestGroup {
+                            col: c,
+                            value,
+                            hitcount,
+                        },
+                        count,
+                    ));
                 }
             }
         }
-        best
+        for &c in cols {
+            s.col_mask[c as usize] = false;
+        }
+        best.map(|(b, _)| b)
     }
 
     /// Base case: one column left (lines 13–16). Rows sorted so duplicate
     /// values are adjacent; score Σ_v len(v)²·(count−1), which is optimal.
     fn single_column(&self, rows: &[u32], col: u32) -> (f64, Vec<(u32, Vec<u32>)>) {
+        let values = self.col_vals[col as usize];
+        let sq_lens = self.col_sqs[col as usize];
         let mut ordered = rows.to_vec();
-        ordered.sort_by_key(|&r| (self.table.cell(r as usize, col as usize).value, r));
+        ordered.sort_by_key(|&r| (values[r as usize], r));
         let mut score = 0u64;
         for pair in ordered.windows(2) {
-            let a = self.table.cell(pair[0] as usize, col as usize);
-            let b = self.table.cell(pair[1] as usize, col as usize);
-            if a.value == b.value {
-                score += b.sq_len();
+            if values[pair[0] as usize] == values[pair[1] as usize] {
+                score += sq_lens[pair[1] as usize];
             }
         }
         (
             score as f64,
-            ordered.into_iter().map(|r| (r, vec![col])).collect(),
+            ordered
+                .into_iter()
+                .map(|r| (r, self.field_vec(&[col])))
+                .collect(),
         )
     }
 
     /// §4.2.2 fall-back: orders the whole stopped subtable at once. The
     /// claimed score is the *exact* PHC of the produced block.
-    fn fallback(&self, rows: &[u32], cols: &[u32]) -> (f64, Vec<(u32, Vec<u32>)>) {
+    fn fallback(
+        &self,
+        s: &mut Scratch,
+        rows: &[u32],
+        cols: &[u32],
+        dead: DeadCols,
+    ) -> (f64, Vec<(u32, Vec<u32>)>) {
         if self.config.fallback == FallbackOrdering::Adaptive {
-            let ordered = crate::order::adaptive_prefix_plan(self.table, rows, cols);
+            let ordered = crate::order::adaptive_prefix_plan_dead(self.table, rows, cols, s, dead);
             let score = self.exact_block_score(&ordered);
             return (score as f64, ordered);
         }
         let field_order: Vec<u32> = match self.config.fallback {
             FallbackOrdering::Adaptive => unreachable!("handled above"),
             FallbackOrdering::GreedyPrefix => {
-                crate::order::greedy_prefix_order(self.table, rows, cols)
+                crate::order::greedy_prefix_order_with(self.table, rows, cols, s)
             }
-            FallbackOrdering::StatFixed => self.stat_order(rows, cols),
+            FallbackOrdering::StatFixed => self.stat_order(s, rows, cols, dead),
             FallbackOrdering::SortedFixed => cols.to_vec(),
             FallbackOrdering::Original => cols.to_vec(),
         };
         let mut ordered = rows.to_vec();
         if self.config.fallback != FallbackOrdering::Original {
+            let field_cols: Vec<&[ValueId]> = field_order
+                .iter()
+                .map(|&f| self.col_vals[f as usize])
+                .collect();
             ordered.sort_by(|&a, &b| {
-                for &f in &field_order {
-                    let va = self.table.cell(a as usize, f as usize).value;
-                    let vb = self.table.cell(b as usize, f as usize).value;
-                    match va.cmp(&vb) {
+                for values in &field_cols {
+                    match values[a as usize].cmp(&values[b as usize]) {
                         std::cmp::Ordering::Equal => continue,
                         other => return other,
                     }
@@ -375,7 +498,7 @@ impl<'a> Ctx<'a> {
         }
         let plan: Vec<(u32, Vec<u32>)> = ordered
             .into_iter()
-            .map(|r| (r, field_order.clone()))
+            .map(|r| (r, self.field_vec(&field_order)))
             .collect();
         let score = self.exact_block_score(&plan);
         (score as f64, plan)
@@ -385,16 +508,14 @@ impl<'a> Ctx<'a> {
     fn exact_block_score(&self, ordered: &[(u32, Vec<u32>)]) -> u64 {
         let mut score = 0u64;
         for pair in ordered.windows(2) {
-            let (ra, fa) = (&pair[0].0, &pair[0].1);
-            let (rb, fb) = (&pair[1].0, &pair[1].1);
+            let (ra, fa) = (pair[0].0 as usize, &pair[0].1);
+            let (rb, fb) = (pair[1].0 as usize, &pair[1].1);
             for (&ca, &cb) in fa.iter().zip(fb.iter()) {
                 if ca != cb {
                     break;
                 }
-                let a = self.table.cell(*ra as usize, ca as usize);
-                let b = self.table.cell(*rb as usize, cb as usize);
-                if a.value == b.value {
-                    score += b.sq_len();
+                if self.col_vals[ca as usize][ra] == self.col_vals[ca as usize][rb] {
+                    score += self.col_sqs[ca as usize][rb];
                 } else {
                     break;
                 }
@@ -406,21 +527,20 @@ impl<'a> Ctx<'a> {
     /// View-local statistics ordering: columns by descending expected PHC
     /// contribution (`avg(len²) · (n − cardinality)`), ties toward the
     /// current column order.
-    fn stat_order(&self, rows: &[u32], cols: &[u32]) -> Vec<u32> {
+    fn stat_order(&self, s: &mut Scratch, rows: &[u32], cols: &[u32], dead: DeadCols) -> Vec<u32> {
         let n = rows.len();
         let mut scored: Vec<(f64, usize, u32)> = cols
             .iter()
             .enumerate()
             .map(|(pos, &c)| {
-                let mut distinct: HashMap<ValueId, ()> = HashMap::new();
-                let mut sum_sq = 0f64;
-                for &r in rows {
-                    let cell = self.table.cell(r as usize, c as usize);
-                    distinct.insert(cell.value, ());
-                    sum_sq += cell.sq_len() as f64;
+                if dead.is_dead(c) {
+                    // All values distinct ⇒ dup_rows = 0 ⇒ score exactly 0.
+                    return (0.0, pos, c);
                 }
+                let (distinct, sum_sq) =
+                    s.distinct_and_sum_sq(c as usize, self.col_sqs[c as usize], rows);
                 let avg_sq = if n == 0 { 0.0 } else { sum_sq / n as f64 };
-                let dup_rows = (n - distinct.len()) as f64;
+                let dup_rows = (n - distinct) as f64;
                 (avg_sq * dup_rows, pos, c)
             })
             .collect();

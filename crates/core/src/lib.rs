@@ -20,6 +20,9 @@
 //!   dependencies to pull correlated fields into the prefix, and falls back to
 //!   a statistics-chosen fixed ordering when recursion is stopped early.
 //! * [`OriginalOrder`], [`SortedFixed`], [`StatFixed`] — baselines.
+//! * [`GgrReference`], [`OphrReference`] — the frozen pre-optimization
+//!   transcriptions of both solvers, kept as differential-testing oracles
+//!   and benchmark baselines for the columnar solver core.
 //!
 //! # Quick example
 //!
@@ -46,12 +49,15 @@
 mod baseline;
 mod fd;
 mod ggr;
+mod ggr_reference;
 mod intern;
 mod ophr;
+mod ophr_reference;
 mod order;
 mod partition;
 mod phc;
 mod plan;
+mod scratch;
 mod solver;
 mod stats;
 mod table;
@@ -59,8 +65,10 @@ mod table;
 pub use baseline::{OriginalOrder, SortedFixed, StatFixed};
 pub use fd::FunctionalDeps;
 pub use ggr::{ggr_with_report, FallbackOrdering, Ggr, GgrConfig};
+pub use ggr_reference::GgrReference;
 pub use intern::{Interner, ValueId};
 pub use ophr::{Ophr, OphrConfig};
+pub use ophr_reference::OphrReference;
 pub use order::{adaptive_prefix_plan, greedy_prefix_order};
 pub use partition::Partitioned;
 pub use phc::{hit_prefix_cells, phc_of_plan, phc_of_rows, PhcReport};

@@ -14,9 +14,22 @@
 //! singleton groups (a group of one row contributes nothing and is dominated
 //! by scheduling that row last) — plus a wall-clock budget mirroring the
 //! paper's 2-hour termination rule (Appendix D.1).
+//!
+//! # Implementation notes (columnar core)
+//!
+//! Identical in results to the frozen [`OphrReference`](crate::OphrReference)
+//! transcription — all scoring is exact integer arithmetic, so the choice of
+//! data structures cannot shift any optimum — but engineered for throughput:
+//! memo keys are interned (row-set, column-set) id pairs hashed with a
+//! multiply-xor hasher instead of per-call boxed bitsets under SipHash,
+//! candidate groups are materialized once per view by a stable counting sort
+//! into a flat pooled buffer, rest filtering is an O(n) columnar value
+//! compare instead of `Vec::contains`, and row buffers come from a per-solve
+//! pool. Equivalence is enforced by `tests/solver_differential.rs`.
 
 use crate::fd::FunctionalDeps;
 use crate::plan::{ReorderPlan, RowPlan};
+use crate::scratch::{partition_rows_by_value, DeadCols, FxBuild, Scratch, SetInterner};
 use crate::solver::{check_fd_arity, Reorderer, Solution, SolveError};
 use crate::table::ReorderTable;
 use crate::ValueId;
@@ -92,18 +105,19 @@ impl Reorderer for Ophr {
         let deadline = self.config.budget.map(|b| start + b);
         let mut ctx = Ctx {
             table,
-            memo: HashMap::new(),
+            memo: HashMap::default(),
+            row_sets: SetInterner::new(table.nrows()),
+            col_sets: SetInterner::new(table.ncols()),
             deadline,
-            row_words: table.nrows().div_ceil(64).max(1),
-            col_words: table.ncols().div_ceil(64).max(1),
+            scratch: Scratch::for_table(table),
         };
         let rows: Vec<u32> = (0..table.nrows() as u32).collect();
         let cols: Vec<u32> = (0..table.ncols() as u32).collect();
-        let claimed_phc =
-            ctx.solve(&rows, &cols)
-                .map_err(|TimedOut| SolveError::BudgetExceeded {
-                    budget: self.config.budget.unwrap_or_default(),
-                })?;
+        let claimed_phc = ctx
+            .solve(&rows, &cols, DeadCols::default())
+            .map_err(|TimedOut| SolveError::BudgetExceeded {
+                budget: self.config.budget.unwrap_or_default(),
+            })?;
         let ordered = ctx.build(&rows, &cols);
         let plan = ReorderPlan {
             rows: ordered
@@ -134,26 +148,37 @@ enum Choice {
     Split { col: u32, value: ValueId },
 }
 
-/// Canonical subproblem key: bitsets of row and column indices.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct SubKey(Box<[u64]>, Box<[u64]>);
+/// One candidate split group: all rows holding `value` in `col`, stored as a
+/// range into the view's flat group buffer.
+struct Candidate {
+    col: u32,
+    value: ValueId,
+    sq_len: u64,
+    start: usize,
+    len: usize,
+}
 
 struct Ctx<'t> {
     table: &'t ReorderTable,
-    memo: HashMap<SubKey, (u64, Choice)>,
+    /// Memo over interned (row-set, column-set) id pairs. All scoring is
+    /// integer arithmetic, so memoized optima are independent of candidate
+    /// exploration order.
+    memo: HashMap<(u32, u32), (u64, Choice), FxBuild>,
+    row_sets: SetInterner,
+    col_sets: SetInterner,
     deadline: Option<Instant>,
-    row_words: usize,
-    col_words: usize,
+    scratch: Scratch,
 }
 
 impl<'t> Ctx<'t> {
-    fn key(&self, rows: &[u32], cols: &[u32]) -> SubKey {
-        SubKey(bitset(rows, self.row_words), bitset(cols, self.col_words))
+    fn key(&mut self, rows: &[u32], cols: &[u32]) -> (u32, u32) {
+        (self.row_sets.intern(rows), self.col_sets.intern(cols))
     }
 
     /// Returns the optimal PHC of the subtable (rows × cols), memoizing the
-    /// winning choice.
-    fn solve(&mut self, rows: &[u32], cols: &[u32]) -> Result<u64, TimedOut> {
+    /// winning choice. `dead` carries the columns already known group-free
+    /// on this path (see [`DeadCols`]); it prunes scans only, never results.
+    fn solve(&mut self, rows: &[u32], cols: &[u32], mut dead: DeadCols) -> Result<u64, TimedOut> {
         if rows.len() <= 1 {
             return Ok(0);
         }
@@ -168,42 +193,54 @@ impl<'t> Ctx<'t> {
         }
 
         if cols.len() == 1 {
-            let score = single_column_score(self.table, rows, cols[0]);
+            let score = self.single_column_score(rows, cols[0]);
             self.memo.insert(key, (score, Choice::SingleCol));
             return Ok(score);
         }
 
-        let candidates = multi_groups(self.table, rows, cols);
+        let (flat, candidates) = self.multi_groups(rows, cols, &mut dead);
         if candidates.is_empty() {
             // No value repeats anywhere: every ordering scores 0.
+            self.scratch.pool.put(flat);
             self.memo.insert(key, (0, Choice::Leaf));
             return Ok(0);
         }
 
         let mut best: Option<(u64, u32, ValueId)> = None;
-        for group in &candidates {
-            let contrib = group.sq_len * (group.rows.len() as u64 - 1);
-            let rest: Vec<u32> = rows
-                .iter()
-                .copied()
-                .filter(|r| !group.rows.contains(r))
-                .collect();
-            let sub_cols: Vec<u32> = cols.iter().copied().filter(|&c| c != group.col).collect();
-            let score = contrib + self.solve(&rest, cols)? + self.solve(&group.rows, &sub_cols)?;
+        let mut rest = self.scratch.pool.take();
+        let mut sub_cols = self.scratch.pool.take();
+        for cand in &candidates {
+            let contrib = cand.sq_len * (cand.len as u64 - 1);
+            // O(n) columnar rest filter: the group is exactly the rows
+            // holding `value` in `col`, so the rest is a value compare away.
+            let values = self.table.col_values(cand.col as usize);
+            rest.clear();
+            rest.extend(
+                rows.iter()
+                    .copied()
+                    .filter(|&r| values[r as usize] != cand.value),
+            );
+            sub_cols.clear();
+            sub_cols.extend(cols.iter().copied().filter(|&c| c != cand.col));
+            let group = &flat[cand.start..cand.start + cand.len];
+            let score =
+                contrib + self.solve(&rest, cols, dead)? + self.solve(group, &sub_cols, dead)?;
             let better = match best {
                 None => true,
                 // Deterministic tiebreak: higher score, then lower column,
                 // then lower value id.
                 Some((bs, bc, bv)) => {
                     score > bs
-                        || (score == bs
-                            && (group.col < bc || (group.col == bc && group.value < bv)))
+                        || (score == bs && (cand.col < bc || (cand.col == bc && cand.value < bv)))
                 }
             };
             if better {
-                best = Some((score, group.col, group.value));
+                best = Some((score, cand.col, cand.value));
             }
         }
+        self.scratch.pool.put(rest);
+        self.scratch.pool.put(sub_cols);
+        self.scratch.pool.put(flat);
         let (score, col, value) = best.expect("candidates is non-empty");
         self.memo.insert(key, (score, Choice::Split { col, value }));
         Ok(score)
@@ -211,7 +248,7 @@ impl<'t> Ctx<'t> {
 
     /// Reconstructs the optimal ordering along the memoized choices.
     /// Every key visited here was inserted by [`Ctx::solve`].
-    fn build(&self, rows: &[u32], cols: &[u32]) -> Vec<(u32, Vec<u32>)> {
+    fn build(&mut self, rows: &[u32], cols: &[u32]) -> Vec<(u32, Vec<u32>)> {
         if rows.is_empty() {
             return Vec::new();
         }
@@ -219,18 +256,24 @@ impl<'t> Ctx<'t> {
             return vec![(rows[0], cols.to_vec())];
         }
         let key = self.key(rows, cols);
-        let (_, choice) = self.memo.get(&key).expect("subproblem was solved");
-        match *choice {
+        let (_, choice) = *self.memo.get(&key).expect("subproblem was solved");
+        match choice {
             Choice::Leaf => rows.iter().map(|&r| (r, cols.to_vec())).collect(),
             Choice::SingleCol => {
+                let values = self.table.col_values(cols[0] as usize);
                 let mut ordered = rows.to_vec();
-                ordered.sort_by_key(|&r| (self.table.cell(r as usize, cols[0] as usize).value, r));
+                ordered.sort_by_key(|&r| (values[r as usize], r));
                 ordered.into_iter().map(|r| (r, cols.to_vec())).collect()
             }
             Choice::Split { col, value } => {
-                let (group, rest): (Vec<u32>, Vec<u32>) = rows
-                    .iter()
-                    .partition(|&&r| self.table.cell(r as usize, col as usize).value == value);
+                let (mut group, mut rest) = (Vec::new(), Vec::new());
+                partition_rows_by_value(
+                    self.table.col_values(col as usize),
+                    rows,
+                    value,
+                    &mut group,
+                    &mut rest,
+                );
                 let sub_cols: Vec<u32> = cols.iter().copied().filter(|&c| c != col).collect();
                 let mut out = Vec::with_capacity(rows.len());
                 for (row, mut fields) in self.build(&group, &sub_cols) {
@@ -242,69 +285,93 @@ impl<'t> Ctx<'t> {
             }
         }
     }
-}
 
-/// One candidate split group: all rows holding `value` in `col`.
-struct Group {
-    col: u32,
-    value: ValueId,
-    sq_len: u64,
-    rows: Vec<u32>,
-}
-
-/// Collects all groups of size ≥ 2 (singleton groups contribute 0 and are
-/// dominated by scheduling the row after the others, so they are pruned).
-fn multi_groups(table: &ReorderTable, rows: &[u32], cols: &[u32]) -> Vec<Group> {
-    let mut out = Vec::new();
-    for &c in cols {
-        let mut by_value: HashMap<ValueId, Vec<u32>> = HashMap::new();
-        for &r in rows {
-            by_value
-                .entry(table.cell(r as usize, c as usize).value)
-                .or_default()
-                .push(r);
+    /// Collects all groups of size ≥ 2 (singleton groups contribute 0 and
+    /// are dominated by scheduling the row after the others, so they are
+    /// pruned), materialized by a stable counting sort into one flat pooled
+    /// buffer. Candidates are ordered by column, then value id — the same
+    /// deterministic order the reference implementation explores.
+    fn multi_groups(
+        &mut self,
+        rows: &[u32],
+        cols: &[u32],
+        dead: &mut DeadCols,
+    ) -> (Vec<u32>, Vec<Candidate>) {
+        let s = &mut self.scratch;
+        let mut flat = s.pool.take();
+        let mut group_starts = s.pool.take();
+        let mut fill = s.pool.take();
+        let mut candidates = Vec::new();
+        for &c in cols {
+            if dead.is_dead(c) {
+                continue;
+            }
+            let n_groups = s.group_dense(c as usize, self.table.col_sq_lens(c as usize), rows);
+            if n_groups == rows.len() {
+                // Every value distinct in this view ⇒ in every sub-view too.
+                dead.kill(c);
+                continue;
+            }
+            // Stable counting sort: members of each group land contiguously,
+            // in view order. `group_starts`/`fill` are indexed by the
+            // group's first-seen rank (its position in `touched`).
+            let base = flat.len();
+            group_starts.clear();
+            fill.clear();
+            let mut acc = 0u32;
+            for g in 0..n_groups {
+                group_starts.push(acc);
+                acc += s.counts[s.touched[g] as usize];
+            }
+            fill.extend_from_slice(&group_starts);
+            flat.resize(base + rows.len(), 0);
+            // Overwrite counts[d] with the group's rank so the fill pass is
+            // O(1) per row (sizes are recovered from the fill cursors).
+            for g in 0..n_groups {
+                s.counts[s.touched[g] as usize] = g as u32;
+            }
+            for (k, &r) in rows.iter().enumerate() {
+                let rank = s.counts[s.row_dense[k] as usize] as usize;
+                flat[base + fill[rank] as usize] = r;
+                fill[rank] += 1;
+            }
+            // Multi-member groups become candidates, ordered by value id.
+            // (Group size is recovered from the fill cursors.)
+            let mut multi: Vec<u32> = (0..n_groups as u32)
+                .filter(|&g| fill[g as usize] - group_starts[g as usize] >= 2)
+                .collect();
+            multi.sort_by_key(|&g| s.value_of(c as usize, s.touched[g as usize]));
+            for g in multi {
+                let g = g as usize;
+                let d = s.touched[g];
+                candidates.push(Candidate {
+                    col: c,
+                    value: s.value_of(c as usize, d),
+                    // The group's first view member's squared length — the
+                    // reference's `members[0]` representative.
+                    sq_len: s.first_sq[d as usize],
+                    start: base + group_starts[g] as usize,
+                    len: (fill[g] - group_starts[g]) as usize,
+                });
+            }
         }
-        let mut groups: Vec<(ValueId, Vec<u32>)> = by_value
-            .into_iter()
-            .filter(|(_, members)| members.len() >= 2)
-            .collect();
-        // Deterministic candidate order regardless of hash iteration.
-        groups.sort_by_key(|(v, _)| *v);
-        for (value, members) in groups {
-            let sq_len = table.cell(members[0] as usize, c as usize).sq_len();
-            out.push(Group {
-                col: c,
-                value,
-                sq_len,
-                rows: members,
-            });
-        }
+        s.pool.put(group_starts);
+        s.pool.put(fill);
+        (flat, candidates)
     }
-    out
-}
 
-/// Base case: one column. Optimal PHC groups each distinct value
-/// contiguously: Σ_v len(v)² · (count(v) − 1).
-fn single_column_score(table: &ReorderTable, rows: &[u32], col: u32) -> u64 {
-    let mut counts: HashMap<ValueId, (u64, u64)> = HashMap::new();
-    for &r in rows {
-        let cell = table.cell(r as usize, col as usize);
-        let entry = counts.entry(cell.value).or_insert((0, cell.sq_len()));
-        entry.0 += 1;
+    /// Base case: one column. Optimal PHC groups each distinct value
+    /// contiguously: Σ_v len(v)² · (count(v) − 1).
+    fn single_column_score(&mut self, rows: &[u32], col: u32) -> u64 {
+        let s = &mut self.scratch;
+        let n_groups = s.group_dense(col as usize, self.table.col_sq_lens(col as usize), rows);
+        (0..n_groups)
+            .map(|g| {
+                let d = s.touched[g] as usize;
+                s.first_sq[d] * u64::from(s.counts[d] - 1)
+            })
+            .sum()
     }
-    counts
-        .values()
-        .map(|&(count, sq_len)| sq_len * count.saturating_sub(1))
-        .sum()
-}
-
-/// Builds a fixed-capacity bitset over `indices`.
-fn bitset(indices: &[u32], words: usize) -> Box<[u64]> {
-    let mut set = vec![0u64; words].into_boxed_slice();
-    for &i in indices {
-        set[(i / 64) as usize] |= 1 << (i % 64);
-    }
-    set
 }
 
 #[cfg(test)]

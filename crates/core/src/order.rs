@@ -18,36 +18,56 @@
 //! are packed first, and per-row-unique columns fall to the end, where they
 //! can no longer break anyone's prefix.
 
+use crate::scratch::{DeadCols, Scratch};
 use crate::table::ReorderTable;
 use crate::ValueId;
-use std::collections::HashMap;
 
 /// Computes a fixed field order for the subtable (`rows` × `cols`) that
 /// greedily maximizes the expected PHC of lexicographically sorted rows.
 ///
-/// Returns a permutation of `cols`. Complexity `O(m² · n)` with hashing;
-/// stops refining early once every prefix is unique (remaining columns are
-/// appended by descending squared length, longest first, since they can only
-/// ever match inside already-identical prefixes).
+/// Returns a permutation of `cols`. Complexity `O(m² · n)`; distinct
+/// `(prefix-group, value)` combinations are counted with a reusable
+/// open-addressing slot map over packed 64-bit keys instead of a fresh
+/// `HashMap` per candidate. Stops refining early once every prefix is unique
+/// (remaining columns are appended by descending squared length, longest
+/// first, since they can only ever match inside already-identical prefixes).
 pub fn greedy_prefix_order(table: &ReorderTable, rows: &[u32], cols: &[u32]) -> Vec<u32> {
+    // No dense index needed: the greedy pass groups by packed
+    // (prefix-group, value) pairs, which only the slot map serves.
+    let mut scratch = Scratch::default();
+    greedy_prefix_order_with(table, rows, cols, &mut scratch)
+}
+
+/// [`greedy_prefix_order`] with caller-provided scratch (solver hot path).
+pub(crate) fn greedy_prefix_order_with(
+    table: &ReorderTable,
+    rows: &[u32],
+    cols: &[u32],
+    s: &mut Scratch,
+) -> Vec<u32> {
     let n = rows.len();
     let mut order: Vec<u32> = Vec::with_capacity(cols.len());
     let mut remaining: Vec<u32> = cols.to_vec();
     // Group id of each row under the prefix chosen so far.
-    let mut groups: Vec<u32> = vec![0; n];
+    let mut groups = s.pool.take();
+    groups.resize(n, 0);
     let mut n_groups = 1usize;
+
+    // (old group, value) packed as one 64-bit slot-map key.
+    let pair_key = |g: u32, v: ValueId| (u64::from(g) << 32) | u64::from(v.as_u32());
 
     while !remaining.is_empty() && n_groups < n {
         let mut best: Option<(f64, usize)> = None;
         for (i, &c) in remaining.iter().enumerate() {
-            let mut distinct: HashMap<(u32, ValueId), ()> = HashMap::with_capacity(n);
+            let values = table.col_values(c as usize);
+            let sq_lens = table.col_sq_lens(c as usize);
+            s.map.begin(n);
             let mut sum_sq = 0f64;
             for (g, &r) in groups.iter().zip(rows) {
-                let cell = table.cell(r as usize, c as usize);
-                distinct.insert((*g, cell.value), ());
-                sum_sq += cell.sq_len() as f64;
+                s.map.insert(pair_key(*g, values[r as usize]));
+                sum_sq += sq_lens[r as usize] as f64;
             }
-            let gain = (sum_sq / n as f64) * (n - distinct.len()) as f64;
+            let gain = (sum_sq / n as f64) * (n - s.map.len() as usize) as f64;
             let better = match best {
                 None => true,
                 Some((bg, bi)) => gain > bg || (gain == bg && remaining[bi] > c),
@@ -58,32 +78,30 @@ pub fn greedy_prefix_order(table: &ReorderTable, rows: &[u32], cols: &[u32]) -> 
         }
         let (_, idx) = best.expect("remaining is non-empty");
         let chosen = remaining.remove(idx);
-        // Re-key groups by (old group, value in chosen column).
-        let mut key_map: HashMap<(u32, ValueId), u32> = HashMap::with_capacity(n_groups * 2);
+        // Re-key groups by (old group, value in chosen column): the slot
+        // map's dense first-seen slots are exactly the fresh group ids.
+        let values = table.col_values(chosen as usize);
+        s.map.begin(n);
         for (g, &r) in groups.iter_mut().zip(rows) {
-            let cell = table.cell(r as usize, chosen as usize);
-            let next = key_map.len() as u32;
-            let id = *key_map.entry((*g, cell.value)).or_insert(next);
-            *g = id;
+            let (slot, _) = s.map.insert(pair_key(*g, values[r as usize]));
+            *g = slot;
         }
-        n_groups = key_map.len();
+        n_groups = s.map.len() as usize;
         order.push(chosen);
     }
+    s.pool.put(groups);
 
     // Every prefix is unique (or columns ran out): order the rest longest
     // first — matches can only occur inside identical prefixes anyway.
-    remaining.sort_by(|&a, &b| {
-        let la: u64 = rows
-            .iter()
-            .map(|&r| table.cell(r as usize, a as usize).sq_len())
-            .sum();
-        let lb: u64 = rows
-            .iter()
-            .map(|&r| table.cell(r as usize, b as usize).sq_len())
-            .sum();
-        lb.cmp(&la).then(a.cmp(&b))
-    });
-    order.extend(remaining);
+    let mut rest_scored: Vec<(u64, u32)> = remaining
+        .iter()
+        .map(|&c| {
+            let sq_lens = table.col_sq_lens(c as usize);
+            (rows.iter().map(|&r| sq_lens[r as usize]).sum(), c)
+        })
+        .collect();
+    rest_scored.sort_by(|&(la, a), &(lb, b)| lb.cmp(&la).then(a.cmp(&b)));
+    order.extend(rest_scored.into_iter().map(|(_, c)| c));
     order
 }
 
@@ -107,90 +125,142 @@ pub fn adaptive_prefix_plan(
     rows: &[u32],
     cols: &[u32],
 ) -> Vec<(u32, Vec<u32>)> {
+    // View-scoped index: a small view of a huge table pays remap work
+    // proportional to the view, not the table.
+    let mut scratch = Scratch::for_view(table, rows, cols);
+    adaptive_prefix_plan_with(table, rows, cols, &mut scratch)
+}
+
+/// [`adaptive_prefix_plan`] with caller-provided scratch (GGR's default
+/// fall-back runs here, so this is solver hot path on stopped subtables).
+pub(crate) fn adaptive_prefix_plan_with(
+    table: &ReorderTable,
+    rows: &[u32],
+    cols: &[u32],
+    s: &mut Scratch,
+) -> Vec<(u32, Vec<u32>)> {
+    adaptive_prefix_plan_dead(table, rows, cols, s, DeadCols::default())
+}
+
+/// [`adaptive_prefix_plan_with`] seeded with columns the caller already
+/// knows to be group-free on this path (GGR's recursion shares its pruning
+/// mask with the fall-back it stops into).
+pub(crate) fn adaptive_prefix_plan_dead(
+    table: &ReorderTable,
+    rows: &[u32],
+    cols: &[u32],
+    s: &mut Scratch,
+    dead: DeadCols,
+) -> Vec<(u32, Vec<u32>)> {
     let mut out = Vec::with_capacity(rows.len());
-    adaptive_rec(table, rows.to_vec(), cols, &mut out);
+    let mut rows_buf = s.pool.take();
+    rows_buf.extend_from_slice(rows);
+    adaptive_rec(table, rows_buf, cols, s, &mut out, dead);
     out
+}
+
+/// Emits `rows` with `cols` ordered longest (total squared length) first —
+/// no sharing is possible, so columns can only match inside prefixes that
+/// are already identical. Emitted field lists are sized for the full column
+/// count so ancestor prefix-inserts never reallocate.
+fn flush_flat(table: &ReorderTable, rows: &[u32], cols: &[u32], out: &mut Vec<(u32, Vec<u32>)>) {
+    let mut rest = cols.to_vec();
+    rest.sort_by_key(|&c| {
+        let sq_lens = table.col_sq_lens(c as usize);
+        std::cmp::Reverse(rows.iter().map(|&r| sq_lens[r as usize]).sum::<u64>())
+    });
+    for &r in rows {
+        let mut fields = Vec::with_capacity(table.ncols());
+        fields.extend_from_slice(&rest);
+        out.push((r, fields));
+    }
 }
 
 fn adaptive_rec(
     table: &ReorderTable,
     mut rows: Vec<u32>,
     cols: &[u32],
+    s: &mut Scratch,
     out: &mut Vec<(u32, Vec<u32>)>,
+    mut dead: DeadCols,
 ) {
-    let flush_flat = |rows: &[u32], cols: &[u32], out: &mut Vec<(u32, Vec<u32>)>| {
-        // No sharing possible: emit rows with columns longest first (they
-        // can only match inside already-identical prefixes).
-        let mut rest = cols.to_vec();
-        rest.sort_by_key(|&c| {
-            std::cmp::Reverse(
-                rows.iter()
-                    .map(|&r| table.cell(r as usize, c as usize).sq_len())
-                    .sum::<u64>(),
-            )
-        });
-        for &r in rows {
-            out.push((r, rest.clone()));
-        }
-    };
     // The residual branch iterates rather than recursing, so schedule depth
     // is bounded by the column count, not the row count.
     loop {
         if rows.len() <= 1 || cols.is_empty() {
-            flush_flat(&rows, cols, out);
+            flush_flat(table, &rows, cols, out);
+            s.pool.put(rows);
             return;
         }
         let n = rows.len();
         let mut best: Option<(f64, u32)> = None;
         for &c in cols {
-            let mut distinct: HashMap<ValueId, ()> = HashMap::with_capacity(n);
-            let mut sum_sq = 0f64;
-            for &r in &rows {
-                let cell = table.cell(r as usize, c as usize);
-                distinct.insert(cell.value, ());
-                sum_sq += cell.sq_len() as f64;
+            if dead.is_dead(c) {
+                continue;
             }
-            let gain = (sum_sq / n as f64) * (n - distinct.len()) as f64;
+            let (distinct, sum_sq) =
+                s.distinct_and_sum_sq(c as usize, table.col_sq_lens(c as usize), &rows);
+            if distinct == n {
+                // No duplicated value in this view ⇒ none in any sub-view;
+                // the gain is 0 here and forever, so stop scanning it.
+                dead.kill(c);
+                continue;
+            }
+            let gain = (sum_sq / n as f64) * (n - distinct) as f64;
             if gain > 0.0 && best.is_none_or(|(bg, bc)| gain > bg || (gain == bg && c < bc)) {
                 best = Some((gain, c));
             }
         }
         let Some((_, chosen)) = best else {
-            flush_flat(&rows, cols, out);
+            flush_flat(table, &rows, cols, out);
+            s.pool.put(rows);
             return;
         };
-        // Partition by the chosen field's value.
-        let mut groups: HashMap<ValueId, Vec<u32>> = HashMap::new();
-        for &r in &rows {
-            groups
-                .entry(table.cell(r as usize, chosen as usize).value)
-                .or_default()
-                .push(r);
-        }
-        let mut parts: Vec<(ValueId, Vec<u32>)> = Vec::new();
-        let mut residual: Vec<u32> = Vec::new();
-        for (v, members) in groups {
-            if members.len() >= 2 {
-                parts.push((v, members));
+        // Partition by the chosen field's value: multi-member groups become
+        // contiguous blocks, singletons flow to the residual branch.
+        let n_groups = s.group_dense(chosen as usize, table.col_sq_lens(chosen as usize), &rows);
+        let mut parts: Vec<(ValueId, Vec<u32>)> = Vec::with_capacity(n_groups);
+        let mut residual = s.pool.take();
+        // dense id → index into `parts` (u32::MAX for singleton groups).
+        let mut part_of = s.pool.take();
+        part_of.clear();
+        part_of.resize(
+            s.touched.iter().map(|&d| d as usize + 1).max().unwrap_or(0),
+            u32::MAX,
+        );
+        for (k, &r) in rows.iter().enumerate() {
+            let d = s.row_dense[k] as usize;
+            if s.counts[d] >= 2 {
+                if part_of[d] == u32::MAX {
+                    part_of[d] = parts.len() as u32;
+                    parts.push((s.value_of(chosen as usize, d as u32), s.pool.take()));
+                }
+                parts[part_of[d] as usize].1.push(r);
             } else {
-                residual.extend(members);
+                residual.push(r);
             }
         }
+        s.pool.put(part_of);
         parts.sort_by_key(|(v, members)| (std::cmp::Reverse(members.len()), *v));
         residual.sort_unstable();
-        let sub_cols: Vec<u32> = cols.iter().copied().filter(|&c| c != chosen).collect();
+        let mut sub_cols = s.pool.take();
+        sub_cols.extend(cols.iter().copied().filter(|&c| c != chosen));
+        s.pool.put(rows);
         for (_, members) in parts {
             let mark = out.len();
-            adaptive_rec(table, members, &sub_cols, out);
+            adaptive_rec(table, members, &sub_cols, s, out, dead);
             // Lead every row of this block with the chosen field.
             for (_, fields) in &mut out[mark..] {
                 fields.insert(0, chosen);
             }
         }
         if residual.is_empty() {
+            s.pool.put(residual);
+            s.pool.put(sub_cols);
             return;
         }
         rows = residual;
+        s.pool.put(sub_cols);
     }
 }
 

@@ -87,6 +87,7 @@ impl<R: Reorderer + Sync> Reorderer for Partitioned<R> {
                     scope.spawn(move || {
                         let mut chunk = ReorderTable::new(table.column_names().to_vec())
                             .expect("table has columns");
+                        chunk.reserve_rows(hi - lo);
                         for r in lo..hi {
                             let row: Vec<Cell> = table.row(r).to_vec();
                             chunk.push_row(row).expect("arity preserved");

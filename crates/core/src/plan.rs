@@ -132,7 +132,7 @@ impl ReorderPlan {
             .map(|rp| {
                 let mut h: u64 = 0xcbf2_9ce4_8422_2325;
                 for &f in rp.fields.iter().take(depth) {
-                    let v = table.cell(rp.row, f as usize).value.as_u32();
+                    let v = table.col_values(f as usize)[rp.row].as_u32();
                     for b in f.to_le_bytes().into_iter().chain(v.to_le_bytes()) {
                         h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
                     }

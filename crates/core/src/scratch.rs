@@ -1,0 +1,593 @@
+//! Reusable solver scratch: slot maps, buffer pools, and interned set keys.
+//!
+//! The solvers recurse over (row-set × column-set) views and, at every level,
+//! need to group rows by a column's value, count distinct values, filter row
+//! sets, and (for OPHR) key a memo table by the view. A naive transcription
+//! pays for a fresh `HashMap` — SipHash, rehashing, and per-group `Vec`
+//! allocations — at every recursion level. This module provides the
+//! allocation-free alternatives the optimized solvers thread through their
+//! recursion:
+//!
+//! * [`SlotMap`] — an open-addressing map from `u64` keys (value ids, or
+//!   packed `(group, value)` pairs) to dense *slots* assigned in first-seen
+//!   order. Clearing is an epoch bump, not a memset, so a 10-row view pays
+//!   for 10 probes even when the backing table was sized for 10 000 rows.
+//! * [`Scratch`] — per-solve state: one `SlotMap` plus per-slot accumulator
+//!   arrays and a [`BufPool`] of `Vec<u32>` row/column buffers, so the steady
+//!   state of a recursion allocates nothing.
+//! * [`SetInterner`] — canonical ids for row/column subsets (OPHR memo keys):
+//!   each distinct bitset is boxed once and every later occurrence resolves
+//!   to a `u32`, replacing the reference implementation's per-call
+//!   `Box<[u64]>` construction.
+//! * [`FxBuild`] — a multiply-xor hasher for the remaining `HashMap`s (memo,
+//!   interner); solver keys are small and attacker-free, so SipHash's
+//!   flooding resistance buys nothing here.
+
+use crate::ValueId;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher (fxhash-style) for small trusted keys.
+///
+/// Solver hash keys are dense integers or short bitsets produced by the
+/// solver itself — no untrusted input — so a two-instruction mix per word
+/// beats SipHash by a wide margin without a flooding risk.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub(crate) type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// One open-addressing table entry; `epoch` marks which generation wrote it.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    key: u64,
+    slot: u32,
+    epoch: u32,
+}
+
+/// Open-addressing map from `u64` keys to dense slots in first-seen order.
+///
+/// Capacity is kept at ≥ 2× the expected distinct-key count declared via
+/// [`SlotMap::begin`], so linear probing stays short. Resetting bumps an
+/// epoch instead of clearing, making `begin` O(1) once the table is warm.
+#[derive(Debug, Default)]
+pub(crate) struct SlotMap {
+    entries: Vec<Entry>,
+    mask: usize,
+    epoch: u32,
+    len: u32,
+}
+
+impl SlotMap {
+    /// Starts a fresh grouping expecting at most `expect` insertions.
+    pub fn begin(&mut self, expect: usize) {
+        let want = (expect.max(4) * 2).next_power_of_two();
+        if self.entries.len() < want {
+            self.entries = vec![
+                Entry {
+                    key: 0,
+                    slot: 0,
+                    epoch: 0,
+                };
+                want
+            ];
+            self.mask = want - 1;
+            self.epoch = 0;
+        }
+        if self.epoch == u32::MAX {
+            for e in &mut self.entries {
+                e.epoch = 0;
+            }
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.len = 0;
+    }
+
+    /// Inserts `key` (or finds it), returning `(slot, inserted)`. Slots are
+    /// dense and assigned in first-seen order.
+    #[inline]
+    pub fn insert(&mut self, key: u64) -> (u32, bool) {
+        let mut i = (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize & self.mask;
+        loop {
+            let e = &mut self.entries[i];
+            if e.epoch != self.epoch {
+                *e = Entry {
+                    key,
+                    slot: self.len,
+                    epoch: self.epoch,
+                };
+                self.len += 1;
+                return (e.slot, true);
+            }
+            if e.key == key {
+                return (e.slot, false);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Number of distinct keys inserted since the last [`SlotMap::begin`].
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+}
+
+/// Pool of reusable `Vec<u32>` buffers (row lists, column lists).
+#[derive(Debug, Default)]
+pub(crate) struct BufPool {
+    bufs: Vec<Vec<u32>>,
+}
+
+impl BufPool {
+    /// Takes a cleared buffer from the pool (or allocates one).
+    pub fn take(&mut self) -> Vec<u32> {
+        let mut b = self.bufs.pop().unwrap_or_default();
+        b.clear();
+        b
+    }
+
+    /// Returns a buffer to the pool.
+    pub fn put(&mut self, b: Vec<u32>) {
+        self.bufs.push(b);
+    }
+}
+
+/// Per-solve scratch threaded through solver recursion.
+///
+/// [`Scratch::for_table`] builds the *per-column value→group index* once:
+/// every column's values are remapped to dense per-column ids
+/// (`dense_of`), with per-id value/squared-length lookup tables. After that
+/// one O(n·m) pass, grouping any view by any column is pure array indexing —
+/// an epoch-stamped counting pass with no hashing — and stays O(view) via
+/// the `touched` list of ids actually present in the view.
+///
+/// After [`Scratch::group_dense`], the grouping state reads as: `touched`
+/// holds the distinct dense ids in first-seen order, `counts[d]` the member
+/// count of id `d`, `row_dense[i]` the id of the view's `i`-th row, and
+/// `acc`/`tot` are caller-managed per-id accumulators.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    /// `dense[c][r]`: dense per-column id of the value of cell `(r, c)`.
+    dense: Vec<Vec<u32>>,
+    /// `dense_values[c][d]`: the [`ValueId`] behind dense id `d` of column `c`.
+    dense_values: Vec<Vec<ValueId>>,
+    /// Epoch stamps over dense ids (sized to the largest column cardinality).
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Per-dense-id member count of the current grouping (stamp-guarded).
+    pub counts: Vec<u32>,
+    /// Per-dense-id squared length of the group's **view-first** member —
+    /// the same representative the frozen references read, so equivalence
+    /// holds even on tables where one [`ValueId`] recurs with different
+    /// lengths (well-formed encodings never do, but the public API allows
+    /// it and the differential contract must not depend on it).
+    pub first_sq: Vec<u64>,
+    /// Distinct dense ids of the current grouping, in first-seen order.
+    pub touched: Vec<u32>,
+    /// Dense id of each view row, in view order.
+    pub row_dense: Vec<u32>,
+    /// Per-dense-id floating-point accumulator (FD squared-length sums).
+    pub acc: Vec<f64>,
+    /// Per-dense-id running `HITCOUNT` total.
+    pub tot: Vec<f64>,
+    /// Column membership mask, `ncols` long.
+    pub col_mask: Vec<bool>,
+    /// Slot map for pair-keyed groupings ([`greedy_prefix_order`][o]).
+    ///
+    /// [o]: crate::order::greedy_prefix_order
+    pub map: SlotMap,
+    /// Reusable row/column index buffers.
+    pub pool: BufPool,
+}
+
+impl Scratch {
+    /// Builds the per-column group indexes for all of `table` — the one
+    /// value-remap pass of a solve; everything after is array indexing.
+    pub fn for_table(table: &crate::table::ReorderTable) -> Self {
+        let rows: Vec<u32> = (0..table.nrows() as u32).collect();
+        let cols: Vec<u32> = (0..table.ncols() as u32).collect();
+        Self::for_view(table, &rows, &cols)
+    }
+
+    /// Builds the group indexes for one (rows × cols) view of `table`: the
+    /// *remap work* is O(|rows|·|cols|), though each view column still
+    /// allocates a zeroed `nrows`-sized id array (entries are addressed by
+    /// original row index), so small views of huge tables pay an O(n)
+    /// memset per view column — cheap, but not free. Dense-id numbering
+    /// follows the view's row order; nothing downstream depends on the
+    /// numbering, only on the first-seen order of the `touched` list, which
+    /// is view-relative either way.
+    ///
+    /// When the raw [`ValueId`] space is dense (the encode path interns
+    /// fragments densely, so raw ids are bounded by the distinct-cell count),
+    /// the remap is a direct stamp-array lookup; tables with sparse synthetic
+    /// ids fall back to the slot map. Both assign ids in first-seen order, so
+    /// the result is identical.
+    pub fn for_view(table: &crate::table::ReorderTable, rows: &[u32], cols: &[u32]) -> Self {
+        let n = table.nrows();
+        let m = table.ncols();
+        let mut s = Scratch {
+            col_mask: vec![false; m],
+            ..Scratch::default()
+        };
+        s.dense.resize(m, Vec::new());
+        s.dense_values.resize(m, Vec::new());
+        let max_raw = cols
+            .iter()
+            .flat_map(|&c| {
+                let values = table.col_values(c as usize);
+                rows.iter().map(move |&r| values[r as usize].as_u32())
+            })
+            .max()
+            .unwrap_or(0) as usize;
+        let direct = max_raw < (4 * n * m + 65_536);
+        let mut vstamp = Vec::new();
+        let mut vslot = Vec::new();
+        if direct {
+            vstamp = vec![u32::MAX; max_raw + 1];
+            vslot = vec![0u32; max_raw + 1];
+        }
+        let mut max_card = 0usize;
+        for &c in cols {
+            let values = table.col_values(c as usize);
+            let mut ids = vec![0u32; n];
+            let mut vals = Vec::new();
+            if direct {
+                for &r in rows {
+                    let raw = values[r as usize].as_u32() as usize;
+                    if vstamp[raw] != c {
+                        vstamp[raw] = c;
+                        vslot[raw] = vals.len() as u32;
+                        vals.push(values[r as usize]);
+                    }
+                    ids[r as usize] = vslot[raw];
+                }
+            } else {
+                s.map.begin(rows.len());
+                for &r in rows {
+                    let (slot, new) = s.map.insert(u64::from(values[r as usize].as_u32()));
+                    if new {
+                        vals.push(values[r as usize]);
+                    }
+                    ids[r as usize] = slot;
+                }
+            }
+            max_card = max_card.max(vals.len());
+            s.dense[c as usize] = ids;
+            s.dense_values[c as usize] = vals;
+        }
+        s.stamp = vec![0; max_card];
+        s.counts = vec![0; max_card];
+        s.first_sq = vec![0; max_card];
+        s.acc = vec![0.0; max_card];
+        s.tot = vec![0.0; max_card];
+        s
+    }
+
+    /// The [`ValueId`] behind dense id `d` of column `c`.
+    #[inline]
+    pub fn value_of(&self, c: usize, d: u32) -> ValueId {
+        self.dense_values[c][d as usize]
+    }
+
+    fn bump_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Groups the view rows by their value in column `c`, filling `touched`,
+    /// `counts`, `first_sq` (from `sq_lens`, that column's per-row squared
+    /// lengths), and `row_dense`. Returns the number of distinct values.
+    ///
+    /// Members of a group are the view rows holding its value, in view
+    /// order, and `first_sq` carries the squared length of each group's
+    /// first view member — exactly the representative a
+    /// `HashMap<ValueId, Vec<u32>>` transcription reads via `members[0]`.
+    pub fn group_dense(&mut self, c: usize, sq_lens: &[u64], rows: &[u32]) -> usize {
+        let epoch = self.bump_epoch();
+        self.touched.clear();
+        self.row_dense.clear();
+        let dense = &self.dense[c];
+        for &r in rows {
+            let d = dense[r as usize];
+            if self.stamp[d as usize] != epoch {
+                self.stamp[d as usize] = epoch;
+                self.counts[d as usize] = 0;
+                self.first_sq[d as usize] = sq_lens[r as usize];
+                self.touched.push(d);
+            }
+            self.counts[d as usize] += 1;
+            self.row_dense.push(d);
+        }
+        self.touched.len()
+    }
+
+    /// [`Scratch::group_dense`] without the per-row `row_dense` fill, for
+    /// callers that only need group counts (`best_group` on columns with no
+    /// applicable functional dependencies).
+    pub fn group_dense_counts(&mut self, c: usize, sq_lens: &[u64], rows: &[u32]) -> usize {
+        let epoch = self.bump_epoch();
+        self.touched.clear();
+        let dense = &self.dense[c];
+        for &r in rows {
+            let d = dense[r as usize];
+            if self.stamp[d as usize] != epoch {
+                self.stamp[d as usize] = epoch;
+                self.counts[d as usize] = 0;
+                self.first_sq[d as usize] = sq_lens[r as usize];
+                self.touched.push(d);
+            }
+            self.counts[d as usize] += 1;
+        }
+        self.touched.len()
+    }
+
+    /// One fused view pass: distinct count of column `c` plus the view's
+    /// squared-length sum over `sq_lens`, that column's per-row array. The
+    /// sum accumulates per **row** in view order — the exact additions the
+    /// reference implementations perform — so gains stay bit-identical even
+    /// on tables where a value recurs with different lengths.
+    pub fn distinct_and_sum_sq(&mut self, c: usize, sq_lens: &[u64], rows: &[u32]) -> (usize, f64) {
+        let epoch = self.bump_epoch();
+        let dense = &self.dense[c];
+        let stamp = &mut self.stamp;
+        let mut distinct = 0usize;
+        let mut sum_sq = 0f64;
+        for &r in rows {
+            let d = dense[r as usize] as usize;
+            if stamp[d] != epoch {
+                stamp[d] = epoch;
+                distinct += 1;
+            }
+            sum_sq += sq_lens[r as usize] as f64;
+        }
+        (distinct, sum_sq)
+    }
+}
+
+/// Path-local pruning mask over the first 64 columns.
+///
+/// A column with no duplicated value in a view has none in any sub-view
+/// (views only shrink along recursion), so it can never again source a
+/// group: solvers kill it and skip it in descendant scans. The pruning is
+/// invisible in solver output — a group-free column contributes no split
+/// candidates and a gain of zero, so it could never be chosen anyway — it
+/// only removes wasted O(view) scans. Columns ≥ 64 are simply never pruned.
+///
+/// The mask is passed **by value** down the recursion, so sibling branches
+/// cannot see each other's kills (a column dead in one subtree may still
+/// have groups in a cousin view).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DeadCols(u64);
+
+impl DeadCols {
+    /// Whether column `c` is known group-free on this path.
+    #[inline]
+    pub fn is_dead(self, c: u32) -> bool {
+        c < 64 && self.0 & (1 << c) != 0
+    }
+
+    /// Marks column `c` group-free for this path and its descendants.
+    #[inline]
+    pub fn kill(&mut self, c: u32) {
+        if c < 64 {
+            self.0 |= 1 << c;
+        }
+    }
+}
+
+/// Splits view `rows` into those holding `value` in a column (`group`) and
+/// the rest, preserving view order. This is the shared O(n) replacement for
+/// the `group.rows.contains(r)` rest-filters both GGR and OPHR used to run.
+pub(crate) fn partition_rows_by_value(
+    values: &[ValueId],
+    rows: &[u32],
+    value: ValueId,
+    group: &mut Vec<u32>,
+    rest: &mut Vec<u32>,
+) {
+    for &r in rows {
+        if values[r as usize] == value {
+            group.push(r);
+        } else {
+            rest.push(r);
+        }
+    }
+}
+
+/// Canonical `u32` ids for index subsets, keyed by their bitset.
+///
+/// OPHR memoizes on (row-set, column-set); interning each distinct set once
+/// turns the memo key into a `(u32, u32)` pair and eliminates the per-call
+/// boxed-bitset construction of the reference implementation.
+#[derive(Debug)]
+pub(crate) struct SetInterner {
+    map: HashMap<Box<[u64]>, u32, FxBuild>,
+    scratch: Vec<u64>,
+    words: usize,
+}
+
+impl SetInterner {
+    /// An interner for subsets of `0..domain`.
+    pub fn new(domain: usize) -> Self {
+        SetInterner {
+            map: HashMap::default(),
+            scratch: Vec::new(),
+            words: domain.div_ceil(64).max(1),
+        }
+    }
+
+    /// Returns the canonical id of the set holding exactly `indices`.
+    pub fn intern(&mut self, indices: &[u32]) -> u32 {
+        self.scratch.clear();
+        self.scratch.resize(self.words, 0);
+        for &i in indices {
+            self.scratch[(i / 64) as usize] |= 1 << (i % 64);
+        }
+        if let Some(&id) = self.map.get(self.scratch.as_slice()) {
+            return id;
+        }
+        let id = u32::try_from(self.map.len()).expect("fewer than 2^32 interned sets");
+        self.map.insert(self.scratch.clone().into_boxed_slice(), id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_map_assigns_first_seen_slots() {
+        let mut m = SlotMap::default();
+        m.begin(8);
+        assert_eq!(m.insert(42), (0, true));
+        assert_eq!(m.insert(7), (1, true));
+        assert_eq!(m.insert(42), (0, false));
+        assert_eq!(m.len(), 2);
+        m.begin(8);
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.insert(7), (0, true));
+    }
+
+    #[test]
+    fn slot_map_survives_growth() {
+        let mut m = SlotMap::default();
+        m.begin(4);
+        for k in 0..4u64 {
+            m.insert(k * 1000);
+        }
+        m.begin(4096);
+        for k in 0..4096u64 {
+            let (slot, new) = m.insert(k.wrapping_mul(0x5851_f42d_4c95_7f2d));
+            assert_eq!(slot as u64, k);
+            assert!(new);
+        }
+        assert_eq!(m.len(), 4096);
+    }
+
+    #[test]
+    fn group_dense_matches_hashmap_grouping() {
+        use crate::table::{Cell, ReorderTable};
+        let mut t = ReorderTable::new(vec!["a".into()]).unwrap();
+        for (v, len) in [(5u32, 5u32), (9, 9), (5, 5), (5, 5), (2, 2), (9, 9)] {
+            t.push_row(vec![Cell::new(ValueId::from_raw(v), len)])
+                .unwrap();
+        }
+        let mut s = Scratch::for_table(&t);
+        let sq: Vec<u64> = t.col_sq_lens(0).to_vec();
+        let rows: Vec<u32> = (0..6).collect();
+        let n = s.group_dense(0, &sq, &rows);
+        assert_eq!(n, 3);
+        // Dense ids are first-seen: 5 → 0, 9 → 1, 2 → 2.
+        assert_eq!(s.touched, vec![0, 1, 2]);
+        assert_eq!(&s.counts[..3], &[3, 2, 1]);
+        assert_eq!(s.row_dense, vec![0, 1, 0, 0, 2, 1]);
+        assert_eq!(s.value_of(0, 2), ValueId::from_raw(2));
+        assert_eq!(&s.first_sq[..3], &[25, 81, 4]);
+        // A subset view regroups correctly after the epoch bump.
+        let n = s.group_dense(0, &sq, &[1, 4]);
+        assert_eq!(n, 2);
+        assert_eq!(s.touched, vec![1, 2]);
+        assert_eq!(&s.counts[1..3], &[1, 1]);
+        let (distinct, sum_sq) = s.distinct_and_sum_sq(0, &sq, &rows);
+        assert_eq!(distinct, 3);
+        // 3×25 + 2×81 + 4, accumulated in view order.
+        assert_eq!(sum_sq, (3 * 25 + 2 * 81 + 4) as f64);
+        assert_eq!(s.distinct_and_sum_sq(0, &sq, &[0, 2, 3]).0, 1);
+    }
+
+    #[test]
+    fn partition_preserves_view_order() {
+        let values: Vec<ValueId> = [1u32, 2, 1, 3]
+            .iter()
+            .map(|&v| ValueId::from_raw(v))
+            .collect();
+        let rows = vec![3u32, 2, 1, 0];
+        let (mut g, mut r) = (Vec::new(), Vec::new());
+        partition_rows_by_value(&values, &rows, ValueId::from_raw(1), &mut g, &mut r);
+        assert_eq!(g, vec![2, 0]);
+        assert_eq!(r, vec![3, 1]);
+    }
+
+    #[test]
+    fn interner_canonicalizes_order() {
+        let mut i = SetInterner::new(130);
+        let a = i.intern(&[1, 64, 129]);
+        let b = i.intern(&[129, 1, 64]);
+        let c = i.intern(&[1, 64]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pool_round_trips() {
+        let mut p = BufPool::default();
+        let mut b = p.take();
+        b.push(9);
+        p.put(b);
+        assert!(p.take().is_empty());
+    }
+
+    #[test]
+    fn fx_hasher_mixes_tails() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 4]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -5,9 +5,9 @@
 //! that predicts the column's PHC contribution, and (b) choose a fixed field
 //! ordering for subtables once recursion stops early.
 
+use crate::scratch::SlotMap;
 use crate::table::ReorderTable;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Statistics for one column.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -58,22 +58,31 @@ pub struct TableStats {
 }
 
 impl TableStats {
-    /// Computes statistics with one pass per column.
+    /// Computes statistics with one columnar pass per column; distinct
+    /// values are counted with a reusable open-addressing slot map.
     pub fn compute(table: &ReorderTable) -> Self {
         let n = table.nrows();
+        let mut map = SlotMap::default();
+        let mut group_counts: Vec<usize> = Vec::new();
         let columns = (0..table.ncols())
             .map(|c| {
-                let mut counts: HashMap<crate::ValueId, usize> = HashMap::new();
+                let values = table.col_values(c);
+                map.begin(n);
+                group_counts.clear();
                 let mut total_len = 0u64;
                 let mut total_sq = 0f64;
-                for r in 0..n {
+                for (r, v) in values.iter().enumerate() {
                     let cell = table.cell(r, c);
-                    *counts.entry(cell.value).or_insert(0) += 1;
+                    let (slot, new) = map.insert(u64::from(v.as_u32()));
+                    if new {
+                        group_counts.push(0);
+                    }
+                    group_counts[slot as usize] += 1;
                     total_len += u64::from(cell.len);
                     total_sq += cell.sq_len() as f64;
                 }
                 ColumnStats {
-                    cardinality: counts.len(),
+                    cardinality: group_counts.len(),
                     avg_len: if n == 0 {
                         0.0
                     } else {
@@ -81,7 +90,7 @@ impl TableStats {
                     },
                     avg_sq_len: if n == 0 { 0.0 } else { total_sq / n as f64 },
                     total_len,
-                    max_group: counts.values().copied().max().unwrap_or(0),
+                    max_group: group_counts.iter().copied().max().unwrap_or(0),
                 }
             })
             .collect();

@@ -60,6 +60,9 @@ pub fn encode_table(
     let used_cols = table.resolve_columns(&query.fields)?;
     let mut reorder = ReorderTable::new(query.fields.clone())
         .expect("queries are validated to have at least one field");
+    // One up-front reservation sizes both the row-major store and the
+    // column-major mirror the solvers scan.
+    reorder.reserve_rows(table.nrows());
     let mut interner = Interner::new();
     let mut fragments: Vec<Arc<[TokenId]>> = Vec::new();
 
