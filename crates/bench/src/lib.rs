@@ -18,6 +18,7 @@
 //! | `table5` | Table 5 — GGR solver time |
 //! | `table6` | Table 6 — GGR vs OPHR (Appendix D.1) |
 //! | `table7` | Table 7 — Llama-3.2-1B (Appendix D.2) |
+//! | `table_sqlopt` | SQL-aware optimizations — dedup / reorder / lazy `LIMIT` savings |
 //!
 //! Set `LLMQO_SCALE` (e.g. `0.1`) to run on proportionally smaller datasets
 //! while keeping duplication structure; default is the paper's full sizes.

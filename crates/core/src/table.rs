@@ -26,6 +26,11 @@ pub struct Cell {
 
 impl Cell {
     /// Creates a cell.
+    ///
+    /// Well-formed encodings give every [`ValueId`] exactly one token length
+    /// (a fragment's token count is a property of the fragment). A lone cell
+    /// cannot check that; [`ReorderTable::push_row`] enforces it table-wide
+    /// in debug builds.
     pub fn new(value: ValueId, len: u32) -> Self {
         Cell { value, len }
     }
@@ -101,7 +106,58 @@ pub struct ReorderTable {
     col_values: Vec<Vec<ValueId>>,
     /// Column-major mirror: `col_sq[c][r]` is the squared length of `(r, c)`.
     col_sq: Vec<Vec<u64>>,
+    /// Debug-only registry enforcing the one-length-per-[`ValueId`]
+    /// invariant at [`push_row`](ReorderTable::push_row) time.
+    #[cfg(debug_assertions)]
+    val_lens: LenRegistry,
 }
+
+/// Debug-build registry mapping each [`ValueId`] to the single token length
+/// it was first pushed with. Deliberately invisible to equality: it is
+/// derived state, and ill-formed tables built through
+/// [`ReorderTable::push_row_unchecked`] must still compare by cells alone.
+#[cfg(debug_assertions)]
+#[derive(Debug, Clone, Default)]
+struct LenRegistry {
+    /// `len + 1` per raw id; 0 means unseen. Ids are dense interner indices.
+    lens: Vec<u32>,
+}
+
+#[cfg(debug_assertions)]
+impl LenRegistry {
+    /// Records `cell`'s length, panicking if this id was seen with another.
+    fn observe(&mut self, cell: &Cell) {
+        let idx = cell.value.as_u32() as usize;
+        if self.lens.len() <= idx {
+            self.lens.resize(idx + 1, 0);
+        }
+        let slot = &mut self.lens[idx];
+        if *slot == 0 {
+            *slot = cell.len + 1;
+        } else {
+            assert_eq!(
+                *slot - 1,
+                cell.len,
+                "ill-formed producer: {} pushed with token length {} but was \
+                 first seen with length {} (one length per ValueId; use \
+                 push_row_unchecked to bypass in tests)",
+                cell.value,
+                cell.len,
+                *slot - 1,
+            );
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+impl PartialEq for LenRegistry {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+#[cfg(debug_assertions)]
+impl Eq for LenRegistry {}
 
 impl ReorderTable {
     /// Creates an empty table with the given column names.
@@ -120,6 +176,8 @@ impl ReorderTable {
             nrows: 0,
             col_values: vec![Vec::new(); ncols],
             col_sq: vec![Vec::new(); ncols],
+            #[cfg(debug_assertions)]
+            val_lens: LenRegistry::default(),
         })
     }
 
@@ -136,11 +194,42 @@ impl ReorderTable {
 
     /// Appends a row.
     ///
+    /// In debug builds this additionally enforces the one-length-per-
+    /// [`ValueId`] invariant: a well-formed encoder derives each cell's `len`
+    /// from its fragment, so an id recurring with a different length means
+    /// the producer is broken — fail at the push, not deep inside a solver.
+    /// Release builds skip the check ([`push_row_unchecked`] skips it
+    /// everywhere, for tests that need ill-formed tables on purpose).
+    ///
+    /// [`push_row_unchecked`]: ReorderTable::push_row_unchecked
+    ///
     /// # Errors
     ///
     /// Returns [`TableError::ArityMismatch`] if the row length differs from
     /// the number of columns.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if a [`ValueId`] recurs with a different length.
     pub fn push_row(&mut self, row: Vec<Cell>) -> Result<(), TableError> {
+        #[cfg(debug_assertions)]
+        if row.len() == self.columns.len() {
+            for cell in &row {
+                self.val_lens.observe(cell);
+            }
+        }
+        self.push_row_unchecked(row)
+    }
+
+    /// [`push_row`](ReorderTable::push_row) without the debug-mode
+    /// one-length-per-[`ValueId`] validation. Only for tests that exercise
+    /// solver behaviour on deliberately ill-formed tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::ArityMismatch`] if the row length differs from
+    /// the number of columns.
+    pub fn push_row_unchecked(&mut self, row: Vec<Cell>) -> Result<(), TableError> {
         if row.len() != self.columns.len() {
             return Err(TableError::ArityMismatch {
                 expected: self.columns.len(),
@@ -233,7 +322,30 @@ impl ReorderTable {
             nrows: n,
             col_values: self.col_values.iter().map(|v| v[..n].to_vec()).collect(),
             col_sq: self.col_sq.iter().map(|v| v[..n].to_vec()).collect(),
+            #[cfg(debug_assertions)]
+            val_lens: self.val_lens.clone(),
         }
+    }
+
+    /// Restricts the table to the given rows, in the given order — how the
+    /// relational executor compacts a batch to one representative row per
+    /// deduplication group before invoking a solver. Duplicate indices are
+    /// allowed (the result is then not a sub-permutation, which the solvers
+    /// do not require).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `rows` is out of bounds.
+    pub fn select_rows(&self, rows: &[usize]) -> ReorderTable {
+        let m = self.columns.len();
+        let mut out = ReorderTable::new(self.columns.clone()).expect("source table has columns");
+        out.reserve_rows(rows.len());
+        for &r in rows {
+            assert!(r < self.nrows, "row {r} out of bounds ({})", self.nrows);
+            out.push_row_unchecked(self.cells[r * m..(r + 1) * m].to_vec())
+                .expect("row arity matches by construction");
+        }
+        out
     }
 
     /// Restricts the table to the given columns, in the given order (used by
@@ -247,7 +359,10 @@ impl ReorderTable {
         let mut out = ReorderTable::new(columns).expect("non-empty column selection");
         for r in 0..self.nrows {
             let row = cols.iter().map(|&c| self.cell(r, c)).collect();
-            out.push_row(row).expect("arity matches selection");
+            // Unchecked: the source already passed (or deliberately skipped)
+            // the length validation; projecting cannot introduce conflicts.
+            out.push_row_unchecked(row)
+                .expect("arity matches selection");
         }
         out
     }
@@ -394,6 +509,57 @@ mod tests {
         assert_eq!(t.head(2).nrows(), 2);
         assert_eq!(t.head(99).nrows(), 5);
         assert_eq!(t.head(0).nrows(), 0);
+    }
+
+    #[test]
+    fn select_rows_projects_in_order_and_keeps_mirror() {
+        let mut t = ReorderTable::new(vec!["a".into(), "b".into()]).unwrap();
+        for i in 0..4 {
+            t.push_row(vec![cell(i, 1 + i), cell(10 + i, 2)]).unwrap();
+        }
+        let s = t.select_rows(&[3, 1, 3]);
+        assert_eq!(s.nrows(), 3);
+        assert_eq!(s.cell(0, 0), cell(3, 4));
+        assert_eq!(s.cell(1, 0), cell(1, 2));
+        assert_eq!(s.cell(2, 1), cell(13, 2));
+        assert_eq!(
+            s.col_values(0),
+            &[
+                ValueId::from_raw(3),
+                ValueId::from_raw(1),
+                ValueId::from_raw(3)
+            ]
+        );
+        assert_eq!(s.col_sq_lens(0), &[16, 4, 16]);
+        assert_eq!(t.select_rows(&[]).nrows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn select_rows_out_of_bounds_panics() {
+        let mut t = ReorderTable::new(vec!["a".into()]).unwrap();
+        t.push_row(vec![cell(0, 1)]).unwrap();
+        let _ = t.select_rows(&[1]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "one length per ValueId")]
+    fn debug_push_row_rejects_conflicting_length() {
+        let mut t = ReorderTable::new(vec!["a".into()]).unwrap();
+        t.push_row(vec![cell(7, 3)]).unwrap();
+        let _ = t.push_row(vec![cell(7, 4)]);
+    }
+
+    #[test]
+    fn push_row_accepts_consistent_lengths_and_unchecked_accepts_anything() {
+        let mut t = ReorderTable::new(vec!["a".into(), "b".into()]).unwrap();
+        t.push_row(vec![cell(7, 3), cell(8, 5)]).unwrap();
+        t.push_row(vec![cell(7, 3), cell(9, 1)]).unwrap();
+        // The escape hatch takes the conflicting length without panicking.
+        t.push_row_unchecked(vec![cell(7, 99), cell(9, 1)]).unwrap();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.cell(2, 0).len, 99);
     }
 
     #[test]

@@ -14,13 +14,17 @@
 //! This crate simulates both providers' cache behaviour over a stream of
 //! prompts ([`OpenAiCache`], [`AnthropicCache`]), accumulates billable
 //! [`Usage`], prices it ([`Pricing`]), and provides the analytical model
-//! behind the paper's Table 4 ([`Pricing::estimated_cost_ratio`]).
+//! behind the paper's Table 4 ([`Pricing::estimated_cost_ratio`]). It also
+//! exposes the per-operator estimates ([`LlmOpEstimate`]) the relational
+//! layer's cost-based optimizer uses to order LLM predicates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod operator;
 mod pricing;
 mod provider;
 
+pub use operator::LlmOpEstimate;
 pub use pricing::{Pricing, Usage};
 pub use provider::{AnthropicCache, OpenAiCache, ProviderCache};

@@ -1,0 +1,133 @@
+//! Per-operator cost estimates for the relational layer's logical optimizer.
+//!
+//! The paper's SQL-aware optimizations need a notion of how expensive one
+//! `LLM(...)` operator is per row so that (a) cheap SQL predicates always run
+//! first and (b) several LLM predicates in one `WHERE` conjunction run in the
+//! order that minimizes expected spend. [`LlmOpEstimate`] carries the numbers
+//! an optimizer can know *before* execution — average prompt/output tokens
+//! per row and an estimated pass rate — and prices them through a
+//! [`Pricing`] schedule.
+//!
+//! Ordering rule: for filters applied in sequence, each one only sees the
+//! rows its predecessors passed, so expected cost for order `1, 2, …` is
+//! `n·(c₁ + s₁·c₂ + s₁·s₂·c₃ + …)`. The classic exchange argument shows this
+//! is minimized by ascending `rank = cost / (1 − selectivity)` — an
+//! expensive filter can still deserve the front if it rejects nearly
+//! everything.
+
+use crate::pricing::Pricing;
+use serde::{Deserialize, Serialize};
+
+/// What the optimizer estimates about one LLM operator before running it.
+///
+/// # Examples
+///
+/// ```
+/// use llmqo_costmodel::{LlmOpEstimate, Pricing};
+/// let cheap_picky = LlmOpEstimate::new(100.0, 2.0, 0.2);
+/// let pricey_lax = LlmOpEstimate::new(900.0, 40.0, 0.9);
+/// let p = Pricing::gpt4o_mini();
+/// // The cheap, highly selective filter should run first.
+/// assert!(cheap_picky.rank(&p) < pricey_lax.rank(&p));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LlmOpEstimate {
+    /// Average prompt tokens per row (instruction prefix + serialized
+    /// fields).
+    pub prompt_tokens_per_row: f64,
+    /// Average output tokens per row.
+    pub output_tokens_per_row: f64,
+    /// Estimated fraction of rows the operator *passes* (for filters).
+    /// Non-filter operators use `1.0`.
+    pub selectivity: f64,
+}
+
+impl LlmOpEstimate {
+    /// Creates an estimate, clamping `selectivity` into `[0, 1]`.
+    pub fn new(prompt_tokens_per_row: f64, output_tokens_per_row: f64, selectivity: f64) -> Self {
+        LlmOpEstimate {
+            prompt_tokens_per_row,
+            output_tokens_per_row,
+            selectivity: selectivity.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Dollar cost of evaluating the operator on one row, assuming uncached
+    /// input (a conservative upper bound: ordering decisions should not rely
+    /// on hit rates the schedule has not produced yet).
+    pub fn per_row_cost(&self, pricing: &Pricing) -> f64 {
+        (self.prompt_tokens_per_row * pricing.input_per_mtok
+            + self.output_tokens_per_row * pricing.output_per_mtok)
+            / 1e6
+    }
+
+    /// Dollar cost of evaluating the operator on `rows` rows.
+    pub fn total_cost(&self, rows: u64, pricing: &Pricing) -> f64 {
+        rows as f64 * self.per_row_cost(pricing)
+    }
+
+    /// Ordering key for sequenced filters: `per_row_cost / (1 − selectivity)`,
+    /// ascending. A selectivity of 1 (passes everything) ranks last via a
+    /// tiny-denominator clamp rather than a division by zero.
+    pub fn rank(&self, pricing: &Pricing) -> f64 {
+        self.per_row_cost(pricing) / (1.0 - self.selectivity).max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_is_clamped() {
+        assert_eq!(LlmOpEstimate::new(1.0, 1.0, 7.0).selectivity, 1.0);
+        assert_eq!(LlmOpEstimate::new(1.0, 1.0, -1.0).selectivity, 0.0);
+    }
+
+    #[test]
+    fn per_row_cost_prices_both_directions() {
+        let p = Pricing::gpt4o_mini();
+        let e = LlmOpEstimate::new(1_000_000.0, 1_000_000.0, 0.5);
+        // 1M input at $0.15 + 1M output at $0.60.
+        assert!((e.per_row_cost(&p) - 0.75).abs() < 1e-9);
+        assert!((e.total_cost(4, &p) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_orders_by_exchange_argument() {
+        // Verify the rank rule against the two-filter expected-cost formula
+        // on a grid of costs and selectivities.
+        let p = Pricing::claude35_sonnet();
+        let grid = [
+            (50.0, 2.0, 0.1),
+            (50.0, 2.0, 0.9),
+            (400.0, 30.0, 0.3),
+            (400.0, 30.0, 0.7),
+            (1200.0, 5.0, 0.5),
+        ];
+        for &(pa, oa, sa) in &grid {
+            for &(pb, ob, sb) in &grid {
+                let a = LlmOpEstimate::new(pa, oa, sa);
+                let b = LlmOpEstimate::new(pb, ob, sb);
+                let (ca, cb) = (a.per_row_cost(&p), b.per_row_cost(&p));
+                let ab = ca + sa * cb;
+                let ba = cb + sb * ca;
+                if a.rank(&p) < b.rank(&p) {
+                    assert!(ab <= ba + 1e-12, "rank said a-first but {ab} > {ba}");
+                }
+                if b.rank(&p) < a.rank(&p) {
+                    assert!(ba <= ab + 1e-12, "rank said b-first but {ba} > {ab}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pass_everything_filter_ranks_last() {
+        let p = Pricing::gpt4o_mini();
+        let always = LlmOpEstimate::new(10.0, 1.0, 1.0);
+        let usually = LlmOpEstimate::new(10_000.0, 500.0, 0.99);
+        assert!(always.rank(&p) > usually.rank(&p));
+        assert!(always.rank(&p).is_finite());
+    }
+}

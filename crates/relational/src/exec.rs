@@ -7,17 +7,34 @@
 //! order), the serving simulator replays the batch, and a simulated model
 //! produces per-row outputs that are parsed back into relational results.
 //!
+//! The physical layer is *batch-oriented*: [`run_llm_rows`] evaluates one
+//! query over any row subset against an incremental
+//! [`EngineSession`], optionally **deduplicating** rows whose projected
+//! field values are identical so each distinct prompt hits the engine once
+//! (the solver then runs on the dedup-compacted batch). [`execute`] is the
+//! single-shot wrapper; the SQL runner drives the same primitive batch by
+//! batch for lazy `LIMIT` evaluation.
+//!
+//! [`run_llm_rows`]: QueryExecutor::run_llm_rows
+//!
 //! Reordering is *semantics-preserving by construction*: schedules are
 //! validated permutations and every output is keyed by its original row
-//! index.
+//! index. Deduplication shares engine requests, not answers: the simulated
+//! labeler is this harness's per-row measurement instrument (accuracy
+//! studies couple its draws by row), so every row still receives its own
+//! generated output and optimizations cannot change query results.
 
-use crate::prompt::encode_table;
+use crate::optimizer::OptStats;
+use crate::prompt::encode_table_rows;
 use crate::query::{LlmQuery, QueryKind};
 use crate::table::{Table, TableError};
 use llmqo_core::{phc_of_plan, FunctionalDeps, PhcReport, Reorderer, SolveError};
-use llmqo_serve::{EngineError, EngineReport, GenRequest, SimEngine, SimLlm, SimRequest};
+use llmqo_serve::{
+    EngineError, EngineReport, EngineSession, GenRequest, SimEngine, SimLlm, SimRequest,
+};
 use llmqo_tokenizer::Tokenizer;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Errors from query execution.
@@ -90,6 +107,8 @@ pub struct ExecutionReport {
     pub field_phc: PhcReport,
     /// Serving-side results (job completion time, PHR, …).
     pub engine: EngineReport,
+    /// SQL-aware optimizer savings (dedup, lazy `LIMIT`).
+    pub opt: OptStats,
 }
 
 /// One row's model output.
@@ -112,6 +131,99 @@ pub struct QueryOutput {
     pub aggregate: Option<f64>,
     /// Measurements.
     pub report: ExecutionReport,
+}
+
+/// Physical-layer options for [`QueryExecutor::execute_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Exact request deduplication: rows with identical projected field
+    /// values share one engine request. Off by default (the differential
+    /// oracle's behaviour).
+    pub dedup: bool,
+}
+
+impl ExecOptions {
+    /// Options with deduplication enabled.
+    pub fn deduped() -> Self {
+        ExecOptions { dedup: true }
+    }
+}
+
+/// What one batch (or an accumulation of batches) of LLM evaluation
+/// produced, before being shaped into a [`QueryOutput`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StageOutcome {
+    /// Per-row outputs in original row indices (sorted within a batch).
+    pub outputs: Vec<RowOutput>,
+    /// Total solver wall-clock time.
+    pub solve_time_s: f64,
+    /// Summed claimed PHC across batches.
+    pub claimed_phc: u64,
+    /// Summed ground-truth PHC across batches.
+    pub field_phc: PhcReport,
+    /// Optimizer savings.
+    pub opt: OptStats,
+}
+
+impl StageOutcome {
+    /// Folds a later batch's outcome into this one.
+    pub fn absorb(&mut self, other: StageOutcome) {
+        self.outputs.extend(other.outputs);
+        self.solve_time_s += other.solve_time_s;
+        self.claimed_phc += other.claimed_phc;
+        self.field_phc.phc += other.field_phc.phc;
+        self.field_phc.hit_tokens += other.field_phc.hit_tokens;
+        self.field_phc.total_tokens += other.field_phc.total_tokens;
+        self.opt.add(&other.opt);
+    }
+
+    /// Shapes the accumulated outcome into a [`QueryOutput`], deriving the
+    /// selection (filters) and the aggregate (aggregations) from outputs.
+    pub fn into_query_output(
+        mut self,
+        query: &LlmQuery,
+        solver: &str,
+        engine: EngineReport,
+    ) -> QueryOutput {
+        self.outputs.sort_by_key(|o| o.row);
+        let selected_rows = match (&query.kind, &query.predicate_label) {
+            (QueryKind::Filter, Some(label)) => self
+                .outputs
+                .iter()
+                .filter(|o| &o.text == label)
+                .map(|o| o.row)
+                .collect(),
+            _ => Vec::new(),
+        };
+        let aggregate = if query.kind == QueryKind::Aggregation {
+            let scores: Vec<f64> = self
+                .outputs
+                .iter()
+                .filter_map(|o| o.text.trim().parse::<f64>().ok())
+                .collect();
+            if scores.is_empty() {
+                None
+            } else {
+                Some(scores.iter().sum::<f64>() / scores.len() as f64)
+            }
+        } else {
+            None
+        };
+        QueryOutput {
+            outputs: self.outputs,
+            selected_rows,
+            aggregate,
+            report: ExecutionReport {
+                query: query.name.clone(),
+                solver: solver.to_owned(),
+                solve_time_s: self.solve_time_s,
+                claimed_phc: self.claimed_phc,
+                field_phc: self.field_phc,
+                engine,
+                opt: self.opt,
+            },
+        }
+    }
 }
 
 /// Executes [`LlmQuery`]s against a [`SimEngine`] with a pluggable
@@ -144,11 +256,25 @@ impl<'a> QueryExecutor<'a> {
         }
     }
 
+    /// The serving engine (the SQL runner opens per-operator sessions on it).
+    pub(crate) fn engine(&self) -> &'a SimEngine {
+        self.engine
+    }
+
+    /// The tokenizer (the SQL runner prices operators with it).
+    pub(crate) fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
     /// Executes `query` over `table`, scheduling requests with `reorderer`.
     ///
     /// `fds` are functional dependencies over the *full table schema*; they
     /// are projected onto the query's fields automatically. `truth` supplies
     /// the ground-truth answer per original row index (the dataset's labels).
+    ///
+    /// Equivalent to [`execute_with`](QueryExecutor::execute_with) with
+    /// [`ExecOptions::default`] — no deduplication, every row its own
+    /// engine request.
     ///
     /// # Errors
     ///
@@ -161,86 +287,177 @@ impl<'a> QueryExecutor<'a> {
         fds: &FunctionalDeps,
         truth: &dyn Fn(usize) -> String,
     ) -> Result<QueryOutput, ExecError> {
+        self.execute_with(table, query, reorderer, fds, truth, ExecOptions::default())
+    }
+
+    /// [`execute`](QueryExecutor::execute) with physical-layer options —
+    /// currently exact request deduplication ([`ExecOptions::dedup`]).
+    /// Deduplication never changes query results (each row still generates
+    /// its own output); it shares engine requests between rows whose
+    /// projected field values are identical, and the savings land in
+    /// [`ExecutionReport::opt`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn execute_with(
+        &self,
+        table: &Table,
+        query: &LlmQuery,
+        reorderer: &dyn Reorderer,
+        fds: &FunctionalDeps,
+        truth: &dyn Fn(usize) -> String,
+        opts: ExecOptions,
+    ) -> Result<QueryOutput, ExecError> {
+        let mut session = self.engine.session()?;
+        let all_rows: Vec<usize> = (0..table.nrows()).collect();
+        let stage = self.run_llm_rows(
+            &mut session,
+            table,
+            &all_rows,
+            query,
+            reorderer,
+            fds,
+            truth,
+            opts.dedup,
+        )?;
+        let engine_report = session.finish().report;
+        Ok(stage.into_query_output(query, reorderer.name(), engine_report))
+    }
+
+    /// The physical batch primitive: evaluates `query` over the given
+    /// original-index `rows` of `table` against an incremental engine
+    /// `session`. When `dedup` is set, rows with identical projected field
+    /// values are compacted to one representative before the solver runs, a
+    /// single engine request is issued per representative, and outputs fan
+    /// back out by original row index. The SQL runner calls this batch by
+    /// batch (sharing one session per operator) for lazy `LIMIT` execution.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_llm_rows(
+        &self,
+        session: &mut EngineSession,
+        table: &Table,
+        rows: &[usize],
+        query: &LlmQuery,
+        reorderer: &dyn Reorderer,
+        fds: &FunctionalDeps,
+        truth: &dyn Fn(usize) -> String,
+        dedup: bool,
+    ) -> Result<StageOutcome, ExecError> {
         if query.fields.is_empty() {
             return Err(ExecError::EmptyFields);
         }
-        let encoded = encode_table(&self.tokenizer, table, query)?;
+        let mut outcome = StageOutcome::default();
+        outcome.opt.rows_in = rows.len() as u64;
+        outcome.opt.batches = 1;
+        if rows.is_empty() {
+            return Ok(outcome);
+        }
+        let encoded = encode_table_rows(&self.tokenizer, table, query, Some(rows))?;
         let projected = project_fds(fds, &encoded.used_cols);
-        let solution = reorderer.reorder(&encoded.reorder, &projected)?;
-        debug_assert!(solution.plan.validate(&encoded.reorder).is_ok());
-        let field_phc = phc_of_plan(&encoded.reorder, &solution.plan);
 
-        let requests = plan_requests(&encoded, &solution.plan, query);
-        let engine_report = self.engine.run(&requests)?;
+        // Exact request deduplication: group local rows by their projected
+        // field values (the interner makes that a ValueId-tuple comparison).
+        // `groups[g]` lists the local rows served by representative `g`.
+        let groups: Vec<Vec<usize>> = if dedup {
+            let mut index: HashMap<&[llmqo_core::Cell], usize> = HashMap::new();
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            for local in 0..encoded.reorder.nrows() {
+                let key = encoded.reorder.row(local);
+                match index.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        groups[*e.get()].push(local);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(groups.len());
+                        groups.push(vec![local]);
+                    }
+                }
+            }
+            groups
+        } else {
+            (0..encoded.reorder.nrows()).map(|r| vec![r]).collect()
+        };
+        let reps: Vec<usize> = groups.iter().map(|g| g[0]).collect();
+        // Borrow the encoded table directly when nothing deduplicated (the
+        // common case for unique-field queries and every oracle run).
+        let compacted_storage;
+        let compact: &llmqo_core::ReorderTable = if reps.len() == encoded.reorder.nrows() {
+            &encoded.reorder
+        } else {
+            compacted_storage = encoded.reorder.select_rows(&reps);
+            &compacted_storage
+        };
+        outcome.opt.rows_deduped = (encoded.reorder.nrows() - reps.len()) as u64;
+        for group in &groups {
+            for &local in &group[1..] {
+                let row_tokens: u64 = encoded
+                    .reorder
+                    .row(local)
+                    .iter()
+                    .map(|c| u64::from(c.len))
+                    .sum();
+                outcome.opt.prefill_tokens_saved += encoded.instruction_len() as u64 + row_tokens;
+            }
+        }
 
-        // Generate and parse outputs (original row order for determinism).
+        // The solver sees only the dedup-compacted batch.
+        let solution = reorderer.reorder(compact, &projected)?;
+        debug_assert!(solution.plan.validate(compact).is_ok());
+        outcome.field_phc = phc_of_plan(compact, &solution.plan);
+        outcome.solve_time_s = solution.solve_time.as_secs_f64();
+        outcome.claimed_phc = solution.claimed_phc;
+
+        // One engine request per scheduled representative, carrying the
+        // *original* row index so serving traces stay attributable.
+        let requests: Vec<SimRequest> = solution
+            .plan
+            .rows
+            .iter()
+            .map(|rp| row_request(&encoded, compact, rp, rows[reps[rp.row]], query))
+            .collect();
+        outcome.opt.llm_calls = requests.len() as u64;
+        session.run_batch(&requests)?;
+
+        // Generate outputs for every offered row — the labeler is a per-row
+        // instrument, so deduplication is invisible in results by design.
         let key_col = query
             .key_field
             .as_deref()
             .and_then(|k| query.fields.iter().position(|f| f == k));
-        let mut outputs: Vec<RowOutput> = solution
-            .plan
-            .rows
-            .iter()
-            .map(|rp| {
-                let key_field_pos = match key_col {
-                    Some(k) if rp.fields.len() > 1 => {
-                        let pos = rp
-                            .fields
-                            .iter()
-                            .position(|&f| f as usize == k)
-                            .expect("plans carry every field");
-                        pos as f64 / (rp.fields.len() - 1) as f64
-                    }
-                    _ => 0.5,
-                };
-                let truth_text = truth(rp.row);
+        for rp in &solution.plan.rows {
+            let key_field_pos = match key_col {
+                Some(k) if rp.fields.len() > 1 => {
+                    let pos = rp
+                        .fields
+                        .iter()
+                        .position(|&f| f as usize == k)
+                        .expect("plans carry every field");
+                    pos as f64 / (rp.fields.len() - 1) as f64
+                }
+                _ => 0.5,
+            };
+            for &local in &groups[rp.row] {
+                let original = rows[local];
+                let truth_text = truth(original);
                 let text = self.llm.generate(&GenRequest {
-                    row_id: rp.row as u64,
+                    row_id: original as u64,
                     truth: &truth_text,
                     label_space: &query.label_space,
                     key_field_pos,
                 });
-                RowOutput { row: rp.row, text }
-            })
-            .collect();
-        outputs.sort_by_key(|o| o.row);
-
-        let selected_rows = match (&query.kind, &query.predicate_label) {
-            (QueryKind::Filter, Some(label)) => outputs
-                .iter()
-                .filter(|o| &o.text == label)
-                .map(|o| o.row)
-                .collect(),
-            _ => Vec::new(),
-        };
-        let aggregate = if query.kind == QueryKind::Aggregation {
-            let scores: Vec<f64> = outputs
-                .iter()
-                .filter_map(|o| o.text.trim().parse::<f64>().ok())
-                .collect();
-            if scores.is_empty() {
-                None
-            } else {
-                Some(scores.iter().sum::<f64>() / scores.len() as f64)
+                outcome.outputs.push(RowOutput {
+                    row: original,
+                    text,
+                });
             }
-        } else {
-            None
-        };
-
-        Ok(QueryOutput {
-            outputs,
-            selected_rows,
-            aggregate,
-            report: ExecutionReport {
-                query: query.name.clone(),
-                solver: reorderer.name().to_owned(),
-                solve_time_s: solution.solve_time.as_secs_f64(),
-                claimed_phc: solution.claimed_phc,
-                field_phc,
-                engine: engine_report,
-            },
-        })
+        }
+        outcome.outputs.sort_by_key(|o| o.row);
+        Ok(outcome)
     }
 
     /// Executes a multi-LLM invocation chain (paper T3): every stage but the
@@ -310,20 +527,35 @@ pub fn plan_requests(
 ) -> Vec<SimRequest> {
     plan.rows
         .iter()
-        .map(|rp| {
-            let mut prompt = Vec::with_capacity(1 + rp.fields.len());
-            prompt.push(encoded.instruction.clone());
-            for &f in &rp.fields {
-                let cell = encoded.reorder.cell(rp.row, f as usize);
-                prompt.push(encoded.fragments[cell.value.as_u32() as usize].clone());
-            }
-            SimRequest {
-                id: rp.row,
-                prompt,
-                output_len: sample_output_len(&query.name, rp.row, query.output_tokens_mean),
-            }
-        })
+        .map(|rp| row_request(encoded, &encoded.reorder, rp, rp.row, query))
         .collect()
+}
+
+/// Materializes one scheduled row as an engine request: the query's
+/// instruction prefix followed by the row's field fragments in scheduled
+/// order, with `original` as both the request id and the output-length
+/// sampling key. `cells` is the table the plan indexes — the encoded table
+/// itself, or a dedup-compacted selection of it whose fragments still live
+/// in `encoded`. Single request-assembly path, so every caller (executor,
+/// benchmarks, cluster router) serves byte-identical workloads for a plan.
+fn row_request(
+    encoded: &crate::EncodedTable,
+    cells: &llmqo_core::ReorderTable,
+    rp: &llmqo_core::RowPlan,
+    original: usize,
+    query: &LlmQuery,
+) -> SimRequest {
+    let mut prompt = Vec::with_capacity(1 + rp.fields.len());
+    prompt.push(encoded.instruction.clone());
+    for &f in &rp.fields {
+        let cell = cells.cell(rp.row, f as usize);
+        prompt.push(encoded.fragments[cell.value.as_u32() as usize].clone());
+    }
+    SimRequest {
+        id: original,
+        prompt,
+        output_len: sample_output_len(&query.name, original, query.output_tokens_mean),
+    }
 }
 
 /// Projects full-schema functional dependencies onto the used columns,
@@ -582,6 +814,112 @@ mod tests {
         let fds = FunctionalDeps::from_groups(4, vec![vec![0, 2]]).unwrap();
         let p = project_fds(&fds, &[0, 1]); // col 2 not used → group dissolves
         assert!(p.is_trivial());
+    }
+
+    #[test]
+    fn project_fds_identity_keeps_every_group() {
+        let fds = FunctionalDeps::from_groups(4, vec![vec![0, 2], vec![1, 3]]).unwrap();
+        let p = project_fds(&fds, &[0, 1, 2, 3]);
+        assert_eq!(p.ncols(), 4);
+        assert_eq!(p.groups(), fds.groups());
+    }
+
+    #[test]
+    fn project_fds_keeps_only_derivable_subgroups() {
+        // One 3-member group {0, 2, 4}: a projection keeping two members
+        // preserves their mutual dependency, one member alone dissolves it.
+        let fds = FunctionalDeps::from_groups(5, vec![vec![0, 2, 4]]).unwrap();
+        let two = project_fds(&fds, &[4, 0]);
+        assert_eq!(two.groups(), vec![vec![0, 1]]); // col 4 → pos 0, col 0 → pos 1
+        assert_eq!(two.inferred(0), &[1]);
+        assert_eq!(two.inferred(1), &[0]);
+        let one = project_fds(&fds, &[2, 1]);
+        assert!(one.is_trivial());
+    }
+
+    #[test]
+    fn project_fds_empty_cases() {
+        // No used columns at all → a zero-column trivial dependency set.
+        let fds = FunctionalDeps::from_groups(3, vec![vec![0, 1]]).unwrap();
+        let none = project_fds(&fds, &[]);
+        assert_eq!(none.ncols(), 0);
+        assert!(none.is_trivial());
+        // Trivial input stays trivial under any projection.
+        let p = project_fds(&FunctionalDeps::empty(3), &[2, 0]);
+        assert_eq!(p.ncols(), 2);
+        assert!(p.is_trivial());
+    }
+
+    #[test]
+    fn execute_with_dedup_is_output_identical_and_saves_requests() {
+        let eng = engine();
+        let ex = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let t = table(20);
+        // Query over the shared field only: 4 distinct products across 20
+        // rows → 4 engine requests under dedup.
+        let q = LlmQuery::filter(
+            "dedup",
+            "Is the product good? Answer Yes or No.",
+            vec!["product".into()],
+            vec!["Yes".into(), "No".into()],
+            "Yes",
+            2.0,
+        );
+        let truth = |row: usize| {
+            if row.is_multiple_of(3) {
+                "Yes".into()
+            } else {
+                "No".into()
+            }
+        };
+        let fds = FunctionalDeps::empty(2);
+        let off = ex.execute(&t, &q, &Ggr::default(), &fds, &truth).unwrap();
+        let on = ex
+            .execute_with(
+                &t,
+                &q,
+                &Ggr::default(),
+                &fds,
+                &truth,
+                ExecOptions::deduped(),
+            )
+            .unwrap();
+        assert_eq!(off.outputs, on.outputs);
+        assert_eq!(off.selected_rows, on.selected_rows);
+        assert_eq!(on.report.opt.llm_calls, 4);
+        assert_eq!(on.report.opt.rows_deduped, 16);
+        assert_eq!(on.report.engine.completed, 4);
+        assert!(on.report.opt.prefill_tokens_saved > 0);
+        assert_eq!(off.report.opt.llm_calls, 20);
+        assert_eq!(off.report.opt.rows_deduped, 0);
+        assert!(
+            on.report.engine.job_completion_time_s < off.report.engine.job_completion_time_s,
+            "fewer requests should finish sooner"
+        );
+    }
+
+    #[test]
+    fn run_llm_rows_on_no_rows_is_empty_and_engine_free() {
+        let eng = engine();
+        let ex = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let t = table(4);
+        let truth = |_: usize| "Yes".to_string();
+        let mut session = eng.session().unwrap();
+        let out = ex
+            .run_llm_rows(
+                &mut session,
+                &t,
+                &[],
+                &filter_query(),
+                &OriginalOrder,
+                &FunctionalDeps::empty(2),
+                &truth,
+                true,
+            )
+            .unwrap();
+        assert!(out.outputs.is_empty());
+        assert_eq!(out.opt.llm_calls, 0);
+        assert_eq!(session.completed(), 0);
     }
 
     #[test]

@@ -13,7 +13,15 @@
 //!   encoding.
 //! * [`QueryExecutor`] — runs a query end to end: reorder → serve → parse,
 //!   producing a [`QueryOutput`] with results and an [`ExecutionReport`]
-//!   (job completion time, prefix hit rate, solver time).
+//!   (job completion time, prefix hit rate, solver time, optimizer
+//!   savings).
+//! * [`optimizer`](crate::OptimizerConfig) + [`SqlRunner`] — the paper's
+//!   SQL-aware optimizations as a cost-based logical optimizer: statements
+//!   compile to a [`LogicalPlan`], rewrite rules push cheap predicates
+//!   below LLM operators and rank LLM filters by cost/(1−selectivity)
+//!   (priced via `llmqo-costmodel`), and the batched physical executor adds
+//!   exact request deduplication and lazy `LIMIT` evaluation — provably
+//!   without changing results.
 //!
 //! # Example
 //!
@@ -53,6 +61,7 @@
 #![warn(missing_docs)]
 
 mod exec;
+mod optimizer;
 mod prompt;
 mod query;
 mod schema;
@@ -61,13 +70,19 @@ mod table;
 mod value;
 
 pub use exec::{
-    plan_requests, project_fds, ExecError, ExecutionReport, QueryExecutor, QueryOutput, RowOutput,
+    plan_requests, project_fds, ExecError, ExecOptions, ExecutionReport, QueryExecutor,
+    QueryOutput, RowOutput,
 };
-pub use prompt::{encode_table, field_fragment, EncodedTable};
+pub use optimizer::{
+    annotate_estimates, estimate_llm_op, optimize_plan, CmpOp, LogicalOp, LogicalPlan, OptStats,
+    OptimizerConfig, SqlPredicate,
+};
+pub use prompt::{encode_table, encode_table_rows, field_fragment, EncodedTable};
 pub use query::{LlmQuery, QueryKind};
 pub use schema::{DataType, Field, Schema};
 pub use sql::{
     parse_sql, LlmCall, Projection, SqlDefaults, SqlError, SqlResult, SqlRunner, SqlStatement,
+    WhereConjunct,
 };
 pub use table::{Table, TableError};
 pub use value::Value;

@@ -57,17 +57,41 @@ pub fn encode_table(
     table: &Table,
     query: &LlmQuery,
 ) -> Result<EncodedTable, TableError> {
+    encode_table_rows(tokenizer, table, query, None)
+}
+
+/// [`encode_table`] restricted to a row subset: encoded row `i` is source
+/// row `rows[i]`. `None` encodes every row. This is what the batched
+/// physical executor uses — a lazy-`LIMIT` batch or a post-filter survivor
+/// set is encoded directly, without materializing a sub-[`Table`].
+///
+/// # Errors
+///
+/// [`TableError::UnknownColumn`] if the query references a missing field.
+///
+/// # Panics
+///
+/// Panics if an index in `rows` is out of bounds.
+pub fn encode_table_rows(
+    tokenizer: &Tokenizer,
+    table: &Table,
+    query: &LlmQuery,
+    rows: Option<&[usize]>,
+) -> Result<EncodedTable, TableError> {
     let used_cols = table.resolve_columns(&query.fields)?;
+    let nrows = rows.map_or(table.nrows(), <[usize]>::len);
+    let row_at = |i: usize| rows.map_or(i, |rs| rs[i]);
     let mut reorder = ReorderTable::new(query.fields.clone())
         .expect("queries are validated to have at least one field");
     // One up-front reservation sizes both the row-major store and the
     // column-major mirror the solvers scan.
-    reorder.reserve_rows(table.nrows());
+    reorder.reserve_rows(nrows);
     let mut interner = Interner::new();
     let mut fragments: Vec<Arc<[TokenId]>> = Vec::new();
 
     let mut fragment_buf = String::new();
-    for r in 0..table.nrows() {
+    for i in 0..nrows {
+        let r = row_at(i);
         let mut row = Vec::with_capacity(used_cols.len());
         for (f, &c) in used_cols.iter().enumerate() {
             fragment_buf.clear();
@@ -172,6 +196,22 @@ mod tests {
         let e = encode_table(&tok, &table(), &query(&["review"])).unwrap();
         assert!(e.instruction_len() > 4);
         assert!(e.total_prompt_tokens() > e.reorder.total_tokens());
+    }
+
+    #[test]
+    fn encode_table_rows_takes_a_subset_in_order() {
+        let tok = Tokenizer::new();
+        let q = query(&["review", "title"]);
+        let full = encode_table(&tok, &table(), &q).unwrap();
+        let sub = encode_table_rows(&tok, &table(), &q, Some(&[1])).unwrap();
+        assert_eq!(sub.reorder.nrows(), 1);
+        // Subset row 0 is source row 1: fragments carry the same content.
+        let f = |e: &EncodedTable, r: usize, c: usize| {
+            e.fragments[e.reorder.cell(r, c).value.as_u32() as usize].clone()
+        };
+        assert_eq!(f(&sub, 0, 0), f(&full, 1, 0));
+        assert_eq!(f(&sub, 0, 1), f(&full, 1, 1));
+        assert_eq!(sub.instruction, full.instruction);
     }
 
     #[test]

@@ -7,17 +7,31 @@
 //!           movieinfo, reviewcontent, movietitle) = 'Yes'
 //! ```
 //!
-//! The dialect covers exactly what the paper's workloads need: `LLM(...)`
-//! calls in the projection (T2), in the `WHERE` clause (T1), both at once
-//! (T3 multi-invocation), and inside `AVG(...)` (T4). Statements compile to
-//! [`LlmQuery`] plans and run through [`SqlRunner`] with any
-//! [`Reorderer`] — so an analyst's query string goes through the same
-//! reorder-then-serve pipeline as the programmatic API.
+//! The dialect covers the paper's workloads plus what its SQL-aware
+//! optimizations need: `LLM(...)` calls in the projection (T2), `WHERE`
+//! conjunctions mixing *several* `LLM(...)` predicates with cheap relational
+//! predicates (`col = 'x'`, `col >= 10`, …), both at once (T3
+//! multi-invocation), `AVG(LLM(...))` (T4), `LIMIT`, and `EXPLAIN`.
+//!
+//! Statements compile to a [`LogicalPlan`], pass through the cost-based
+//! rewrite rules of [`crate::optimizer`], and run on [`SqlRunner`]'s
+//! batched physical executor: cheap predicates run before LLM operators,
+//! LLM predicates are ordered by estimated selectivity × per-row cost,
+//! duplicate rows share engine requests, and `LIMIT` queries evaluate
+//! lazily — stopping engine submission once enough rows qualify. With
+//! [`OptimizerConfig::none`] the same executor reproduces the fixed
+//! pre-optimizer pipeline, which is the differential oracle the integration
+//! tests compare against.
 
-use crate::exec::{ExecError, QueryExecutor, QueryOutput};
+use crate::exec::{ExecError, QueryExecutor, QueryOutput, StageOutcome};
+use crate::optimizer::{
+    annotate_estimates, optimize_plan, CmpOp, LogicalOp, LogicalPlan, OptimizerConfig, SqlPredicate,
+};
 use crate::query::LlmQuery;
-use crate::table::Table;
+use crate::table::{Table, TableError};
 use llmqo_core::{FunctionalDeps, Reorderer};
+use llmqo_costmodel::Pricing;
+use llmqo_serve::EngineSession;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -92,6 +106,23 @@ pub enum Projection {
     },
 }
 
+/// One conjunct of a `WHERE` clause. Conjuncts are combined with `AND`; the
+/// optimizer is free to reorder them because row filters commute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WhereConjunct {
+    /// `LLM(...) = 'label'` (or `<>`).
+    Llm {
+        /// The call.
+        call: LlmCall,
+        /// The compared label.
+        label: String,
+        /// Whether the comparison is `<>`.
+        negated: bool,
+    },
+    /// A cheap relational predicate.
+    Sql(SqlPredicate),
+}
+
 /// A parsed statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SqlStatement {
@@ -99,11 +130,12 @@ pub struct SqlStatement {
     pub projection: Projection,
     /// Source table name.
     pub table: String,
-    /// `WHERE LLM(...) = 'label'` predicate, with the comparison label and
-    /// whether the comparison is negated (`<>`).
-    pub filter: Option<(LlmCall, String, bool)>,
+    /// `WHERE` conjuncts, in written order (empty when there is no `WHERE`).
+    pub where_clause: Vec<WhereConjunct>,
     /// Optional `LIMIT n`.
     pub limit: Option<usize>,
+    /// Whether the statement was prefixed with `EXPLAIN`.
+    pub explain: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -114,13 +146,19 @@ pub struct SqlStatement {
 enum Tok {
     Ident(String),
     Str(String),
-    Number(usize),
+    /// Numeric literal, kept verbatim (`LIMIT` wants an integer, predicates
+    /// may compare decimals).
+    Number(String),
     LParen,
     RParen,
     Comma,
     Star,
     Eq,
     Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
 }
 
 fn lex(input: &str) -> Result<Vec<(Tok, usize)>, SqlError> {
@@ -151,15 +189,27 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, SqlError> {
                 out.push((Tok::Eq, i));
                 i += 1;
             }
-            '<' => {
-                if bytes.get(i + 1) == Some(&b'>') {
+            '<' => match bytes.get(i + 1) {
+                Some(&b'>') => {
                     out.push((Tok::Neq, i));
                     i += 2;
+                }
+                Some(&b'=') => {
+                    out.push((Tok::Le, i));
+                    i += 2;
+                }
+                _ => {
+                    out.push((Tok::Lt, i));
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Ge, i));
+                    i += 2;
                 } else {
-                    return Err(SqlError::Parse {
-                        message: "expected '<>'".into(),
-                        offset: i,
-                    });
+                    out.push((Tok::Gt, i));
+                    i += 1;
                 }
             }
             '\'' => {
@@ -193,11 +243,18 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, SqlError> {
                 while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                     i += 1;
                 }
-                let n: usize = input[start..i].parse().map_err(|_| SqlError::Parse {
-                    message: "number out of range".into(),
-                    offset: start,
-                })?;
-                out.push((Tok::Number(n), start));
+                // Optional decimal part: `3.5` is one literal; `3.x` is not.
+                if bytes.get(i) == Some(&b'.')
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())
+                {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                out.push((Tok::Number(input[start..i].to_string()), start));
             }
             c if c.is_alphanumeric() || c == '_' => {
                 let start = i;
@@ -327,7 +384,64 @@ impl Parser {
         }
     }
 
+    fn parse_cmp(&mut self) -> Result<CmpOp, SqlError> {
+        match self.next() {
+            Some(Tok::Eq) => Ok(CmpOp::Eq),
+            Some(Tok::Neq) => Ok(CmpOp::Ne),
+            Some(Tok::Lt) => Ok(CmpOp::Lt),
+            Some(Tok::Le) => Ok(CmpOp::Le),
+            Some(Tok::Gt) => Ok(CmpOp::Gt),
+            Some(Tok::Ge) => Ok(CmpOp::Ge),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected comparison operator"))
+            }
+        }
+    }
+
+    fn parse_where_conjunct(&mut self) -> Result<WhereConjunct, SqlError> {
+        if self.is_keyword("LLM") {
+            let call = self.parse_llm_call()?;
+            let negated = match self.next() {
+                Some(Tok::Eq) => false,
+                Some(Tok::Neq) => true,
+                _ => return Err(self.err("expected '=' or '<>' after LLM predicate")),
+            };
+            let label = match self.next() {
+                Some(Tok::Str(s)) => s,
+                _ => return Err(self.err("expected label string literal")),
+            };
+            Ok(WhereConjunct::Llm {
+                call,
+                label,
+                negated,
+            })
+        } else {
+            let column = match self.next() {
+                Some(Tok::Ident(c)) => c.rsplit('.').next().unwrap_or(&c).to_string(),
+                _ => return Err(self.err("expected LLM call or column name")),
+            };
+            let op = self.parse_cmp()?;
+            let literal = match self.next() {
+                Some(Tok::Str(s)) => s,
+                Some(Tok::Number(n)) => n,
+                _ => return Err(self.err("expected literal after comparison")),
+            };
+            Ok(WhereConjunct::Sql(SqlPredicate {
+                column,
+                op,
+                literal,
+            }))
+        }
+    }
+
     fn parse(&mut self) -> Result<SqlStatement, SqlError> {
+        let explain = if self.is_keyword("EXPLAIN") {
+            self.next();
+            true
+        } else {
+            false
+        };
         self.expect_keyword("SELECT")?;
         let projection = if self.is_keyword("LLM") {
             let call = self.parse_llm_call()?;
@@ -371,27 +485,27 @@ impl Parser {
             _ => return Err(self.err("expected table name")),
         };
 
-        let mut filter = None;
+        let mut where_clause = Vec::new();
         if self.is_keyword("WHERE") {
             self.next();
-            let call = self.parse_llm_call()?;
-            let negated = match self.next() {
-                Some(Tok::Eq) => false,
-                Some(Tok::Neq) => true,
-                _ => return Err(self.err("expected '=' or '<>' after LLM predicate")),
-            };
-            let label = match self.next() {
-                Some(Tok::Str(s)) => s,
-                _ => return Err(self.err("expected label string literal")),
-            };
-            filter = Some((call, label, negated));
+            loop {
+                where_clause.push(self.parse_where_conjunct()?);
+                if self.is_keyword("AND") {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
         }
 
         let mut limit = None;
         if self.is_keyword("LIMIT") {
             self.next();
             match self.next() {
-                Some(Tok::Number(n)) => limit = Some(n),
+                Some(Tok::Number(raw)) => match raw.parse::<usize>() {
+                    Ok(n) => limit = Some(n),
+                    Err(_) => return Err(self.err("expected integer row count after LIMIT")),
+                },
                 _ => return Err(self.err("expected row count after LIMIT")),
             }
         }
@@ -401,8 +515,9 @@ impl Parser {
         Ok(SqlStatement {
             projection,
             table,
-            filter,
+            where_clause,
             limit,
+            explain,
         })
     }
 }
@@ -418,10 +533,12 @@ impl Parser {
 /// ```
 /// let stmt = llmqo_relational::parse_sql(
 ///     "SELECT movietitle FROM movies \
-///      WHERE LLM('Suitable for kids?', movieinfo, reviewcontent) = 'Yes'",
+///      WHERE genres = 'Comedy' \
+///      AND LLM('Suitable for kids?', movieinfo, reviewcontent) = 'Yes' \
+///      LIMIT 10",
 /// ).unwrap();
 /// assert_eq!(stmt.table, "movies");
-/// assert!(stmt.filter.is_some());
+/// assert_eq!(stmt.where_clause.len(), 2);
 /// ```
 pub fn parse_sql(input: &str) -> Result<SqlStatement, SqlError> {
     let toks = lex(input)?;
@@ -438,10 +555,11 @@ pub struct SqlResult {
     /// Output column names.
     pub columns: Vec<String>,
     /// Output rows (stringified values, row-major), in original row order.
+    /// For `EXPLAIN` statements: the plan rendering, one line per row.
     pub rows: Vec<Vec<String>>,
     /// The aggregate, for `AVG(LLM(...))` statements.
     pub aggregate: Option<f64>,
-    /// Per-stage execution outputs (1 for T1/T2/T4, 2 for T3).
+    /// Per-LLM-operator execution outputs, in (optimized) execution order.
     pub stages: Vec<QueryOutput>,
 }
 
@@ -472,11 +590,17 @@ impl Default for SqlDefaults {
 }
 
 /// Executes LLM-SQL statements against registered tables through a
-/// [`QueryExecutor`] and a [`Reorderer`].
+/// [`QueryExecutor`] and a [`Reorderer`], applying the cost-based logical
+/// optimizer (see [`crate::optimizer`]) before execution. Construct with
+/// every optimization on (the default) or tune via
+/// [`with_optimizer`](SqlRunner::with_optimizer);
+/// [`OptimizerConfig::none`] reproduces the unoptimized pipeline.
 pub struct SqlRunner<'a> {
     executor: &'a QueryExecutor<'a>,
     reorderer: &'a dyn Reorderer,
     defaults: SqlDefaults,
+    opt: OptimizerConfig,
+    pricing: Pricing,
     catalog: HashMap<String, (&'a Table, &'a FunctionalDeps)>,
 }
 
@@ -484,17 +608,20 @@ impl<'a> fmt::Debug for SqlRunner<'a> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SqlRunner")
             .field("tables", &self.catalog.keys().collect::<Vec<_>>())
+            .field("optimizer", &self.opt)
             .finish_non_exhaustive()
     }
 }
 
 impl<'a> SqlRunner<'a> {
-    /// Creates a runner.
+    /// Creates a runner with every optimization enabled.
     pub fn new(executor: &'a QueryExecutor<'a>, reorderer: &'a dyn Reorderer) -> Self {
         SqlRunner {
             executor,
             reorderer,
             defaults: SqlDefaults::default(),
+            opt: OptimizerConfig::default(),
+            pricing: Pricing::gpt4o_mini(),
             catalog: HashMap::new(),
         }
     }
@@ -502,6 +629,19 @@ impl<'a> SqlRunner<'a> {
     /// Overrides compilation defaults.
     pub fn with_defaults(mut self, defaults: SqlDefaults) -> Self {
         self.defaults = defaults;
+        self
+    }
+
+    /// Selects which optimizations run ([`OptimizerConfig::none`] is the
+    /// differential oracle).
+    pub fn with_optimizer(mut self, opt: OptimizerConfig) -> Self {
+        self.opt = opt;
+        self
+    }
+
+    /// Sets the price schedule the cost-based rules rank LLM operators with.
+    pub fn with_pricing(mut self, pricing: Pricing) -> Self {
+        self.pricing = pricing;
         self
     }
 
@@ -523,56 +663,49 @@ impl<'a> SqlRunner<'a> {
         }
     }
 
-    /// Parses and executes `sql`, supplying ground truth per row via `truth`.
-    ///
-    /// # Errors
-    ///
-    /// [`SqlError`] on parse, catalog, or execution failure.
-    pub fn run(&self, sql: &str, truth: &dyn Fn(usize) -> String) -> Result<SqlResult, SqlError> {
-        let stmt = parse_sql(sql)?;
-        let &(table, fds) =
-            self.catalog
-                .get(&stmt.table)
-                .ok_or_else(|| SqlError::UnknownTable {
-                    name: stmt.table.clone(),
-                })?;
-
-        let mut stages: Vec<QueryOutput> = Vec::new();
-
-        // WHERE stage (if any) narrows the row set.
-        let mut selected: Option<Vec<usize>> = None;
-        if let Some((call, label, negated)) = &stmt.filter {
-            let mut labels = self.defaults.filter_labels.clone();
-            if !labels.contains(label) {
-                labels.insert(0, label.clone());
+    /// Compiles a parsed statement to its (unoptimized) logical plan.
+    fn build_plan(&self, stmt: &SqlStatement, table: &Table) -> LogicalPlan {
+        let mut ops = vec![LogicalOp::Scan {
+            table: stmt.table.clone(),
+        }];
+        let mut llm_ordinal = 0usize;
+        for conj in &stmt.where_clause {
+            match conj {
+                WhereConjunct::Sql(pred) => ops.push(LogicalOp::SqlFilter { pred: pred.clone() }),
+                WhereConjunct::Llm {
+                    call,
+                    label,
+                    negated,
+                } => {
+                    llm_ordinal += 1;
+                    let name = if llm_ordinal == 1 {
+                        format!("sql-where-{}", stmt.table)
+                    } else {
+                        format!("sql-where-{}-{llm_ordinal}", stmt.table)
+                    };
+                    let mut labels = self.defaults.filter_labels.clone();
+                    if !labels.contains(label) {
+                        labels.insert(0, label.clone());
+                    }
+                    let query = LlmQuery::filter(
+                        name,
+                        call.prompt.clone(),
+                        self.resolve_fields(call, table),
+                        labels,
+                        label.clone(),
+                        self.defaults.filter_output_tokens,
+                    );
+                    ops.push(LogicalOp::LlmFilter {
+                        query,
+                        negated: *negated,
+                        est: None,
+                    });
+                }
             }
-            let query = LlmQuery::filter(
-                format!("sql-where-{}", stmt.table),
-                call.prompt.clone(),
-                self.resolve_fields(call, table),
-                labels,
-                label.clone(),
-                self.defaults.filter_output_tokens,
-            );
-            let out = self
-                .executor
-                .execute(table, &query, self.reorderer, fds, truth)?;
-            let mut rows: Vec<usize> = if *negated {
-                let keep: std::collections::HashSet<usize> =
-                    out.selected_rows.iter().copied().collect();
-                (0..table.nrows()).filter(|r| !keep.contains(r)).collect()
-            } else {
-                out.selected_rows.clone()
-            };
-            rows.sort_unstable();
-            selected = Some(rows);
-            stages.push(out);
         }
-
-        // Projection stage.
-        let (columns, rows, aggregate) = match &stmt.projection {
+        match &stmt.projection {
             Projection::Columns(cols) => {
-                let names: Vec<String> = if cols.iter().any(|c| c == "*") {
+                let columns: Vec<String> = if cols.iter().any(|c| c == "*") {
                     table
                         .schema()
                         .names()
@@ -582,65 +715,286 @@ impl<'a> SqlRunner<'a> {
                 } else {
                     cols.clone()
                 };
-                let idx = table
-                    .resolve_columns(&names)
-                    .map_err(|e| SqlError::Exec(ExecError::Table(e)))?;
-                let row_ids: Vec<usize> = selected.unwrap_or_else(|| (0..table.nrows()).collect());
-                let rows: Vec<Vec<String>> = row_ids
-                    .iter()
-                    .map(|&r| idx.iter().map(|&c| table.value(r, c).to_string()).collect())
-                    .collect();
-                (names, rows, None)
+                ops.push(LogicalOp::Project { columns });
             }
             Projection::Llm { call, alias } => {
-                let name = alias.clone().unwrap_or_else(|| "llm".to_string());
                 let query = LlmQuery::projection(
                     format!("sql-select-{}", stmt.table),
                     call.prompt.clone(),
                     self.resolve_fields(call, table),
                     self.defaults.projection_output_tokens,
                 );
-                let (work_table, row_map): (Table, Vec<usize>) = match &selected {
-                    Some(rows) => (table.select_rows(rows), rows.clone()),
-                    None => (table.clone(), (0..table.nrows()).collect()),
-                };
-                let mapped_truth = |local: usize| truth(row_map[local]);
-                let out = self.executor.execute(
-                    &work_table,
-                    &query,
-                    self.reorderer,
-                    fds,
-                    &mapped_truth,
-                )?;
-                let rows = out.outputs.iter().map(|o| vec![o.text.clone()]).collect();
-                stages.push(out);
-                (vec![name], rows, None)
+                ops.push(LogicalOp::LlmProject {
+                    query,
+                    alias: alias.clone().unwrap_or_else(|| "llm".to_string()),
+                });
             }
             Projection::AvgLlm { call, alias } => {
-                let name = alias.clone().unwrap_or_else(|| "avg".to_string());
-                let (lo, hi) = self.defaults.aggregation_range;
                 let query = LlmQuery::aggregation(
                     format!("sql-avg-{}", stmt.table),
                     call.prompt.clone(),
                     self.resolve_fields(call, table),
-                    (lo, hi),
+                    self.defaults.aggregation_range,
                     self.defaults.filter_output_tokens,
                 );
-                let out = self
-                    .executor
-                    .execute(table, &query, self.reorderer, fds, truth)?;
-                let agg = out.aggregate;
-                stages.push(out);
-                (
-                    vec![name],
-                    vec![vec![agg.map_or("null".into(), |a| format!("{a:.3}"))]],
-                    agg,
-                )
+                ops.push(LogicalOp::LlmAggregate {
+                    query,
+                    alias: alias.clone().unwrap_or_else(|| "avg".to_string()),
+                });
             }
-        };
-
-        let mut rows = rows;
+        }
         if let Some(n) = stmt.limit {
+            ops.push(LogicalOp::Limit { n });
+        }
+        LogicalPlan { ops }
+    }
+
+    /// Builds, annotates, and optimizes the plan for a parsed statement.
+    fn plan_for(&self, stmt: &SqlStatement) -> Result<(LogicalPlan, Vec<String>), SqlError> {
+        let &(table, _fds) =
+            self.catalog
+                .get(&stmt.table)
+                .ok_or_else(|| SqlError::UnknownTable {
+                    name: stmt.table.clone(),
+                })?;
+        let mut plan = self.build_plan(stmt, table);
+        annotate_estimates(&mut plan, table, self.executor.tokenizer());
+        Ok(optimize_plan(&plan, &self.opt, &self.pricing))
+    }
+
+    /// Renders the optimized plan for `sql` without executing anything —
+    /// the `EXPLAIN` entry point usable without a truth provider.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError`] on parse or catalog failure.
+    pub fn explain(&self, sql: &str) -> Result<String, SqlError> {
+        let stmt = parse_sql(sql)?;
+        let (plan, notes) = self.plan_for(&stmt)?;
+        let mut out = plan.explain();
+        out.push_str(&format!(
+            "-- optimizer: dedup {}, reorder {}, lazy limit {} (pricing: {})\n",
+            on_off(self.opt.dedup),
+            on_off(self.opt.reorder),
+            on_off(self.opt.lazy_limit),
+            self.pricing.name,
+        ));
+        for note in &notes {
+            out.push_str(&format!("-- rewrite: {note}\n"));
+        }
+        Ok(out)
+    }
+
+    /// Parses and executes `sql`, supplying ground truth per row via `truth`.
+    /// `EXPLAIN`-prefixed statements return the plan rendering as rows
+    /// instead of executing.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError`] on parse, catalog, or execution failure.
+    pub fn run(&self, sql: &str, truth: &dyn Fn(usize) -> String) -> Result<SqlResult, SqlError> {
+        let stmt = parse_sql(sql)?;
+        if stmt.explain {
+            let text = self.explain(sql)?;
+            return Ok(SqlResult {
+                columns: vec!["plan".into()],
+                rows: text.lines().map(|l| vec![l.to_string()]).collect(),
+                aggregate: None,
+                stages: Vec::new(),
+            });
+        }
+        let &(table, fds) =
+            self.catalog
+                .get(&stmt.table)
+                .ok_or_else(|| SqlError::UnknownTable {
+                    name: stmt.table.clone(),
+                })?;
+        let (plan, _notes) = self.plan_for(&stmt)?;
+        self.execute_plan(&plan, table, fds, truth)
+    }
+
+    /// The physical interpreter: runs the optimized operator chain with
+    /// per-operator engine sessions, exact dedup, and lazy `LIMIT` batching.
+    fn execute_plan(
+        &self,
+        plan: &LogicalPlan,
+        table: &Table,
+        fds: &FunctionalDeps,
+        truth: &dyn Fn(usize) -> String,
+    ) -> Result<SqlResult, SqlError> {
+        let ops = &plan.ops;
+        let limit = plan.limit();
+        let has_agg = ops
+            .iter()
+            .any(|op| matches!(op, LogicalOp::LlmAggregate { .. }));
+        // Lazy LIMIT applies when a limit exists, results stream row by row
+        // (aggregation blocks), and stopping early actually saves LLM work.
+        let lazy = self.opt.lazy_limit && limit.is_some() && !has_agg && plan.llm_ops() > 0;
+
+        // One engine session and one accumulated outcome per LLM operator,
+        // indexed by op position. Sessions persist across lazy batches so
+        // later batches reuse the prefixes earlier ones computed.
+        let mut sessions: Vec<Option<EngineSession>> = (0..ops.len()).map(|_| None).collect();
+        let mut outcomes: Vec<Option<StageOutcome>> = vec![None; ops.len()];
+
+        // Leading cheap predicates narrow the candidate set before any
+        // batching — with the reorder rule on, that is all of them.
+        let mut candidates: Vec<usize> = (0..table.nrows()).collect();
+        let mut first_heavy = 1;
+        while first_heavy < ops.len() {
+            if let LogicalOp::SqlFilter { pred } = &ops[first_heavy] {
+                candidates = filter_sql(table, &candidates, pred)?;
+                first_heavy += 1;
+            } else {
+                break;
+            }
+        }
+
+        // Emitted result rows: original index plus the LLM projection text
+        // when the SELECT list is an LLM call.
+        let mut emitted: Vec<(usize, Option<String>)> = Vec::new();
+        let mut start = 0usize;
+        let mut batch_size = if lazy {
+            self.opt.lazy_batch_min.max(limit.unwrap_or(0)).max(1)
+        } else {
+            candidates.len()
+        };
+        // An already-satisfied limit (e.g. LIMIT 0) issues no batch at all.
+        while start < candidates.len() && !(lazy && limit.is_some_and(|k| emitted.len() >= k)) {
+            let end = if lazy {
+                (start + batch_size).min(candidates.len())
+            } else {
+                candidates.len()
+            };
+            let mut rows: Vec<usize> = candidates[start..end].to_vec();
+            for (idx, op) in ops.iter().enumerate().skip(first_heavy) {
+                match op {
+                    LogicalOp::Scan { .. } => unreachable!("scan is always ops[0]"),
+                    LogicalOp::SqlFilter { pred } => {
+                        rows = filter_sql(table, &rows, pred)?;
+                    }
+                    LogicalOp::LlmFilter { query, negated, .. } => {
+                        let out = self.run_stage_batch(
+                            &mut sessions[idx],
+                            table,
+                            &rows,
+                            query,
+                            fds,
+                            truth,
+                        )?;
+                        let label = query
+                            .predicate_label
+                            .as_deref()
+                            .expect("filter queries carry a predicate label");
+                        rows = out
+                            .outputs
+                            .iter()
+                            .filter(|o| (o.text == label) != *negated)
+                            .map(|o| o.row)
+                            .collect();
+                        accumulate(&mut outcomes[idx], out);
+                    }
+                    LogicalOp::LlmProject { query, .. } => {
+                        let out = self.run_stage_batch(
+                            &mut sessions[idx],
+                            table,
+                            &rows,
+                            query,
+                            fds,
+                            truth,
+                        )?;
+                        for o in &out.outputs {
+                            emitted.push((o.row, Some(o.text.clone())));
+                        }
+                        accumulate(&mut outcomes[idx], out);
+                    }
+                    LogicalOp::LlmAggregate { query, .. } => {
+                        let out = self.run_stage_batch(
+                            &mut sessions[idx],
+                            table,
+                            &rows,
+                            query,
+                            fds,
+                            truth,
+                        )?;
+                        accumulate(&mut outcomes[idx], out);
+                    }
+                    LogicalOp::Project { .. } => {
+                        emitted.extend(rows.iter().map(|&r| (r, None)));
+                    }
+                    LogicalOp::Limit { .. } => {}
+                }
+            }
+            start = end;
+            if !lazy {
+                break;
+            }
+            batch_size *= 2;
+        }
+
+        // Finalize per-operator stages in execution order.
+        let mut stages = Vec::new();
+        let mut aggregate = None;
+        for (idx, op) in ops.iter().enumerate() {
+            let query = match op {
+                LogicalOp::LlmFilter { query, .. }
+                | LogicalOp::LlmProject { query, .. }
+                | LogicalOp::LlmAggregate { query, .. } => query,
+                _ => continue,
+            };
+            let outcome = outcomes[idx].take().unwrap_or_default();
+            let engine = sessions[idx]
+                .take()
+                .map(|s| s.finish().report)
+                .unwrap_or_default();
+            let stage = outcome.into_query_output(query, self.reorderer.name(), engine);
+            if matches!(op, LogicalOp::LlmAggregate { .. }) {
+                aggregate = stage.aggregate;
+            }
+            stages.push(stage);
+        }
+
+        // Materialize the SELECT list.
+        let (columns, mut rows) = match ops
+            .iter()
+            .find(|op| {
+                matches!(
+                    op,
+                    LogicalOp::Project { .. }
+                        | LogicalOp::LlmProject { .. }
+                        | LogicalOp::LlmAggregate { .. }
+                )
+            })
+            .expect("plans always carry a projection operator")
+        {
+            LogicalOp::Project { columns } => {
+                let idxs = table
+                    .resolve_columns(columns)
+                    .map_err(|e| SqlError::Exec(ExecError::Table(e)))?;
+                let rows: Vec<Vec<String>> = emitted
+                    .iter()
+                    .map(|&(r, _)| {
+                        idxs.iter()
+                            .map(|&c| table.value(r, c).to_string())
+                            .collect()
+                    })
+                    .collect();
+                (columns.clone(), rows)
+            }
+            LogicalOp::LlmProject { alias, .. } => (
+                vec![alias.clone()],
+                emitted
+                    .iter()
+                    .map(|(_, text)| vec![text.clone().expect("LLM projection emits text")])
+                    .collect(),
+            ),
+            LogicalOp::LlmAggregate { alias, .. } => (
+                vec![alias.clone()],
+                vec![vec![aggregate.map_or("null".into(), |a| format!("{a:.3}"))]],
+            ),
+            _ => unreachable!("find matched projection operators only"),
+        };
+        if let Some(n) = limit {
             rows.truncate(n);
         }
         Ok(SqlResult {
@@ -649,6 +1003,68 @@ impl<'a> SqlRunner<'a> {
             aggregate,
             stages,
         })
+    }
+
+    /// Runs one LLM operator over one batch of rows, opening the operator's
+    /// session on first use.
+    fn run_stage_batch(
+        &self,
+        session: &mut Option<EngineSession>,
+        table: &Table,
+        rows: &[usize],
+        query: &LlmQuery,
+        fds: &FunctionalDeps,
+        truth: &dyn Fn(usize) -> String,
+    ) -> Result<StageOutcome, SqlError> {
+        if session.is_none() {
+            *session = Some(
+                self.executor
+                    .engine()
+                    .session()
+                    .map_err(ExecError::Engine)?,
+            );
+        }
+        let session = session.as_mut().expect("session created above");
+        Ok(self.executor.run_llm_rows(
+            session,
+            table,
+            rows,
+            query,
+            self.reorderer,
+            fds,
+            truth,
+            self.opt.dedup,
+        )?)
+    }
+}
+
+fn on_off(flag: bool) -> &'static str {
+    if flag {
+        "on"
+    } else {
+        "off"
+    }
+}
+
+/// Applies a cheap predicate to a row set, preserving order.
+fn filter_sql(table: &Table, rows: &[usize], pred: &SqlPredicate) -> Result<Vec<usize>, SqlError> {
+    let col = table.schema().index_of(&pred.column).ok_or_else(|| {
+        SqlError::Exec(ExecError::Table(TableError::UnknownColumn {
+            name: pred.column.clone(),
+        }))
+    })?;
+    Ok(rows
+        .iter()
+        .copied()
+        .filter(|&r| pred.eval(table.value(r, col)))
+        .collect())
+}
+
+/// Folds a batch outcome into an operator's accumulator.
+fn accumulate(slot: &mut Option<StageOutcome>, out: StageOutcome) {
+    match slot {
+        Some(acc) => acc.absorb(out),
+        None => *slot = Some(out),
     }
 }
 
@@ -674,11 +1090,20 @@ mod tests {
             stmt.projection,
             Projection::Columns(vec!["movietitle".into()])
         );
-        let (call, label, negated) = stmt.filter.unwrap();
-        assert_eq!(call.prompt, "kids?");
-        assert_eq!(call.fields, vec!["movieinfo", "reviewcontent"]);
-        assert_eq!(label, "Yes");
-        assert!(!negated);
+        assert!(!stmt.explain);
+        match &stmt.where_clause[..] {
+            [WhereConjunct::Llm {
+                call,
+                label,
+                negated,
+            }] => {
+                assert_eq!(call.prompt, "kids?");
+                assert_eq!(call.fields, vec!["movieinfo", "reviewcontent"]);
+                assert_eq!(label, "Yes");
+                assert!(!negated);
+            }
+            other => panic!("unexpected where clause {other:?}"),
+        }
     }
 
     #[test]
@@ -705,8 +1130,45 @@ mod tests {
         let stmt =
             parse_sql("SELECT * FROM t WHERE LLM('sentiment', review) <> 'NEGATIVE' LIMIT 5")
                 .unwrap();
-        assert!(stmt.filter.unwrap().2);
+        assert!(matches!(
+            stmt.where_clause[0],
+            WhereConjunct::Llm { negated: true, .. }
+        ));
         assert_eq!(stmt.limit, Some(5));
+    }
+
+    #[test]
+    fn parses_conjunctions_of_sql_and_llm_predicates() {
+        let stmt = parse_sql(
+            "SELECT a FROM t WHERE LLM('x?', a) = 'Yes' AND b = 'k' \
+             AND score >= 3.5 AND LLM('y?', b) <> 'No' AND n < 10",
+        )
+        .unwrap();
+        assert_eq!(stmt.where_clause.len(), 5);
+        assert!(matches!(
+            &stmt.where_clause[1],
+            WhereConjunct::Sql(SqlPredicate { column, op: CmpOp::Eq, literal })
+                if column == "b" && literal == "k"
+        ));
+        assert!(matches!(
+            &stmt.where_clause[2],
+            WhereConjunct::Sql(SqlPredicate { op: CmpOp::Ge, literal, .. }) if literal == "3.5"
+        ));
+        assert!(matches!(
+            &stmt.where_clause[3],
+            WhereConjunct::Llm { negated: true, .. }
+        ));
+        assert!(matches!(
+            &stmt.where_clause[4],
+            WhereConjunct::Sql(SqlPredicate { op: CmpOp::Lt, .. })
+        ));
+    }
+
+    #[test]
+    fn parses_explain_prefix() {
+        let stmt = parse_sql("EXPLAIN SELECT a FROM t LIMIT 2").unwrap();
+        assert!(stmt.explain);
+        assert_eq!(stmt.limit, Some(2));
     }
 
     #[test]
@@ -735,8 +1197,10 @@ mod tests {
         assert!(matches!(err, SqlError::Parse { .. }));
         assert!(!err.to_string().is_empty());
         assert!(parse_sql("SELECT a FROM t WHERE LLM('x' a) = 'Y'").is_err());
-        assert!(parse_sql("SELECT a FROM t trailing garbage").is_err());
+        assert!(parse_sql("SELECT a FROM t trailing garbage = ").is_err());
         assert!(parse_sql("SELECT a FROM t WHERE LLM('unterminated) = 'Y'").is_err());
+        assert!(parse_sql("SELECT a FROM t WHERE b = ").is_err());
+        assert!(parse_sql("SELECT a FROM t LIMIT 3.5").is_err());
     }
 
     fn fixture() -> (Table, FunctionalDeps) {
@@ -835,6 +1299,28 @@ mod tests {
     }
 
     #[test]
+    fn aggregation_respects_where_clause() {
+        let (table, fds) = fixture();
+        let eng = engine();
+        let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let solver = Ggr::default();
+        let mut runner = SqlRunner::new(&executor, &solver);
+        runner.register("t", &table, &fds);
+        let truth = |row: usize| ((row % 5) + 1).to_string();
+        let res = runner
+            .run(
+                "SELECT AVG(LLM('rate', review)) AS score FROM t \
+                 WHERE product = 'product 0'",
+                &truth,
+            )
+            .unwrap();
+        // Rows 0..10 → truths 1,2,3,4,5,1,2,3,4,5 → average 3.
+        assert_eq!(res.aggregate, Some(3.0));
+        assert_eq!(res.stages.len(), 1);
+        assert_eq!(res.stages[0].report.opt.rows_in, 10);
+    }
+
+    #[test]
     fn negated_filter_complements() {
         let (table, fds) = fixture();
         let eng = engine();
@@ -879,5 +1365,208 @@ mod tests {
             runner.run("SELECT a FROM missing", &truth),
             Err(SqlError::UnknownTable { .. })
         ));
+    }
+
+    #[test]
+    fn unknown_predicate_column_is_reported() {
+        let (table, fds) = fixture();
+        let eng = engine();
+        let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let solver = Ggr::default();
+        let mut runner = SqlRunner::new(&executor, &solver);
+        runner.register("t", &table, &fds);
+        let truth = |_: usize| String::new();
+        assert!(matches!(
+            runner.run("SELECT review FROM t WHERE nope = 'x'", &truth),
+            Err(SqlError::Exec(ExecError::Table(
+                TableError::UnknownColumn { .. }
+            )))
+        ));
+    }
+
+    #[test]
+    fn sql_predicates_run_before_llm_filters() {
+        let (table, fds) = fixture();
+        let eng = engine();
+        let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let solver = Ggr::default();
+        let truth = |row: usize| {
+            if row.is_multiple_of(2) {
+                "Yes".into()
+            } else {
+                "No".into()
+            }
+        };
+        // Written with the LLM predicate first: the optimizer must still
+        // evaluate the cheap predicate first, so the LLM stage sees only the
+        // 10 'product 1' rows.
+        let sql = "SELECT review FROM t \
+                   WHERE LLM('good?', review) = 'Yes' AND product = 'product 1'";
+        let run_with = |opt: OptimizerConfig| {
+            let mut runner = SqlRunner::new(&executor, &solver).with_optimizer(opt);
+            runner.register("t", &table, &fds);
+            runner.run(sql, &truth).unwrap()
+        };
+        let optimized = run_with(OptimizerConfig::all());
+        let oracle = run_with(OptimizerConfig::none());
+        assert_eq!(
+            optimized.rows, oracle.rows,
+            "pushdown must not change results"
+        );
+        assert_eq!(optimized.rows.len(), 5);
+        assert_eq!(optimized.stages[0].report.opt.rows_in, 10, "pushed down");
+        assert_eq!(oracle.stages[0].report.opt.rows_in, 30, "written order");
+    }
+
+    #[test]
+    fn llm_filters_are_ordered_by_estimated_rank() {
+        let (table, fds) = fixture();
+        let eng = engine();
+        let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let solver = Ggr::default();
+        let mut runner = SqlRunner::new(&executor, &solver);
+        runner.register("t", &table, &fds);
+        let truth = |_: usize| "Yes".to_string();
+        // Same selectivity prior (Yes/No); the product-only call serializes
+        // fewer tokens per row, so it must run first despite being written
+        // second.
+        let res = runner
+            .run(
+                "SELECT review FROM t \
+                 WHERE LLM('long review check?', review, product) = 'Yes' \
+                 AND LLM('short?', product) = 'Yes'",
+                &truth,
+            )
+            .unwrap();
+        assert_eq!(res.stages.len(), 2);
+        assert_eq!(res.stages[0].report.query, "sql-where-t-2", "cheap first");
+        assert_eq!(res.stages[1].report.query, "sql-where-t");
+        // Both filters pass everything under this truth; results are all rows.
+        assert_eq!(res.rows.len(), 30);
+    }
+
+    #[test]
+    fn dedup_shares_engine_requests_for_duplicate_rows() {
+        let (table, fds) = fixture();
+        let eng = engine();
+        let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let solver = Ggr::default();
+        let truth = |row: usize| if row < 15 { "Yes".into() } else { "No".into() };
+        // Filter over `product` only: 3 distinct values across 30 rows.
+        let sql = "SELECT review FROM t WHERE LLM('cheap?', product) = 'Yes'";
+        let run_with = |opt: OptimizerConfig| {
+            let mut runner = SqlRunner::new(&executor, &solver).with_optimizer(opt);
+            runner.register("t", &table, &fds);
+            runner.run(sql, &truth).unwrap()
+        };
+        let optimized = run_with(OptimizerConfig::all());
+        let oracle = run_with(OptimizerConfig::none());
+        assert_eq!(optimized.rows, oracle.rows, "dedup must not change results");
+        let opt = optimized.stages[0].report.opt;
+        assert_eq!(opt.llm_calls, 3, "one request per distinct product");
+        assert_eq!(opt.rows_deduped, 27);
+        assert!(opt.prefill_tokens_saved > 0);
+        assert_eq!(oracle.stages[0].report.opt.llm_calls, 30);
+        assert_eq!(optimized.stages[0].report.engine.completed, 3);
+    }
+
+    #[test]
+    fn lazy_limit_issues_fewer_engine_requests() {
+        let mut t = Table::new(Schema::of_strings(&["review"]));
+        for i in 0..200 {
+            t.push_row(vec![format!("review number {i} body").into()])
+                .unwrap();
+        }
+        let fds = FunctionalDeps::empty(1);
+        let eng = engine();
+        let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let solver = Ggr::default();
+        let truth = |row: usize| {
+            if row.is_multiple_of(2) {
+                "Yes".into()
+            } else {
+                "No".into()
+            }
+        };
+        let sql = "SELECT review FROM t WHERE LLM('keep?', review) = 'Yes' LIMIT 3";
+        let run_with = |opt: OptimizerConfig| {
+            let mut runner = SqlRunner::new(&executor, &solver).with_optimizer(opt);
+            runner.register("t", &t, &fds);
+            runner.run(sql, &truth).unwrap()
+        };
+        let optimized = run_with(OptimizerConfig::all());
+        let oracle = run_with(OptimizerConfig::none());
+        assert_eq!(
+            optimized.rows, oracle.rows,
+            "lazy LIMIT must not change results"
+        );
+        assert_eq!(optimized.rows.len(), 3);
+        let (lazy, full) = (optimized.stages[0].report.opt, oracle.stages[0].report.opt);
+        assert_eq!(full.llm_calls, 200, "oracle materializes everything");
+        assert!(
+            lazy.llm_calls < full.llm_calls,
+            "lazy {} should be < full {}",
+            lazy.llm_calls,
+            full.llm_calls
+        );
+        assert!(lazy.batches >= 1);
+    }
+
+    #[test]
+    fn lazy_limit_zero_issues_no_requests() {
+        let (table, fds) = fixture();
+        let eng = engine();
+        let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let solver = Ggr::default();
+        let mut runner = SqlRunner::new(&executor, &solver);
+        runner.register("t", &table, &fds);
+        let truth = |_: usize| "Yes".to_string();
+        let res = runner
+            .run(
+                "SELECT review FROM t WHERE LLM('keep?', review) = 'Yes' LIMIT 0",
+                &truth,
+            )
+            .unwrap();
+        assert!(res.rows.is_empty());
+        assert_eq!(res.stages.len(), 1);
+        assert_eq!(res.stages[0].report.opt.llm_calls, 0);
+        assert_eq!(res.stages[0].report.engine.completed, 0);
+    }
+
+    #[test]
+    fn explain_renders_optimized_plan() {
+        let (table, fds) = fixture();
+        let eng = engine();
+        let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let solver = Ggr::default();
+        let mut runner = SqlRunner::new(&executor, &solver);
+        runner.register("t", &table, &fds);
+        let text = runner
+            .explain(
+                "SELECT review FROM t \
+                 WHERE LLM('good?', review) = 'Yes' AND product = 'product 2' LIMIT 4",
+            )
+            .unwrap();
+        let sql_pos = text.find("SqlFilter product = 'product 2'").unwrap();
+        let llm_pos = text.find("LlmFilter sql-where-t").unwrap();
+        assert!(
+            llm_pos < sql_pos,
+            "SQL predicate renders below the LLM op:\n{text}"
+        );
+        assert!(text.contains("Limit 4"));
+        assert!(text.contains("Scan t"));
+        assert!(text.contains("-- optimizer: dedup on, reorder on, lazy limit on"));
+        assert!(text.contains("-- rewrite: reordered WHERE"));
+        // The EXPLAIN statement form returns the same text as rows.
+        let truth = |_: usize| String::new();
+        let res = runner
+            .run(
+                "EXPLAIN SELECT review FROM t WHERE LLM('good?', review) = 'Yes'",
+                &truth,
+            )
+            .unwrap();
+        assert_eq!(res.columns, vec!["plan"]);
+        assert!(res.stages.is_empty());
+        assert!(res.rows.iter().any(|r| r[0].contains("Scan t")));
     }
 }

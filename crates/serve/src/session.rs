@@ -415,6 +415,29 @@ impl EngineSession {
         Ok(true)
     }
 
+    /// Submits `requests` and steps the session until it is idle again,
+    /// returning the [`Completion`]s this call produced (in completion
+    /// order). Cache state persists across calls, which is what makes
+    /// batched *incremental* submission — the relational layer's lazy
+    /// `LIMIT` evaluation — cheaper than one fresh engine run per batch:
+    /// later batches reuse the instruction prefix (and any shared fields)
+    /// the earlier ones already computed.
+    ///
+    /// Equivalent to [`SimEngine::run`](crate::SimEngine::run) when called
+    /// once on a fresh session.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::RequestTooLarge`] if a request can never be admitted.
+    pub fn run_batch(&mut self, requests: &[SimRequest]) -> Result<&[Completion], EngineError> {
+        let before = self.completions.len();
+        for request in requests {
+            self.enqueue(request.clone());
+        }
+        while self.step()? {}
+        Ok(&self.completions[before..])
+    }
+
     /// Finalizes the session: computes latency percentiles and returns the
     /// aggregate report plus per-request completion records.
     pub fn finish(mut self) -> SessionReport {
@@ -494,6 +517,48 @@ mod tests {
         }
         let cached: u64 = out.completions.iter().map(|c| c.cached_tokens as u64).sum();
         assert_eq!(cached, out.report.cached_prompt_tokens);
+    }
+
+    #[test]
+    fn run_batch_once_matches_engine_run() {
+        let e = engine();
+        let rs = reqs(30, 64, 32, 4);
+        let batch = e.run(&rs).unwrap();
+        let mut s = e.session().unwrap();
+        let completions = s.run_batch(&rs).unwrap();
+        assert_eq!(completions.len(), 30);
+        assert_eq!(s.finish().report, batch);
+    }
+
+    #[test]
+    fn run_batch_returns_only_new_completions_and_reuses_cache() {
+        let e = engine();
+        let rs = reqs(40, 96, 16, 2);
+        let mut s = e.session().unwrap();
+        let first = s.run_batch(&rs[..20]).unwrap();
+        assert_eq!(first.len(), 20);
+        let first_cached: usize = first.iter().map(|c| c.cached_tokens).sum();
+        let second = s.run_batch(&rs[20..]).unwrap();
+        assert_eq!(second.len(), 20);
+        let mut ids: Vec<usize> = second.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (20..40).collect::<Vec<_>>());
+        // The shared 96-token prefix computed by batch one serves batch two
+        // from cache: every second-batch request hits it fully.
+        for c in second {
+            assert!(c.cached_tokens >= 96, "cached {} < prefix", c.cached_tokens);
+        }
+        let second_cached: usize = second.iter().map(|c| c.cached_tokens).sum();
+        assert!(second_cached > first_cached);
+        assert_eq!(s.finish().completions.len(), 40);
+    }
+
+    #[test]
+    fn run_batch_with_no_requests_is_a_noop() {
+        let e = engine();
+        let mut s = e.session().unwrap();
+        assert!(s.run_batch(&[]).unwrap().is_empty());
+        assert_eq!(s.clock(), 0.0);
     }
 
     #[test]

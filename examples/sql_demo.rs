@@ -72,5 +72,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nT4 aggregation: AverageScore = {:.3}",
         res.aggregate.unwrap()
     );
+
+    // SQL-aware optimizations: a conjunctive WHERE mixing a cheap relational
+    // predicate with two LLM predicates, under a LIMIT. The optimizer pushes
+    // `reviewtype = 'Fresh'` below both LLM operators, orders the LLM
+    // filters by estimated cost/(1−selectivity), dedups identical prompts,
+    // and evaluates lazily until 5 rows qualify.
+    let sql = "SELECT movietitle FROM movies \
+               WHERE LLM('Suitable for kids? Yes or No.', movieinfo, reviewcontent) = 'Yes' \
+               AND reviewtype = 'Fresh' \
+               AND LLM('Is this a top-critic Fresh review? Yes or No.', reviewtype, topcritic) = 'Yes' \
+               LIMIT 5";
+    println!("\nEXPLAIN of the optimized plan:\n{}", runner.explain(sql)?);
+    let res = runner.run(sql, &truth)?;
+    let calls: u64 = res.stages.iter().map(|s| s.report.opt.llm_calls).sum();
+    let saved: u64 = res
+        .stages
+        .iter()
+        .map(|s| s.report.opt.llm_calls_saved())
+        .sum();
+    println!(
+        "optimized run: {} rows returned, {calls} LLM calls issued, {saved} avoided \
+         (dedup + pushdown), {} prefill tokens saved",
+        res.rows.len(),
+        res.stages
+            .iter()
+            .map(|s| s.report.opt.prefill_tokens_saved)
+            .sum::<u64>(),
+    );
     Ok(())
 }

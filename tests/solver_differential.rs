@@ -197,10 +197,11 @@ fn solvers_match_reference_on_all_tier1_datasets() {
 
 /// Equivalence must hold even on *ill-formed* tables where one [`ValueId`]
 /// recurs with different lengths. Well-formed encodings never produce such
-/// tables (a fragment's token count is a property of the fragment), but the
-/// public `Cell`/`push_row` API permits them, and the differential contract
-/// must not depend on an unenforced invariant: group representatives are
-/// read from the view-local first member, exactly as the references do.
+/// tables (a fragment's token count is a property of the fragment), and
+/// `push_row` now rejects them in debug builds — so this test goes through
+/// `push_row_unchecked`. The differential contract must still not depend on
+/// the invariant: group representatives are read from the view-local first
+/// member, exactly as the references do.
 #[test]
 fn ggr_and_ophr_match_reference_when_a_value_recurs_with_different_lengths() {
     let mut t = ReorderTable::new(vec!["a".into(), "b".into()]).unwrap();
@@ -211,7 +212,7 @@ fn ggr_and_ophr_match_reference_when_a_value_recurs_with_different_lengths() {
         (1, 9, 11, 7),
     ];
     for (va, la, vb, lb) in rows {
-        t.push_row(vec![
+        t.push_row_unchecked(vec![
             Cell::new(ValueId::from_raw(va), la),
             Cell::new(ValueId::from_raw(100 + vb), lb),
         ])
