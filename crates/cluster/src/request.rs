@@ -40,10 +40,10 @@ impl ClusterRequest {
 
 /// Pairs a request stream with its prefix keys (schedule order must match —
 /// this is the glue between a solver's [`prefix_keys`] and the requests
-/// [`plan_requests`] built from the same plan).
+/// `llmqo_relational::plan_requests` built from the same plan; that crate
+/// sits above this one, so the item cannot be intra-doc linked here).
 ///
 /// [`prefix_keys`]: llmqo_core::ReorderPlan::prefix_keys
-/// [`plan_requests`]: https://docs.rs/llmqo-relational
 ///
 /// # Panics
 ///

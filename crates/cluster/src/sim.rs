@@ -16,6 +16,15 @@
 //!
 //! Everything is deterministic: fixed inputs and a deterministic router give
 //! bit-identical [`ClusterReport`]s.
+//!
+//! Replicas advance in **macro-steps** whenever the admission queue is
+//! empty: [`ClusterSim::run`] hands the chosen replica the next arrival
+//! time as a horizon and lets the session collapse steady-state decode
+//! runs ([`EngineSession::step_until`]), so a job with breathing room costs
+//! events, not tokens. Under backpressure the loop single-steps (every
+//! event's router retry is observable), keeping reports byte-identical to
+//! [`ClusterSim::run_single_stepped`], the one-step-per-event differential
+//! oracle, for every deterministic router.
 
 use crate::report::{ClusterReport, ReplicaReport};
 use crate::request::ClusterRequest;
@@ -155,6 +164,19 @@ impl ClusterSim {
     /// Serves `requests` (in arrival order) through `router` across the
     /// replica fleet and reports cluster metrics.
     ///
+    /// While the admission queue is empty, replicas advance via
+    /// [`EngineSession::step_until`](llmqo_serve::EngineSession::step_until)
+    /// with the next pending arrival as the horizon, so steady-state decode
+    /// runs are macro-stepped instead of simulated token by token; no
+    /// routing can occur inside such a jump, so nothing any [`Router`]
+    /// observes changes. While requests are blocked in admission
+    /// (backpressure), the loop single-steps, because each event's router
+    /// retry is observable — even in count, for stateful policies. Reports
+    /// are therefore byte-identical to
+    /// [`run_single_stepped`](ClusterSim::run_single_stepped), the
+    /// step-by-step oracle the differential suite compares against, for
+    /// every deterministic router.
+    ///
     /// # Errors
     ///
     /// [`ClusterError::InvalidConfig`] for a zero-replica or zero-capacity
@@ -166,6 +188,31 @@ impl ClusterSim {
         &self,
         router: &mut dyn Router,
         requests: &[ClusterRequest],
+    ) -> Result<ClusterReport, ClusterError> {
+        self.run_impl(router, requests, true)
+    }
+
+    /// [`run`](ClusterSim::run) driving every replica one scheduling step at
+    /// a time, with no macro-stepping. Exists as the fine-grained oracle for
+    /// the differential tests; it produces byte-identical reports to
+    /// [`run`](ClusterSim::run) and is much slower on decode-heavy jobs.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](ClusterSim::run).
+    pub fn run_single_stepped(
+        &self,
+        router: &mut dyn Router,
+        requests: &[ClusterRequest],
+    ) -> Result<ClusterReport, ClusterError> {
+        self.run_impl(router, requests, false)
+    }
+
+    fn run_impl(
+        &self,
+        router: &mut dyn Router,
+        requests: &[ClusterRequest],
+        macro_steps: bool,
     ) -> Result<ClusterReport, ClusterError> {
         if self.config.replicas == 0 {
             return Err(ClusterError::InvalidConfig {
@@ -243,7 +290,7 @@ impl ClusterSim {
                 // catch it up to the moment the request reaches it — its
                 // arrival, or later if backpressure held it in admission.
                 replica.session.advance_to(requests[j].arrival_s.max(now));
-                replica.session.enqueue(requests[j].request.clone());
+                replica.session.enqueue_ref(&requests[j].request);
                 replica.assigned += 1;
                 replica.arrivals.push(requests[j].arrival_s);
             }
@@ -276,7 +323,24 @@ impl ClusterSim {
                 }
                 now = now.max(t);
             } else if let Some(b) = busy {
-                replicas[b].session.step()?;
+                if macro_steps && admission.is_empty() {
+                    // With nothing waiting for placement, no routing (and no
+                    // `now` observation) can occur before the next arrival,
+                    // so the replica may jump to its next internal event,
+                    // bounded by that arrival — the single-stepped loop
+                    // would pass through the same per-replica states, and
+                    // it, too, performs the step that crosses the arrival
+                    // before delivering it. While requests are blocked in
+                    // admission, however, *every* event triggers a router
+                    // retry — observable even in count (stateful policies
+                    // like round-robin mutate on each consultation) — so
+                    // the loop falls back to single steps there.
+                    let horizon = (next_arrival < order.len())
+                        .then(|| requests[order[next_arrival]].arrival_s);
+                    replicas[b].session.step_until(horizon)?;
+                } else {
+                    replicas[b].session.step()?;
+                }
                 now = now.max(replicas[b].session.clock());
             } else if admission.is_empty() {
                 break; // No work anywhere: the job is done.
@@ -411,6 +475,104 @@ mod tests {
             .unwrap();
         assert_eq!(cluster.replicas[0].engine, plain);
         assert_eq!(cluster.makespan_s, plain.job_completion_time_s);
+    }
+
+    #[test]
+    fn macro_stepping_matches_single_stepping_across_policies() {
+        // Mid-flight Poisson arrivals, several prefix groups, every built-in
+        // policy: the macro-stepped run must reproduce the single-stepped
+        // oracle bit for bit.
+        let mut requests = grouped_requests(15, 8);
+        ArrivalProcess::Poisson {
+            rate_rps: 800.0,
+            seed: 3,
+        }
+        .assign(&mut requests);
+        for router_pair in [
+            (
+                &mut RoundRobin::default() as &mut dyn Router,
+                &mut RoundRobin::default() as &mut dyn Router,
+            ),
+            (&mut LeastLoaded, &mut LeastLoaded),
+            (
+                &mut PrefixAffinity::default(),
+                &mut PrefixAffinity::default(),
+            ),
+            (
+                &mut PrefixAffinity::bounded(1.25),
+                &mut PrefixAffinity::bounded(1.25),
+            ),
+        ] {
+            let (fine_router, coarse_router) = router_pair;
+            let fine = sim(3).run_single_stepped(fine_router, &requests).unwrap();
+            let coarse = sim(3).run(coarse_router, &requests).unwrap();
+            assert_eq!(fine, coarse, "{}", fine_router.name());
+        }
+    }
+
+    #[test]
+    fn macro_stepping_matches_single_stepping_under_backpressure() {
+        let requests = grouped_requests(30, 4);
+        let tight = |queue_cap| {
+            ClusterSim::new(
+                engine(),
+                ClusterConfig {
+                    replicas: 3,
+                    queue_cap,
+                },
+            )
+        };
+        for cap in [1usize, 2, 8] {
+            let fine = tight(cap)
+                .run_single_stepped(&mut LeastLoaded, &requests)
+                .unwrap();
+            let coarse = tight(cap).run(&mut LeastLoaded, &requests).unwrap();
+            assert_eq!(fine, coarse, "queue_cap {cap}");
+        }
+    }
+
+    #[test]
+    fn macro_stepping_matches_oracle_on_long_heterogeneous_backpressured_jobs() {
+        // Regression shape for the horizon bug: long *heterogeneous* decode
+        // runs make replicas' events interleave finely, Poisson arrivals +
+        // queue_cap 1 keep the admission queue non-empty for most of the
+        // job, and the stateful round-robin router makes even the *count*
+        // of placement retries observable. A macro-step that overruns
+        // another replica's pending event (or swallows router retries)
+        // diverges here.
+        let mut requests: Vec<ClusterRequest> = (0..24usize)
+            .map(|i| {
+                let toks: Vec<u32> = (0..96).map(|j| i as u32 * 4096 + j).collect();
+                let output = 8 + (i as u32 * 83) % 200;
+                ClusterRequest::new(SimRequest::from_tokens(i, toks, output), (i % 5) as u64)
+            })
+            .collect();
+        ArrivalProcess::Poisson {
+            rate_rps: 400.0,
+            seed: 0,
+        }
+        .assign(&mut requests);
+        for cap in [1usize, 2] {
+            let tight = || {
+                ClusterSim::new(
+                    engine(),
+                    ClusterConfig {
+                        replicas: 2,
+                        queue_cap: cap,
+                    },
+                )
+            };
+            let fine = tight()
+                .run_single_stepped(&mut LeastLoaded, &requests)
+                .unwrap();
+            let coarse = tight().run(&mut LeastLoaded, &requests).unwrap();
+            assert_eq!(fine, coarse, "least-loaded, queue_cap {cap}");
+            let fine = tight()
+                .run_single_stepped(&mut RoundRobin::default(), &requests)
+                .unwrap();
+            let coarse = tight().run(&mut RoundRobin::default(), &requests).unwrap();
+            assert_eq!(fine, coarse, "round-robin (stateful), queue_cap {cap}");
+        }
     }
 
     #[test]

@@ -13,11 +13,20 @@
 //! the concatenation of per-chunk permutations is a permutation, and the
 //! claimed score is the sum of per-chunk claims (cross-boundary accidental
 //! hits can only add to it).
+//!
+//! Execution uses a bounded **worker pool** (one scoped thread per
+//! available core, not one per chunk): workers claim chunks from a shared
+//! counter, so a long-lived worker solves many chunks in sequence and the
+//! thread-local [`Scratch`](crate::scratch) recycling amortizes the
+//! O(rows·cols) index-arena allocations across every chunk it touches.
+//! Results are written back by chunk index, keeping output deterministic
+//! regardless of scheduling.
 
 use crate::fd::FunctionalDeps;
 use crate::plan::{ReorderPlan, RowPlan};
 use crate::solver::{check_fd_arity, Reorderer, Solution, SolveError};
-use crate::table::{Cell, ReorderTable};
+use crate::table::ReorderTable;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Wraps any [`Reorderer`], solving contiguous row partitions in parallel.
@@ -75,36 +84,55 @@ impl<R: Reorderer + Sync> Reorderer for Partitioned<R> {
             .map(|lo| (lo, (lo + self.partition_rows).min(n)))
             .collect();
 
-        // Solve each partition on its own scoped thread; results come back
-        // in partition order so the concatenation is deterministic.
-        let mut partials: Vec<Result<Solution, SolveError>> =
-            Vec::with_capacity(chunk_bounds.len());
+        // A bounded worker pool claims chunks from a shared counter: each
+        // worker's thread stays alive across the many chunks it solves, so
+        // the thread-local scratch arena is built once per worker and
+        // recycled chunk after chunk. Results are scattered back by chunk
+        // index, so the concatenation is deterministic however the workers
+        // interleave.
+        let nchunks = chunk_bounds.len();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(nchunks)
+            .max(1);
+        let next_chunk = AtomicUsize::new(0);
+        let mut partials: Vec<Option<Result<Solution, SolveError>>> =
+            (0..nchunks).map(|_| None).collect();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = chunk_bounds
-                .iter()
-                .map(|&(lo, hi)| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
                     let inner = &self.inner;
+                    let next_chunk = &next_chunk;
+                    let chunk_bounds = &chunk_bounds;
                     scope.spawn(move || {
-                        let mut chunk = ReorderTable::new(table.column_names().to_vec())
-                            .expect("table has columns");
-                        chunk.reserve_rows(hi - lo);
-                        for r in lo..hi {
-                            let row: Vec<Cell> = table.row(r).to_vec();
-                            chunk.push_row(row).expect("arity preserved");
+                        let mut solved: Vec<(usize, Result<Solution, SolveError>)> = Vec::new();
+                        let mut row_ids: Vec<usize> = Vec::new();
+                        loop {
+                            let i = next_chunk.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(lo, hi)) = chunk_bounds.get(i) else {
+                                break;
+                            };
+                            row_ids.clear();
+                            row_ids.extend(lo..hi);
+                            let chunk = table.select_rows(&row_ids);
+                            solved.push((i, inner.reorder(&chunk, fds)));
                         }
-                        inner.reorder(&chunk, fds)
+                        solved
                     })
                 })
                 .collect();
             for h in handles {
-                partials.push(h.join().expect("partition solver panicked"));
+                for (i, partial) in h.join().expect("partition solver panicked") {
+                    partials[i] = Some(partial);
+                }
             }
         });
 
         let mut rows = Vec::with_capacity(n);
         let mut claimed_phc = 0u64;
         for ((lo, _), partial) in chunk_bounds.into_iter().zip(partials) {
-            let solution = partial?;
+            let solution = partial.expect("every chunk index was claimed exactly once")?;
             claimed_phc += solution.claimed_phc;
             rows.extend(
                 solution
@@ -127,6 +155,7 @@ mod tests {
     use super::*;
     use crate::ggr::Ggr;
     use crate::phc::phc_of_plan;
+    use crate::table::Cell;
     use crate::ValueId;
 
     fn join_table(nrows: usize, group: usize) -> ReorderTable {

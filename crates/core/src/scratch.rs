@@ -24,8 +24,20 @@
 //!   flooding resistance buys nothing here.
 
 use crate::ValueId;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+
+/// Retired [`Scratch`] arenas kept per thread for reuse. A worker that
+/// solves many chunks of a partitioned table ([`crate::Partitioned`]) — or
+/// an executor issuing one solve per query batch — pays the index-arena
+/// allocations once instead of per solve; rebuilding re-initializes every
+/// value, so reuse is invisible in solver output.
+const SCRATCH_POOL_CAP: usize = 4;
+
+thread_local! {
+    static SCRATCH_POOL: RefCell<Vec<Scratch>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Multiply-xor hasher (fxhash-style) for small trusted keys.
 ///
@@ -227,6 +239,47 @@ pub(crate) struct Scratch {
     pub map: SlotMap,
     /// Reusable row/column index buffers.
     pub pool: BufPool,
+    /// Raw-value stamps for the direct remap path (stamped by column id,
+    /// fully reset on every rebuild).
+    vstamp: Vec<u32>,
+    /// Raw-value → dense-slot table for the direct remap path.
+    vslot: Vec<u32>,
+}
+
+impl Drop for Scratch {
+    /// Returns the arena's allocations to the thread-local pool so the next
+    /// solve on this thread starts warm. No-op for never-built scratches,
+    /// when the pool is full, or during thread teardown.
+    fn drop(&mut self) {
+        if self.dense.capacity() == 0 && self.stamp.capacity() == 0 {
+            return;
+        }
+        let _ = SCRATCH_POOL.try_with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() >= SCRATCH_POOL_CAP {
+                // Nothing constructed ⇒ no re-entrant drop of a recycled
+                // scratch: the allocations are simply freed.
+                return;
+            }
+            pool.push(Scratch {
+                dense: std::mem::take(&mut self.dense),
+                dense_values: std::mem::take(&mut self.dense_values),
+                stamp: std::mem::take(&mut self.stamp),
+                epoch: self.epoch,
+                counts: std::mem::take(&mut self.counts),
+                first_sq: std::mem::take(&mut self.first_sq),
+                touched: std::mem::take(&mut self.touched),
+                row_dense: std::mem::take(&mut self.row_dense),
+                acc: std::mem::take(&mut self.acc),
+                tot: std::mem::take(&mut self.tot),
+                col_mask: std::mem::take(&mut self.col_mask),
+                map: std::mem::take(&mut self.map),
+                pool: std::mem::take(&mut self.pool),
+                vstamp: std::mem::take(&mut self.vstamp),
+                vslot: std::mem::take(&mut self.vslot),
+            });
+        });
+    }
 }
 
 impl Scratch {
@@ -253,14 +306,40 @@ impl Scratch {
     /// ids fall back to the slot map. Both assign ids in first-seen order, so
     /// the result is identical.
     pub fn for_view(table: &crate::table::ReorderTable, rows: &[u32], cols: &[u32]) -> Self {
+        let mut s = SCRATCH_POOL
+            .try_with(|pool| pool.borrow_mut().pop())
+            .ok()
+            .flatten()
+            .unwrap_or_default();
+        s.rebuild(table, rows, cols);
+        s
+    }
+
+    /// Re-initializes this arena for a new (rows × cols) view, reusing the
+    /// backing allocations. Every value a solver can observe is reset to
+    /// exactly the fresh-construction state, so a recycled scratch is
+    /// indistinguishable from a new one.
+    fn rebuild(&mut self, table: &crate::table::ReorderTable, rows: &[u32], cols: &[u32]) {
         let n = table.nrows();
         let m = table.ncols();
-        let mut s = Scratch {
-            col_mask: vec![false; m],
-            ..Scratch::default()
-        };
-        s.dense.resize(m, Vec::new());
-        s.dense_values.resize(m, Vec::new());
+        self.col_mask.clear();
+        self.col_mask.resize(m, false);
+        self.dense.truncate(m);
+        self.dense.resize_with(m, Vec::new);
+        self.dense_values.truncate(m);
+        self.dense_values.resize_with(m, Vec::new);
+        // Columns outside `cols` must look freshly built (empty), not carry
+        // a previous solve's data — a stale full-length array would turn a
+        // would-be out-of-bounds panic into silently wrong group ids.
+        for ids in &mut self.dense {
+            ids.clear();
+        }
+        for vals in &mut self.dense_values {
+            vals.clear();
+        }
+        self.epoch = 0;
+        self.touched.clear();
+        self.row_dense.clear();
         let max_raw = cols
             .iter()
             .flat_map(|&c| {
@@ -270,31 +349,36 @@ impl Scratch {
             .max()
             .unwrap_or(0) as usize;
         let direct = max_raw < (4 * n * m + 65_536);
-        let mut vstamp = Vec::new();
-        let mut vslot = Vec::new();
         if direct {
-            vstamp = vec![u32::MAX; max_raw + 1];
-            vslot = vec![0u32; max_raw + 1];
+            // vstamp is stamped by column id, which recurs across solves —
+            // reset it wholesale (clear + resize refills every entry).
+            self.vstamp.clear();
+            self.vstamp.resize(max_raw + 1, u32::MAX);
+            self.vslot.clear();
+            self.vslot.resize(max_raw + 1, 0);
         }
         let mut max_card = 0usize;
         for &c in cols {
             let values = table.col_values(c as usize);
-            let mut ids = vec![0u32; n];
-            let mut vals = Vec::new();
+            let mut ids = std::mem::take(&mut self.dense[c as usize]);
+            ids.clear();
+            ids.resize(n, 0);
+            let mut vals = std::mem::take(&mut self.dense_values[c as usize]);
+            vals.clear();
             if direct {
                 for &r in rows {
                     let raw = values[r as usize].as_u32() as usize;
-                    if vstamp[raw] != c {
-                        vstamp[raw] = c;
-                        vslot[raw] = vals.len() as u32;
+                    if self.vstamp[raw] != c {
+                        self.vstamp[raw] = c;
+                        self.vslot[raw] = vals.len() as u32;
                         vals.push(values[r as usize]);
                     }
-                    ids[r as usize] = vslot[raw];
+                    ids[r as usize] = self.vslot[raw];
                 }
             } else {
-                s.map.begin(rows.len());
+                self.map.begin(rows.len());
                 for &r in rows {
-                    let (slot, new) = s.map.insert(u64::from(values[r as usize].as_u32()));
+                    let (slot, new) = self.map.insert(u64::from(values[r as usize].as_u32()));
                     if new {
                         vals.push(values[r as usize]);
                     }
@@ -302,15 +386,19 @@ impl Scratch {
                 }
             }
             max_card = max_card.max(vals.len());
-            s.dense[c as usize] = ids;
-            s.dense_values[c as usize] = vals;
+            self.dense[c as usize] = ids;
+            self.dense_values[c as usize] = vals;
         }
-        s.stamp = vec![0; max_card];
-        s.counts = vec![0; max_card];
-        s.first_sq = vec![0; max_card];
-        s.acc = vec![0.0; max_card];
-        s.tot = vec![0.0; max_card];
-        s
+        self.stamp.clear();
+        self.stamp.resize(max_card, 0);
+        self.counts.clear();
+        self.counts.resize(max_card, 0);
+        self.first_sq.clear();
+        self.first_sq.resize(max_card, 0);
+        self.acc.clear();
+        self.acc.resize(max_card, 0.0);
+        self.tot.clear();
+        self.tot.resize(max_card, 0.0);
     }
 
     /// The [`ValueId`] behind dense id `d` of column `c`.
@@ -548,6 +636,43 @@ mod tests {
         // 3×25 + 2×81 + 4, accumulated in view order.
         assert_eq!(sum_sq, (3 * 25 + 2 * 81 + 4) as f64);
         assert_eq!(s.distinct_and_sum_sq(0, &sq, &[0, 2, 3]).0, 1);
+    }
+
+    #[test]
+    fn recycled_scratch_is_indistinguishable_from_fresh() {
+        use crate::table::{Cell, ReorderTable};
+        let table = |vals: &[(u32, u32)]| {
+            let mut t = ReorderTable::new(vec!["a".into()]).unwrap();
+            for &(v, len) in vals {
+                t.push_row(vec![Cell::new(ValueId::from_raw(v), len)])
+                    .unwrap();
+            }
+            t
+        };
+        // First solve grows the arena and (on drop) parks it in this
+        // thread's pool.
+        let big = table(&[(1, 1), (2, 2), (3, 3), (1, 1), (2, 2), (4, 4), (5, 5)]);
+        {
+            let mut s = Scratch::for_table(&big);
+            let sq: Vec<u64> = big.col_sq_lens(0).to_vec();
+            let rows: Vec<u32> = (0..7).collect();
+            assert_eq!(s.group_dense(0, &sq, &rows), 5);
+        }
+        // The second (smaller, different-valued) solve reuses the pooled
+        // arena; every observable result must match a fresh build.
+        let small = table(&[(9, 9), (8, 8), (9, 9)]);
+        let mut s = Scratch::for_table(&small);
+        let sq: Vec<u64> = small.col_sq_lens(0).to_vec();
+        let rows: Vec<u32> = (0..3).collect();
+        assert_eq!(s.group_dense(0, &sq, &rows), 2);
+        assert_eq!(s.touched, vec![0, 1]);
+        assert_eq!(&s.counts[..2], &[2, 1]);
+        assert_eq!(s.row_dense, vec![0, 1, 0]);
+        assert_eq!(s.value_of(0, 0), ValueId::from_raw(9));
+        assert_eq!(&s.first_sq[..2], &[81, 64]);
+        let (distinct, sum_sq) = s.distinct_and_sum_sq(0, &sq, &rows);
+        assert_eq!(distinct, 2);
+        assert_eq!(sum_sq, (81 + 64 + 81) as f64);
     }
 
     #[test]

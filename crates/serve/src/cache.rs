@@ -21,7 +21,39 @@
 
 use llmqo_tokenizer::TokenId;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-mix hasher for the block map. Block keys are already FNV-chained
+/// 64-bit hashes produced by the cache itself — no untrusted input reaches
+/// this map — so SipHash's flooding resistance buys nothing and its cost
+/// dominates cached admissions on large jobs.
+#[derive(Debug, Default, Clone)]
+struct BlockKeyHasher {
+    hash: u64,
+}
+
+impl Hasher for BlockKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys (unused by the u64 block map).
+        for &b in bytes {
+            self.hash = (self.hash ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.hash = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+type BlockMap = HashMap<u64, BlockEntry, BuildHasherDefault<BlockKeyHasher>>;
 
 /// Configuration of the KV block cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -38,6 +70,82 @@ pub struct CacheConfig {
     /// (the setting the paper's measured hit rates imply); `false` models
     /// strict vLLM-v0 semantics where only *computed* blocks are reused.
     pub share_in_flight: bool,
+}
+
+/// A prompt's prefix-cache identity, precomputed once: the chain hashes of
+/// its full blocks plus the total prompt length.
+///
+/// Flattening a fragment list and hashing it is O(prompt length); a request
+/// stuck at the head of the admission queue used to pay that cost on every
+/// scheduling step it waited. Computing the chain once at enqueue time and
+/// handing it to [`PrefixCache::probe_chain`] / [`PrefixCache::try_admit_chain`]
+/// makes every later cache operation a walk over `prompt_len / block_size`
+/// precomputed hashes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockChain {
+    /// Chain hashes of the prompt's full blocks, in chain order.
+    chain: Vec<u64>,
+    /// Total prompt length in tokens (full blocks + tail).
+    prompt_tokens: usize,
+}
+
+impl BlockChain {
+    /// Hashes a flat token slice into its block chain.
+    pub fn from_tokens(block_size: usize, tokens: &[TokenId]) -> Self {
+        Self::from_fragments(block_size, std::iter::once(tokens))
+    }
+
+    /// Hashes a logically concatenated fragment list into its block chain
+    /// without materializing the flat prompt (blocks may span fragment
+    /// boundaries; the hash is identical to hashing the flattened tokens).
+    pub fn from_fragments<'a>(
+        block_size: usize,
+        fragments: impl IntoIterator<Item = &'a [TokenId]>,
+    ) -> Self {
+        assert!(block_size > 0, "block_size must be positive");
+        let mut chain = Vec::new();
+        let mut parent = None;
+        let mut h = chain_seed(parent);
+        let mut in_block = 0usize;
+        let mut prompt_tokens = 0usize;
+        for fragment in fragments {
+            prompt_tokens += fragment.len();
+            for &t in fragment {
+                chain_mix_token(&mut h, t);
+                in_block += 1;
+                if in_block == block_size {
+                    chain.push(h);
+                    parent = Some(h);
+                    h = chain_seed(parent);
+                    in_block = 0;
+                }
+            }
+        }
+        BlockChain {
+            chain,
+            prompt_tokens,
+        }
+    }
+
+    /// A chain that records only the prompt length — for **disabled** caches,
+    /// which never look at block identity. Passing an unhashed chain to an
+    /// enabled cache would report every block as missing.
+    pub fn unhashed(prompt_tokens: usize) -> Self {
+        BlockChain {
+            chain: Vec::new(),
+            prompt_tokens,
+        }
+    }
+
+    /// Total prompt length in tokens.
+    pub fn prompt_tokens(&self) -> usize {
+        self.prompt_tokens
+    }
+
+    /// The full-block chain hashes, in chain order.
+    pub fn blocks(&self) -> &[u64] {
+        &self.chain
+    }
 }
 
 /// Allocation handle for one admitted sequence.
@@ -68,6 +176,17 @@ pub struct CacheStats {
     pub peak_blocks: usize,
 }
 
+/// Outcome of the shared enabled-cache admission arithmetic
+/// ([`PrefixCache::admission_plan`]).
+struct AdmissionPlan {
+    /// Prompt tokens that would be served from cache at admission.
+    cached_tokens: usize,
+    /// Private blocks the sequence would reserve (prompt tail + decode).
+    private: usize,
+    /// Whether the supply check passes right now.
+    fits: bool,
+}
+
 #[derive(Debug)]
 struct BlockEntry {
     parent: Option<u64>,
@@ -81,9 +200,15 @@ struct BlockEntry {
 #[derive(Debug)]
 pub struct PrefixCache {
     config: CacheConfig,
-    blocks: HashMap<u64, BlockEntry>,
-    /// Blocks with `refcount == 0 && children == 0`, ordered by last use.
-    evictable: BTreeSet<(u64, u64)>,
+    blocks: BlockMap,
+    /// Min-heap of `(last_used, hash)` candidates for blocks that entered
+    /// the `refcount == 0 && children == 0` state. Entries are invalidated
+    /// **lazily**: a revived or re-stamped block simply leaves a stale entry
+    /// behind, and [`evict_one`](PrefixCache::evict_one) skips any entry
+    /// whose block no longer matches it. Valid entries are exactly the
+    /// blocks an ordered set would hold, so eviction order (LRU leaf,
+    /// hash-tie-broken) is unchanged — only the bookkeeping cost drops.
+    evictable: BinaryHeap<Reverse<(u64, u64)>>,
     /// Count of blocks with `refcount == 0`. Because a sequence references
     /// its *entire* chain, a refcount-0 block can only have refcount-0
     /// descendants, so every such block is reclaimable (in leaf-first
@@ -104,8 +229,8 @@ impl PrefixCache {
         assert!(config.block_size > 0, "block_size must be positive");
         PrefixCache {
             config,
-            blocks: HashMap::new(),
-            evictable: BTreeSet::new(),
+            blocks: HashMap::default(),
+            evictable: BinaryHeap::new(),
             rc0_blocks: 0,
             private_blocks: 0,
             clock: 0,
@@ -132,30 +257,117 @@ impl PrefixCache {
 
     /// Number of prompt tokens of `tokens` that would be served from
     /// already-computed cached blocks right now (no state change).
+    ///
+    /// Convenience wrapper over [`probe_chain`](PrefixCache::probe_chain)
+    /// that hashes `tokens` on the fly.
     pub fn probe(&self, tokens: &[TokenId]) -> usize {
         if !self.config.enabled {
             return 0;
         }
+        self.probe_chain(&BlockChain::from_tokens(self.config.block_size, tokens))
+    }
+
+    /// [`probe`](PrefixCache::probe) over a precomputed [`BlockChain`]: no
+    /// hashing, just a walk over the chain. Pure: never mutates cache state.
+    pub fn probe_chain(&self, chain: &BlockChain) -> usize {
+        if !self.config.enabled {
+            return 0;
+        }
         let bs = self.config.block_size;
-        let mut parent: Option<u64> = None;
         let mut cached = 0usize;
-        for block in tokens.chunks_exact(bs) {
-            let h = chain_hash(parent, block);
-            match self.blocks.get(&h) {
+        for h in chain.blocks() {
+            match self.blocks.get(h) {
                 Some(e) if e.computed || self.config.share_in_flight => cached += bs,
                 _ => break,
             }
-            parent = Some(h);
         }
         cached
+    }
+
+    /// Whether [`try_admit_chain`](PrefixCache::try_admit_chain) would
+    /// succeed right now, without mutating anything (not even the LRU
+    /// clock). Admission supply changes only when sequences are admitted or
+    /// released, so between such events one check answers for every
+    /// scheduling step — the hook the engine's macro-stepper uses to prove a
+    /// blocked head-of-queue request stays blocked. Shares the exact
+    /// arithmetic of the real admission via
+    /// [`admission_plan`](PrefixCache::admission_plan).
+    pub fn can_admit_chain(&self, chain: &BlockChain, decode_tokens: usize) -> bool {
+        if !self.config.enabled {
+            let needed = (chain.prompt_tokens() + decode_tokens).div_ceil(self.config.block_size);
+            return needed <= self.free_blocks();
+        }
+        self.admission_plan(chain, decode_tokens).fits
+    }
+
+    /// The enabled-cache admission arithmetic, shared verbatim by
+    /// [`try_admit_chain`](PrefixCache::try_admit_chain) (which commits it)
+    /// and [`can_admit_chain`](PrefixCache::can_admit_chain) (which only
+    /// reads `fits`) — macro-stepping correctness depends on the two never
+    /// disagreeing, so there is exactly one copy of the rule.
+    fn admission_plan(&self, chain: &BlockChain, decode_tokens: usize) -> AdmissionPlan {
+        let bs = self.config.block_size;
+        let mut missing = 0usize;
+        let mut revivable = 0usize; // existing rc==0 blocks in our chain (must not evict)
+        let mut cached_tokens = 0usize;
+        let mut prefix_computed = true;
+        for h in chain.blocks() {
+            match self.blocks.get(h) {
+                Some(e) => {
+                    if e.refcount == 0 {
+                        revivable += 1;
+                    }
+                    if prefix_computed && (e.computed || self.config.share_in_flight) {
+                        cached_tokens += bs;
+                    } else {
+                        prefix_computed = false;
+                    }
+                }
+                None => {
+                    missing += 1;
+                    prefix_computed = false;
+                }
+            }
+        }
+        let tail = chain.prompt_tokens() % bs;
+        let private = (tail + decode_tokens).div_ceil(bs);
+        // Every rc==0 block is reclaimable via leaf-first cascade, except
+        // the ones in our own chain, which an admission would revive.
+        let supply = self.free_blocks() + self.rc0_blocks.saturating_sub(revivable);
+        AdmissionPlan {
+            cached_tokens,
+            private,
+            fits: missing + private <= supply,
+        }
     }
 
     /// Tries to admit a sequence with the given prompt and a reservation for
     /// `decode_tokens` generated tokens. Returns `None` if memory does not
     /// allow it right now (the caller should retry after completions).
+    ///
+    /// Convenience wrapper over
+    /// [`try_admit_chain`](PrefixCache::try_admit_chain) that hashes
+    /// `tokens` on the fly.
     pub fn try_admit(&mut self, tokens: &[TokenId], decode_tokens: usize) -> Option<SeqAlloc> {
+        let chain = if self.config.enabled {
+            BlockChain::from_tokens(self.config.block_size, tokens)
+        } else {
+            BlockChain::unhashed(tokens.len())
+        };
+        self.try_admit_chain(&chain, decode_tokens)
+    }
+
+    /// [`try_admit`](PrefixCache::try_admit) over a precomputed
+    /// [`BlockChain`]: the chain walk reads the request's block hashes
+    /// instead of re-hashing the prompt, so a retry after backpressure costs
+    /// O(blocks), not O(tokens).
+    pub fn try_admit_chain(
+        &mut self,
+        chain: &BlockChain,
+        decode_tokens: usize,
+    ) -> Option<SeqAlloc> {
         let bs = self.config.block_size;
-        let prompt_tokens = tokens.len();
+        let prompt_tokens = chain.prompt_tokens();
         self.clock += 1;
 
         if !self.config.enabled {
@@ -173,66 +385,42 @@ impl PrefixCache {
             });
         }
 
-        // Walk the chain of full prompt blocks.
-        let full = prompt_tokens / bs;
-        let tail = prompt_tokens % bs;
-        let mut chain = Vec::with_capacity(full);
-        let mut exists = Vec::with_capacity(full);
-        let mut parent: Option<u64> = None;
-        let mut missing = 0usize;
-        let mut revivable = 0usize; // existing rc==0 blocks in our chain (must not evict)
-        let mut cached_tokens = 0usize;
-        let mut prefix_computed = true;
-        for block in tokens.chunks_exact(bs) {
-            let h = chain_hash(parent, block);
-            match self.blocks.get(&h) {
-                Some(e) => {
-                    exists.push(true);
-                    if e.refcount == 0 {
-                        revivable += 1;
-                    }
-                    if prefix_computed && (e.computed || self.config.share_in_flight) {
-                        cached_tokens += bs;
-                    } else {
-                        prefix_computed = false;
-                    }
-                }
-                None => {
-                    exists.push(false);
-                    missing += 1;
-                    prefix_computed = false;
-                }
-            }
-            chain.push(h);
-            parent = Some(h);
-        }
-        let private = (tail + decode_tokens).div_ceil(bs);
-        // Every rc==0 block is reclaimable via leaf-first cascade, except the
-        // ones in our own chain, which we are about to revive.
-        let supply = self.free_blocks() + self.rc0_blocks.saturating_sub(revivable);
-        if missing + private > supply {
+        // Walk the chain of full prompt blocks (hashes precomputed) via the
+        // shared admission arithmetic. Nothing allocates before the supply
+        // check, so a *failed* admission — the retry a backpressured
+        // head-of-line request makes on scheduling steps — costs one map
+        // lookup per block and nothing else.
+        let plan = self.admission_plan(chain, decode_tokens);
+        if !plan.fits {
             return None;
         }
+        let AdmissionPlan {
+            cached_tokens,
+            private,
+            ..
+        } = plan;
+        let chain = chain.blocks().to_vec();
 
         // Phase A: pin every existing chain block so evictions during phase B
-        // cannot touch them.
-        for (&h, &present) in chain.iter().zip(&exists) {
-            if !present {
+        // cannot touch them (presence is re-probed; nothing was created
+        // since the walk above, so the set is the same).
+        for &h in &chain {
+            let Some(e) = self.blocks.get_mut(&h) else {
                 continue;
-            }
-            let e = self.blocks.get_mut(&h).expect("walked above");
+            };
             if e.refcount == 0 {
+                // Any eviction-heap entry for this block goes stale here
+                // (the refcount and stamp both stop matching).
                 self.rc0_blocks -= 1;
-                if e.children == 0 {
-                    self.evictable.remove(&(e.last_used, h));
-                }
             }
             e.refcount += 1;
             e.last_used = self.clock;
         }
-        // Phase B: create missing blocks, evicting LRU leaves as needed.
-        for (i, (&h, &present)) in chain.iter().zip(&exists).enumerate() {
-            if present {
+        // Phase B: create the still-missing blocks, evicting LRU leaves as
+        // needed (everything that already existed is pinned).
+        for i in 0..chain.len() {
+            let h = chain[i];
+            if self.blocks.contains_key(&h) {
                 continue;
             }
             self.make_room();
@@ -293,29 +481,58 @@ impl PrefixCache {
             if e.refcount == 0 {
                 self.rc0_blocks += 1;
                 if e.children == 0 {
-                    self.evictable.insert((e.last_used, h));
+                    self.evictable.push(Reverse((e.last_used, h)));
                 }
             }
         }
+        self.compact_evictable();
         self.private_blocks = self.private_blocks.saturating_sub(alloc.private_blocks);
     }
 
-    /// Evicts one LRU leaf block. Returns `None` if nothing is evictable.
+    /// Whether heap entry `(stamp, h)` still describes a live evictable
+    /// block (a revive or re-release leaves stale entries behind).
+    fn evictable_entry_is_valid(&self, stamp: u64, h: u64) -> bool {
+        self.blocks
+            .get(&h)
+            .is_some_and(|e| e.refcount == 0 && e.children == 0 && e.last_used == stamp)
+    }
+
+    /// Evicts one LRU leaf block, skipping stale heap entries. Returns
+    /// `None` if nothing is evictable.
     fn evict_one(&mut self) -> Option<u64> {
-        let &(stamp, h) = self.evictable.iter().next()?;
-        self.evictable.remove(&(stamp, h));
-        let entry = self.blocks.remove(&h).expect("evictable block exists");
-        self.rc0_blocks -= 1;
-        self.stats.evictions += 1;
-        if let Some(p) = entry.parent {
-            if let Some(pe) = self.blocks.get_mut(&p) {
-                pe.children -= 1;
-                if pe.refcount == 0 && pe.children == 0 {
-                    self.evictable.insert((pe.last_used, p));
+        while let Some(&Reverse((stamp, h))) = self.evictable.peek() {
+            if !self.evictable_entry_is_valid(stamp, h) {
+                self.evictable.pop();
+                continue;
+            }
+            self.evictable.pop();
+            let entry = self.blocks.remove(&h).expect("validated above");
+            self.rc0_blocks -= 1;
+            self.stats.evictions += 1;
+            if let Some(p) = entry.parent {
+                if let Some(pe) = self.blocks.get_mut(&p) {
+                    pe.children -= 1;
+                    if pe.refcount == 0 && pe.children == 0 {
+                        self.evictable.push(Reverse((pe.last_used, p)));
+                    }
                 }
             }
+            return Some(h);
         }
-        Some(h)
+        None
+    }
+
+    /// Rebuilds the eviction heap from its valid entries once stale ones
+    /// dominate, bounding heap memory on long-running sessions.
+    fn compact_evictable(&mut self) {
+        if self.evictable.len() <= 4 * self.config.capacity_blocks.max(64) {
+            return;
+        }
+        let old = std::mem::take(&mut self.evictable);
+        self.evictable = old
+            .into_iter()
+            .filter(|&Reverse((stamp, h))| self.evictable_entry_is_valid(stamp, h))
+            .collect();
     }
 
     /// Frees one block slot if none is free.
@@ -337,21 +554,24 @@ impl PrefixCache {
     }
 }
 
-/// Hash chaining a block's tokens onto its parent prefix hash.
-fn chain_hash(parent: Option<u64>, tokens: &[TokenId]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x100_0000_01b3;
-    let mut h = OFFSET;
+const HASH_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const HASH_PRIME: u64 = 0x100_0000_01b3;
+
+/// Seeds a block hash with its parent prefix hash (or the root constant).
+fn chain_seed(parent: Option<u64>) -> u64 {
+    let mut h = HASH_OFFSET;
     let p = parent.unwrap_or(0x9e37_79b9_7f4a_7c15);
     for byte in p.to_le_bytes() {
-        h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
-    }
-    for &t in tokens {
-        for byte in t.to_le_bytes() {
-            h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
-        }
+        h = (h ^ u64::from(byte)).wrapping_mul(HASH_PRIME);
     }
     h
+}
+
+/// Mixes one token into an in-progress block hash.
+fn chain_mix_token(h: &mut u64, t: TokenId) {
+    for byte in t.to_le_bytes() {
+        *h = (*h ^ u64::from(byte)).wrapping_mul(HASH_PRIME);
+    }
 }
 
 #[cfg(test)]
@@ -564,6 +784,73 @@ mod tests {
         assert_eq!(a.prompt_tokens, 0);
         assert_eq!(a.cached_tokens, 0);
         assert_eq!(a.private_blocks, 1);
+    }
+
+    #[test]
+    fn fragment_chain_matches_flat_chain() {
+        let flat = toks(23, 5);
+        let whole = BlockChain::from_tokens(4, &flat);
+        assert_eq!(whole.prompt_tokens(), 23);
+        assert_eq!(whole.blocks().len(), 5);
+        // Fragment boundaries (including empty fragments) never change the
+        // chain: blocks hash the logical concatenation.
+        for split in [0usize, 1, 3, 4, 9, 23] {
+            let (a, b) = flat.split_at(split);
+            let frag = BlockChain::from_fragments(4, [a, &[][..], b]);
+            assert_eq!(frag, whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn chain_apis_match_token_apis() {
+        let mut c = cache(32);
+        let tokens = toks(14, 2);
+        let chain = BlockChain::from_tokens(4, &tokens);
+        assert!(c.can_admit_chain(&chain, 3));
+        let a = c.try_admit_chain(&chain, 3).unwrap();
+        c.mark_computed(&a, 14);
+        assert_eq!(c.probe_chain(&chain), c.probe(&tokens));
+        let b = c.try_admit(&tokens, 3).unwrap();
+        assert_eq!(b.cached_tokens, c.probe_chain(&chain));
+        c.release(a);
+        c.release(b);
+    }
+
+    #[test]
+    fn can_admit_chain_predicts_try_admit_and_never_mutates() {
+        let mut c = cache(2);
+        let fits = BlockChain::from_tokens(4, &toks(8, 0));
+        let too_big = BlockChain::from_tokens(4, &toks(16, 1));
+        assert!(c.can_admit_chain(&fits, 0));
+        assert!(!c.can_admit_chain(&too_big, 0));
+        let a = c.try_admit_chain(&fits, 0).unwrap();
+        // The same chain still fits (pure sharing, no new blocks) …
+        assert!(c.can_admit_chain(&fits, 0));
+        // … but a distinct prompt needs blocks the full cache cannot supply;
+        // the predicate agrees with try_admit.
+        let other = BlockChain::from_tokens(4, &toks(8, 3));
+        assert!(!c.can_admit_chain(&other, 0));
+        assert!(c.try_admit_chain(&other, 0).is_none());
+        c.release(a);
+        // Released blocks are evictable supply again.
+        assert!(c.can_admit_chain(&other, 0));
+    }
+
+    #[test]
+    fn disabled_cache_admits_by_length_only() {
+        let mut c = PrefixCache::new(CacheConfig {
+            block_size: 4,
+            capacity_blocks: 4,
+            enabled: false,
+            share_in_flight: true,
+        });
+        let chain = BlockChain::unhashed(10);
+        assert!(c.can_admit_chain(&chain, 2));
+        let a = c.try_admit_chain(&chain, 2).unwrap();
+        assert_eq!(a.prompt_tokens, 10);
+        assert_eq!(c.free_blocks(), 1);
+        assert!(!c.can_admit_chain(&BlockChain::unhashed(8), 0));
+        c.release(a);
     }
 
     #[test]

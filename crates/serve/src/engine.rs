@@ -12,6 +12,7 @@
 use crate::hardware::GpuCluster;
 use crate::model::ModelSpec;
 use crate::session::EngineSession;
+use crate::session_reference::SessionReference;
 use llmqo_tokenizer::TokenId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -281,7 +282,22 @@ impl SimEngine {
         EngineSession::new(&self.deployment, self.config)
     }
 
+    /// Opens a [`SessionReference`] — the frozen pre-rewrite per-token loop —
+    /// over this deployment. Exists for differential validation
+    /// (`tests/engine_differential.rs`) and the `perf_engine` before/after
+    /// benchmark; production drivers should use
+    /// [`session`](SimEngine::session).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ModelTooLarge`] if weights do not fit.
+    pub fn reference_session(&self) -> Result<SessionReference, EngineError> {
+        SessionReference::new(&self.deployment, self.config)
+    }
+
     /// Runs the batch job to completion, processing `requests` in order.
+    /// Submission is by reference (prompts are hashed once, never cloned)
+    /// and the drive loop macro-steps through steady-state decode.
     ///
     /// # Errors
     ///
@@ -290,9 +306,9 @@ impl SimEngine {
     pub fn run(&self, requests: &[SimRequest]) -> Result<EngineReport, EngineError> {
         let mut session = self.session()?;
         for request in requests {
-            session.enqueue(request.clone());
+            session.enqueue_ref(request);
         }
-        while session.step()? {}
+        while session.step_until(None)? {}
         Ok(session.finish().report)
     }
 }

@@ -20,7 +20,10 @@
 //! * [`SimEngine`] — continuous batching with chunked prefill and a
 //!   roofline step-time model; produces an [`EngineReport`] with job
 //!   completion time and the prefix hit rate (the paper's two headline
-//!   serving metrics).
+//!   serving metrics). [`EngineSession`] drives the same loop
+//!   incrementally, macro-stepping steady-state decode runs into a scalar
+//!   recurrence; [`SessionReference`] is the frozen per-token loop kept as
+//!   the differential oracle.
 //! * [`ModelProfile`] / [`SimLlm`] — deterministic answer generation with
 //!   positional sensitivity for the accuracy study (Fig. 6).
 //!
@@ -59,10 +62,12 @@ mod hardware;
 mod labeler;
 mod model;
 mod session;
+mod session_reference;
 
-pub use cache::{CacheConfig, CacheStats, PrefixCache, SeqAlloc};
+pub use cache::{BlockChain, CacheConfig, CacheStats, PrefixCache, SeqAlloc};
 pub use engine::{Deployment, EngineConfig, EngineError, EngineReport, SimEngine, SimRequest};
 pub use hardware::{GpuCluster, GpuSpec};
 pub use labeler::{GenRequest, KeyFieldPreference, ModelProfile, OracleLlm, SimLlm};
 pub use model::ModelSpec;
 pub use session::{percentile, Completion, EngineSession, SessionReport};
+pub use session_reference::SessionReference;

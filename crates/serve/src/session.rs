@@ -1,18 +1,45 @@
-//! Incremental (steppable) form of the serving simulator.
+//! Incremental (steppable) form of the serving simulator, with an
+//! event-driven macro-stepping core.
 //!
 //! [`EngineSession`] exposes the engine loop one scheduling step at a time so
 //! an external driver — notably `llmqo-cluster`'s sharded-serving simulator —
 //! can interleave several replicas on a shared timeline, feed arrivals
 //! mid-flight, and probe replica load and cache occupancy between steps.
 //! [`SimEngine::run`](crate::SimEngine::run) is a thin wrapper: enqueue
-//! everything, step until idle, finish.
+//! everything, drive until idle, finish.
 //!
-//! The step semantics are exactly the batch loop's: each step admits waiting
-//! requests lazily within the chunked-prefill token budget, decodes one token
-//! for every running sequence past prefill, advances the clock by the
-//! roofline step time, and retires finished sequences.
+//! Two stepping granularities share one set of semantics:
+//!
+//! * [`step`](EngineSession::step) executes exactly one scheduling step —
+//!   admit waiting requests lazily within the chunked-prefill token budget,
+//!   decode one token for every running sequence past prefill, advance the
+//!   clock by the roofline step time, retire finished sequences. This is the
+//!   per-token loop, unchanged from [`SessionReference`].
+//! * [`step_until`](EngineSession::step_until) is the **event-driven** form:
+//!   when the batch is in steady-state decode — no prefill in flight, no
+//!   admissible waiting request, every sequence past its first token — the
+//!   next `K − 1` steps (up to the earliest completion) are provably
+//!   identical except for the scalar roofline recurrence, so they are
+//!   collapsed into one pass over `(decode_tokens, decode_ctx, clock)` with
+//!   zero per-sequence scans, and the loop jumps straight to the next event:
+//!   a completion, an admission becoming possible, or the caller-supplied
+//!   `horizon` (the cluster layer's next arrival).
+//!
+//! Macro-stepping is observationally invisible: the collapsed steps change
+//! nothing a driver can see (queue length, running count, KV occupancy,
+//! cache contents) except the clock, and the arithmetic replays the exact
+//! per-step accumulation order, so clocks, reports, and completions stay
+//! bit-identical to the per-token loop. `tests/engine_differential.rs`
+//! enforces this against the frozen [`SessionReference`].
+//!
+//! Request prompts are hashed into their [`BlockChain`] once at enqueue
+//! time; the per-step admission path walks precomputed hashes instead of
+//! re-flattening and re-hashing the head-of-line prompt on every step it
+//! spends blocked behind backpressure.
+//!
+//! [`SessionReference`]: crate::SessionReference
 
-use crate::cache::{CacheConfig, PrefixCache, SeqAlloc};
+use crate::cache::{BlockChain, CacheConfig, CacheStats, PrefixCache, SeqAlloc};
 use crate::engine::{Deployment, EngineConfig, EngineError, EngineReport, SimRequest};
 use crate::model::ModelSpec;
 use llmqo_tokenizer::TokenId;
@@ -52,6 +79,15 @@ pub struct SessionReport {
     pub completions: Vec<Completion>,
 }
 
+/// What the session keeps of an enqueued request: identity, output target,
+/// and the prompt's precomputed cache chain. The prompt tokens themselves
+/// are not retained — every cache operation works on the chain.
+struct QueuedRequest {
+    id: usize,
+    output_len: u32,
+    chain: BlockChain,
+}
+
 struct Running {
     idx: usize,
     alloc: SeqAlloc,
@@ -76,12 +112,14 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
 /// A running engine instance that accepts requests over time.
 ///
 /// Create with [`crate::SimEngine::session`]. Drive with [`enqueue`]
-/// (arrivals), [`step`] (advance one scheduling step), and [`advance_to`]
-/// (idle until an external event); inspect with the load/cache probes;
-/// consume with [`finish`].
+/// (arrivals), [`step`] (advance one scheduling step) or [`step_until`]
+/// (advance to the next event, macro-stepping steady-state decode), and
+/// [`advance_to`] (idle until an external event); inspect with the
+/// load/cache probes; consume with [`finish`].
 ///
 /// [`enqueue`]: EngineSession::enqueue
 /// [`step`]: EngineSession::step
+/// [`step_until`]: EngineSession::step_until
 /// [`advance_to`]: EngineSession::advance_to
 /// [`finish`]: EngineSession::finish
 pub struct EngineSession {
@@ -94,10 +132,18 @@ pub struct EngineSession {
     weight_bytes: f64,
     cache: PrefixCache,
     /// Every request ever enqueued; `waiting`/`running` index into it.
-    store: Vec<SimRequest>,
+    store: Vec<QueuedRequest>,
     waiting: VecDeque<usize>,
     running: Vec<Running>,
-    scratch: Vec<TokenId>,
+    /// Reused per-step `(running idx, chunk)` prefill schedule buffer.
+    chunk_buf: Vec<(usize, usize)>,
+    /// Running sequences still before steady state (prefill in flight or
+    /// first token not yet produced). Zero is the O(1) gate that lets
+    /// [`step_until`] skip the per-sequence steady-state scan entirely on
+    /// prefill-heavy steps.
+    ///
+    /// [`step_until`]: EngineSession::step_until
+    warming: usize,
     clock: f64,
     idle_s: f64,
     report: EngineReport,
@@ -144,7 +190,8 @@ impl EngineSession {
             store: Vec::new(),
             waiting: VecDeque::new(),
             running: Vec::new(),
-            scratch: Vec::new(),
+            chunk_buf: Vec::new(),
+            warming: 0,
             clock: 0.0,
             idle_s: 0.0,
             report: EngineReport::default(),
@@ -156,7 +203,27 @@ impl EngineSession {
 
     /// Adds a request to the tail of the admission queue.
     pub fn enqueue(&mut self, request: SimRequest) {
-        self.store.push(request);
+        self.enqueue_ref(&request);
+    }
+
+    /// [`enqueue`](EngineSession::enqueue) by reference: the session hashes
+    /// the prompt's block chain once and keeps nothing else, so submission
+    /// never clones the request or its fragment list.
+    pub fn enqueue_ref(&mut self, request: &SimRequest) {
+        let chain = if self.config.enable_prefix_cache {
+            BlockChain::from_fragments(
+                self.config.block_size,
+                request.prompt.iter().map(|f| &f[..]),
+            )
+        } else {
+            // A disabled cache admits by length alone; skip the hashing.
+            BlockChain::unhashed(request.prompt_len())
+        };
+        self.store.push(QueuedRequest {
+            id: request.id,
+            output_len: request.output_len,
+            chain,
+        });
         self.waiting.push_back(self.store.len() - 1);
     }
 
@@ -199,6 +266,12 @@ impl EngineSession {
     /// without prefill, right now. Pure: never mutates cache state.
     pub fn probe_cached_tokens(&self, tokens: &[TokenId]) -> usize {
         self.cache.probe(tokens)
+    }
+
+    /// Lifetime prefix-cache statistics (admissions, cached tokens,
+    /// evictions, peak blocks).
+    pub fn cache_stats(&self) -> &CacheStats {
+        self.cache.stats()
     }
 
     /// Cumulative time this session has sat idle via [`advance_to`]
@@ -250,7 +323,8 @@ impl EngineSession {
             .saturating_sub(decode_tokens as usize);
         let mut prefill_flops = 0.0f64;
         let mut prefill_kv_bytes = 0.0f64;
-        let mut chunks: Vec<(usize, usize)> = Vec::new(); // (running idx, chunk)
+        let mut chunks = std::mem::take(&mut self.chunk_buf); // (running idx, chunk)
+        chunks.clear();
         let model = &self.model;
         let kv_bytes = self.kv_bytes;
         let take_chunk = |r: &Running,
@@ -298,11 +372,10 @@ impl EngineSession {
                 break;
             };
             let req = &self.store[idx];
-            self.scratch.clear();
-            for frag in &req.prompt {
-                self.scratch.extend_from_slice(frag);
-            }
-            match self.cache.try_admit(&self.scratch, req.output_len as usize) {
+            match self
+                .cache
+                .try_admit_chain(&req.chain, req.output_len as usize)
+            {
                 Some(alloc) => {
                     self.waiting.pop_front();
                     self.clock += self.config.per_request_overhead_s;
@@ -318,6 +391,7 @@ impl EngineSession {
                         admitted_at: self.clock,
                         first_token_at: None,
                     });
+                    self.warming += 1;
                     let i = self.running.len() - 1;
                     let r = &self.running[i];
                     if r.prefilled < r.prompt_len {
@@ -333,7 +407,7 @@ impl EngineSession {
                 }
                 None => {
                     if self.running.is_empty() {
-                        let needed = (self.scratch.len() + req.output_len as usize)
+                        let needed = (req.chain.prompt_tokens() + req.output_len as usize)
                             .div_ceil(self.config.block_size);
                         return Err(EngineError::RequestTooLarge {
                             id: req.id,
@@ -347,6 +421,7 @@ impl EngineSession {
         }
         self.report.peak_running = self.report.peak_running.max(self.running.len());
         if self.running.is_empty() {
+            self.chunk_buf = chunks;
             return Ok(false);
         }
 
@@ -366,12 +441,13 @@ impl EngineSession {
 
         // Apply effects: prefill progress (marking blocks computed) and
         // one decoded token per decoding sequence.
-        for (i, chunk) in chunks {
+        for &(i, chunk) in &chunks {
             let r = &mut self.running[i];
             r.prefilled += chunk;
             self.report.computed_prompt_tokens += chunk as u64;
             self.cache.mark_computed(&r.alloc, r.prefilled);
         }
+        self.chunk_buf = chunks;
         let mut i = 0;
         while i < self.running.len() {
             let done_prefill = self.running[i].prefilled >= self.running[i].prompt_len;
@@ -383,6 +459,7 @@ impl EngineSession {
                     if self.running[i].first_token_at.is_none() {
                         self.running[i].first_token_at = Some(self.clock);
                         self.ttfts.push(self.clock - self.running[i].admitted_at);
+                        self.warming -= 1;
                     }
                 }
                 if self.running[i].output_done >= out_target {
@@ -392,6 +469,7 @@ impl EngineSession {
                         // Zero-output request: first "token" is completion.
                         None => {
                             self.ttfts.push(self.clock - r.admitted_at);
+                            self.warming -= 1;
                             self.clock
                         }
                     };
@@ -415,13 +493,153 @@ impl EngineSession {
         Ok(true)
     }
 
-    /// Submits `requests` and steps the session until it is idle again,
+    /// If the batch is in steady-state decode, returns the number of steps
+    /// until the earliest completion; `None` when the next step is not a
+    /// pure decode step (prefill in flight, an admissible waiting request,
+    /// a sequence before its first token, or an empty batch).
+    ///
+    /// Steady state is stable by construction: pure decode steps release no
+    /// KV blocks, mark nothing computed, and change no queue, so whatever
+    /// blocks admission now blocks it for the whole run.
+    fn steady_decode_remaining(&self) -> Option<u32> {
+        // O(1) gate: any sequence still prefilling or before its first
+        // token rules out a pure decode run without scanning the batch —
+        // the common case on prefill-heavy workloads.
+        if self.running.is_empty() || self.warming > 0 {
+            return None;
+        }
+        let mut min_remaining = u32::MAX;
+        for r in &self.running {
+            let target = self.store[r.idx].output_len;
+            debug_assert!(r.prefilled >= r.prompt_len && r.first_token_at.is_some());
+            if r.output_done >= target {
+                return None;
+            }
+            min_remaining = min_remaining.min(target - r.output_done);
+        }
+        // The head-of-line waiting request must stay blocked throughout:
+        // by the sequence-slot limit, by a decode-saturated token budget, or
+        // by KV memory (checked without mutating the cache). With every
+        // running sequence decoding, the step's prefill budget is
+        // `max_batch_tokens − running`, constant across pure decode steps.
+        if let Some(&idx) = self.waiting.front() {
+            let slots_free = self.running.len() < self.config.max_num_seqs;
+            let budget_free = self
+                .config
+                .max_batch_tokens
+                .saturating_sub(self.running.len())
+                > 0;
+            if slots_free && budget_free {
+                let req = &self.store[idx];
+                if self
+                    .cache
+                    .can_admit_chain(&req.chain, req.output_len as usize)
+                {
+                    return None;
+                }
+            }
+        }
+        Some(min_remaining)
+    }
+
+    /// Collapses up to `steps` pure decode steps into the scalar roofline
+    /// recurrence: per step, only `(decode_ctx, clock, report)` advance —
+    /// no per-sequence scan, no admission attempt, no cache touch. Stops
+    /// early once the clock reaches `horizon`. Returns the steps taken.
+    ///
+    /// The arithmetic replays [`step`](EngineSession::step)'s accumulation
+    /// expressions verbatim (including the float evaluation order), so the
+    /// resulting clock and report are bit-identical to stepping one by one.
+    fn decode_fast_forward(&mut self, steps: u64, horizon: Option<f64>) -> u64 {
+        let decoding = self.running.len() as u64;
+        let mut decode_ctx: u64 = self
+            .running
+            .iter()
+            .map(|r| r.prompt_len as u64 + u64::from(r.output_done))
+            .sum();
+        let mut taken = 0u64;
+        while taken < steps {
+            let decode_flops =
+                decoding as f64 * self.model.flops_per_token() + self.model.attn_flops(decode_ctx);
+            let compute_t = decode_flops / self.flops;
+            let mem_t = (self.weight_bytes + decode_ctx as f64 * self.kv_bytes) / self.bw;
+            let step_t = compute_t.max(mem_t) + self.config.step_overhead_s;
+            let total_work = decode_flops.max(1.0);
+            self.report.decode_time_s += step_t * decode_flops / total_work;
+            self.clock += step_t;
+            self.report.steps += 1;
+            decode_ctx += decoding;
+            taken += 1;
+            if horizon.is_some_and(|h| self.clock >= h) {
+                break;
+            }
+        }
+        self.report.total_output_tokens += taken * decoding;
+        let done = u32::try_from(taken).expect("output targets are u32");
+        for r in &mut self.running {
+            r.output_done += done;
+        }
+        taken
+    }
+
+    /// Advances the session to its next **event**: equivalent to calling
+    /// [`step`](EngineSession::step) repeatedly, but steady-state decode
+    /// runs are collapsed into the scalar macro-step. One call performs
+    /// either a single non-steady step (admission, prefill, first token,
+    /// or retirement activity), or a whole decode run ending with the step
+    /// that retires its earliest finishers.
+    ///
+    /// With `horizon = Some(t)`, stepping stops as soon as the clock
+    /// reaches `t` — exactly where a driver polling [`clock`] between
+    /// single steps would stop — so external arrivals can be interleaved at
+    /// the correct instant. `None` means run to the next event
+    /// unconditionally.
+    ///
+    /// Returns `Ok(false)` when the call did no work: the session is idle,
+    /// or the clock already sits at/past `horizon` (so
+    /// `while s.step_until(h)? {}` terminates at the horizon rather than
+    /// spinning; the session may still be busy — check
+    /// [`is_idle`](EngineSession::is_idle) to distinguish).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::RequestTooLarge`] if the head-of-queue request can
+    /// never fit in KV memory even with the batch drained.
+    ///
+    /// [`clock`]: EngineSession::clock
+    pub fn step_until(&mut self, horizon: Option<f64>) -> Result<bool, EngineError> {
+        if self.is_idle() {
+            return Ok(false);
+        }
+        let reached = |clock: f64| horizon.is_some_and(|h| clock >= h);
+        if reached(self.clock) {
+            return Ok(false);
+        }
+        if let Some(min_remaining) = self.steady_decode_remaining() {
+            // `min_remaining − 1` steps are pure (no completion possible);
+            // the final one retires the earliest finishers and runs through
+            // the full scheduling path to preserve retirement order and
+            // post-release admissions.
+            let pure = u64::from(min_remaining) - 1;
+            if pure > 0 && self.decode_fast_forward(pure, horizon) < pure {
+                return Ok(true);
+            }
+            if reached(self.clock) {
+                return Ok(true);
+            }
+        }
+        self.step()
+    }
+
+    /// Submits `requests` and drives the session until it is idle again,
     /// returning the [`Completion`]s this call produced (in completion
-    /// order). Cache state persists across calls, which is what makes
-    /// batched *incremental* submission — the relational layer's lazy
-    /// `LIMIT` evaluation — cheaper than one fresh engine run per batch:
-    /// later batches reuse the instruction prefix (and any shared fields)
-    /// the earlier ones already computed.
+    /// order). Requests are consumed by reference — nothing is cloned —
+    /// and the drain macro-steps through steady-state decode. Cache state
+    /// persists across calls, which is what makes batched *incremental*
+    /// submission — the relational layer's lazy `LIMIT` evaluation —
+    /// cheaper than one fresh engine run per batch: later batches reuse the
+    /// instruction prefix (and any shared fields) the earlier ones already
+    /// computed.
     ///
     /// Equivalent to [`SimEngine::run`](crate::SimEngine::run) when called
     /// once on a fresh session.
@@ -432,9 +650,9 @@ impl EngineSession {
     pub fn run_batch(&mut self, requests: &[SimRequest]) -> Result<&[Completion], EngineError> {
         let before = self.completions.len();
         for request in requests {
-            self.enqueue(request.clone());
+            self.enqueue_ref(request);
         }
-        while self.step()? {}
+        while self.step_until(None)? {}
         Ok(&self.completions[before..])
     }
 
@@ -494,6 +712,56 @@ mod tests {
         let out = s.finish();
         assert_eq!(out.report, batch);
         assert_eq!(out.completions.len(), 40);
+    }
+
+    #[test]
+    fn macro_stepping_matches_single_stepping() {
+        let e = engine();
+        let rs = reqs(60, 96, 32, 24);
+        let mut fine = e.session().unwrap();
+        let mut coarse = e.session().unwrap();
+        for r in &rs {
+            fine.enqueue_ref(r);
+            coarse.enqueue_ref(r);
+        }
+        while fine.step().unwrap() {}
+        while coarse.step_until(None).unwrap() {}
+        let a = fine.finish();
+        let b = coarse.finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn step_until_honors_the_horizon() {
+        let e = engine();
+        let rs = reqs(8, 64, 16, 64);
+        let mut fine = e.session().unwrap();
+        let mut coarse = e.session().unwrap();
+        for r in &rs {
+            fine.enqueue_ref(r);
+            coarse.enqueue_ref(r);
+        }
+        // Walk both sessions to a mid-flight instant the fine-grained loop
+        // defines; the macro loop must stop at the exact same clock.
+        let t = 1.5;
+        while !fine.is_idle() && fine.clock() < t {
+            fine.step().unwrap();
+        }
+        while !coarse.is_idle() && coarse.clock() < t {
+            coarse.step_until(Some(t)).unwrap();
+        }
+        assert_eq!(fine.clock(), coarse.clock());
+        assert_eq!(fine.completed(), coarse.completed());
+        // At/past the horizon the call does no work and says so, so a
+        // `while step_until(h)?` driver loop terminates instead of spinning.
+        if coarse.clock() >= t {
+            let before = coarse.clock();
+            assert!(!coarse.step_until(Some(t)).unwrap());
+            assert_eq!(coarse.clock(), before);
+        }
+        while fine.step().unwrap() {}
+        while coarse.step_until(None).unwrap() {}
+        assert_eq!(fine.finish(), coarse.finish());
     }
 
     #[test]
@@ -614,6 +882,7 @@ mod tests {
         assert!(s.probe_cached_tokens(&toks) > 0);
         assert!(s.kv_blocks_in_use() > 0);
         assert!(s.capacity_blocks() > 0);
+        assert_eq!(s.cache_stats().admitted, 1);
     }
 
     #[test]
@@ -629,6 +898,32 @@ mod tests {
         let e = engine();
         let mut s = e.session().unwrap();
         assert!(!s.step().unwrap());
+        assert!(!s.step_until(None).unwrap());
         assert_eq!(s.clock(), 0.0);
+    }
+
+    #[test]
+    fn macro_steps_collapse_decode_runs() {
+        // One batch of equal-length outputs decodes in lockstep: the whole
+        // decode run after the prefill phase must land in a handful of
+        // `step_until` events, while `report.steps` still counts every
+        // simulated step.
+        let e = engine();
+        let rs = reqs(16, 64, 16, 200);
+        let mut s = e.session().unwrap();
+        for r in &rs {
+            s.enqueue_ref(r);
+        }
+        let mut events = 0u64;
+        while s.step_until(None).unwrap() {
+            events += 1;
+        }
+        let out = s.finish();
+        assert_eq!(out.report.completed, 16);
+        assert!(
+            events * 4 < out.report.steps,
+            "only {events} events for {} steps — macro-stepping inactive?",
+            out.report.steps
+        );
     }
 }

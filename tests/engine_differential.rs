@@ -1,0 +1,251 @@
+//! Differential contract of the event-driven engine rewrite: the
+//! macro-stepping [`EngineSession`] must produce **byte-identical**
+//! completions, reports, and cache statistics to [`SessionReference`] — the
+//! pre-rewrite per-token loop frozen verbatim — across cache modes,
+//! chunked-prefill pressure, sequence-slot and KV backpressure, and
+//! mid-flight arrivals. The same pattern PR 2 used for the solvers
+//! (`tests/solver_differential.rs`).
+//!
+//! Comparisons use `==` on [`SessionReport`] (f64 fields included): the
+//! macro-step replays the reference's float accumulation order, so clocks
+//! and times must match to the last bit, not within a tolerance.
+
+use llmqo::serve::{
+    Deployment, EngineConfig, EngineError, EngineSession, GpuCluster, GpuSpec, ModelSpec,
+    SessionReference, SimEngine, SimRequest,
+};
+use proptest::prelude::*;
+
+fn engine(config: EngineConfig) -> SimEngine {
+    SimEngine::new(
+        Deployment::new(ModelSpec::llama3_8b(), GpuCluster::single(GpuSpec::l4())),
+        config,
+    )
+}
+
+/// Drains both loops to idle and asserts identical cache stats, reports,
+/// and completion streams.
+fn assert_drained_equal(mut session: EngineSession, mut reference: SessionReference) {
+    while session.step_until(None).unwrap() {}
+    while reference.step().unwrap() {}
+    assert_eq!(session.cache_stats(), reference.cache_stats());
+    assert_eq!(session.finish(), reference.finish());
+}
+
+/// Engine configurations that exercise every scheduling regime: cache
+/// on/off, strict vs in-flight sharing, tight and loose prefill budgets
+/// (chunked-prefill pressure), and small seat counts (slot backpressure).
+fn config_strategy() -> impl Strategy<Value = EngineConfig> {
+    (
+        prop::sample::select(vec![8usize, 16, 32]),
+        prop::sample::select(vec![64usize, 512, 8192]),
+        prop::sample::select(vec![2usize, 8, 256]),
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+    )
+        .prop_map(
+            |(block_size, max_batch_tokens, max_num_seqs, cache, share)| EngineConfig {
+                block_size,
+                max_batch_tokens,
+                max_num_seqs,
+                enable_prefix_cache: cache,
+                in_flight_sharing: share,
+                ..EngineConfig::default()
+            },
+        )
+}
+
+/// A batch of requests with a shared instruction prefix and variable unique
+/// tails / output lengths (including zero-output and long decode runs).
+fn workload_strategy() -> impl Strategy<Value = Vec<SimRequest>> {
+    (
+        1usize..40,
+        8usize..96,
+        proptest::collection::vec((0usize..80, 0u32..48), 1..40),
+    )
+        .prop_map(|(n, shared, tails)| {
+            (0..n)
+                .map(|i| {
+                    let (tail, output) = tails[i % tails.len()];
+                    let mut toks: Vec<u32> = (0..shared as u32).collect();
+                    toks.extend((0..tail as u32).map(|j| 1_000_000 + i as u32 * 512 + j));
+                    SimRequest::from_tokens(i, toks, output)
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batch jobs: enqueue everything, drain, compare byte for byte.
+    #[test]
+    fn batch_jobs_match_reference(config in config_strategy(), reqs in workload_strategy()) {
+        let e = engine(config);
+        let mut session = e.session().unwrap();
+        let mut reference = e.reference_session().unwrap();
+        for r in &reqs {
+            session.enqueue_ref(r);
+            reference.enqueue(r.clone());
+        }
+        assert_drained_equal(session, reference);
+    }
+
+    /// Mid-flight arrivals: run both loops to the same instants (the macro
+    /// loop bounded by a horizon, the reference by polling the clock), feed
+    /// late arrivals, drain. Timestamps, not step counts, define the
+    /// rendezvous — the two loops take different numbers of calls to get
+    /// there, but must pass through identical clocks.
+    #[test]
+    fn mid_flight_arrivals_match_reference(
+        config in config_strategy(),
+        first in workload_strategy(),
+        second in workload_strategy(),
+        cut in 1u32..40,
+    ) {
+        let e = engine(config);
+        let mut session = e.session().unwrap();
+        let mut reference = e.reference_session().unwrap();
+        for r in &first {
+            session.enqueue_ref(r);
+            reference.enqueue(r.clone());
+        }
+        // Interrupt mid-flight at a workload-dependent instant.
+        let t = f64::from(cut) * 0.05;
+        while !session.is_idle() && session.clock() < t {
+            session.step_until(Some(t)).unwrap();
+        }
+        while !reference.is_idle() && reference.clock() < t {
+            reference.step().unwrap();
+        }
+        prop_assert_eq!(session.clock(), reference.clock());
+        prop_assert_eq!(session.completed(), reference.completed());
+        // Late arrivals land at time `t` (idle sessions fast-forward).
+        session.advance_to(t);
+        reference.advance_to(t);
+        for r in &second {
+            let mut r = r.clone();
+            r.id += 10_000;
+            session.enqueue_ref(&r);
+            reference.enqueue(r);
+        }
+        assert_drained_equal(session, reference);
+    }
+
+    /// Incremental batched submission (the relational layer's lazy-LIMIT
+    /// pattern): several `run_batch` calls on one persistent session.
+    #[test]
+    fn incremental_batches_match_reference(
+        config in config_strategy(),
+        reqs in workload_strategy(),
+        split in 0usize..40,
+    ) {
+        let e = engine(config);
+        let cut = split.min(reqs.len());
+        let mut session = e.session().unwrap();
+        let mut reference = e.reference_session().unwrap();
+        let a = session.run_batch(&reqs[..cut]).unwrap().len();
+        let b = reference.run_batch(&reqs[..cut]).unwrap().len();
+        prop_assert_eq!(a, b);
+        session.run_batch(&reqs[cut..]).unwrap();
+        reference.run_batch(&reqs[cut..]).unwrap();
+        assert_drained_equal(session, reference);
+    }
+}
+
+#[test]
+fn kv_backpressure_blocked_heads_match_reference() {
+    // Requests whose combined KV footprint far exceeds capacity: the
+    // admission queue's head spends most of the job blocked on memory —
+    // the regime where the reference re-flattens and re-hashes the head
+    // prompt every step and the macro-stepper must prove it stays blocked.
+    for config in [EngineConfig::default(), EngineConfig::no_cache()] {
+        let e = engine(config);
+        let reqs: Vec<SimRequest> = (0..200)
+            .map(|i| {
+                SimRequest::from_tokens(i, (0..2048u32).map(|j| i as u32 * 4096 + j).collect(), 48)
+            })
+            .collect();
+        let mut session = e.session().unwrap();
+        let mut reference = e.reference_session().unwrap();
+        for r in &reqs {
+            session.enqueue_ref(r);
+            reference.enqueue(r.clone());
+        }
+        assert_drained_equal(session, reference);
+    }
+}
+
+#[test]
+fn decode_heavy_lockstep_batches_match_reference() {
+    // Uniform long outputs produce the deepest steady-state decode runs —
+    // the macro-stepper's best case must still be bit-identical.
+    let e = engine(EngineConfig::default());
+    let reqs: Vec<SimRequest> = (0..128)
+        .map(|i| {
+            let mut t: Vec<u32> = (0..160).collect();
+            t.extend((0..32u32).map(|j| 500_000 + i as u32 * 64 + j));
+            SimRequest::from_tokens(i, t, 256)
+        })
+        .collect();
+    let mut session = e.session().unwrap();
+    let mut reference = e.reference_session().unwrap();
+    for r in &reqs {
+        session.enqueue_ref(r);
+        reference.enqueue(r.clone());
+    }
+    assert_drained_equal(session, reference);
+}
+
+#[test]
+fn oversized_requests_error_identically() {
+    let e = engine(EngineConfig::default());
+    let cap_tokens = e.deployment().kv_capacity_tokens(e.config()) as u32;
+    let huge = SimRequest::from_tokens(7, (0..cap_tokens + 64).collect(), 1);
+    let mut session = e.session().unwrap();
+    let mut reference = e.reference_session().unwrap();
+    session.enqueue_ref(&huge);
+    reference.enqueue(huge.clone());
+    let a = loop {
+        match session.step_until(None) {
+            Ok(_) => {}
+            Err(err) => break err,
+        }
+    };
+    let b = loop {
+        match reference.step() {
+            Ok(_) => {}
+            Err(err) => break err,
+        }
+    };
+    assert_eq!(a, b);
+    assert!(matches!(a, EngineError::RequestTooLarge { id: 7, .. }));
+}
+
+#[test]
+fn reordered_relational_workload_matches_reference() {
+    // End-to-end shape: a GGR-reordered movies filter workload (the
+    // fig_cluster feed), whose requests share solver-arranged prefixes.
+    use llmqo::core::{Ggr, Reorderer};
+    use llmqo::datasets::{Dataset, DatasetId};
+    use llmqo::relational::{encode_table, plan_requests, project_fds, QueryKind};
+    use llmqo::tokenizer::Tokenizer;
+
+    let ds = Dataset::generate_with_rows(DatasetId::Movies, 400);
+    let query = ds.query_of_kind(QueryKind::Filter).expect("filter query");
+    let encoded = encode_table(&Tokenizer::new(), &ds.table, query).expect("encode");
+    let fds = project_fds(&ds.fds, &encoded.used_cols);
+    let solution = Ggr::default().reorder(&encoded.reorder, &fds).unwrap();
+    let requests = plan_requests(&encoded, &solution.plan, query);
+
+    for config in [EngineConfig::default(), EngineConfig::no_cache()] {
+        let e = engine(config);
+        let mut session = e.session().unwrap();
+        let mut reference = e.reference_session().unwrap();
+        for r in &requests {
+            session.enqueue_ref(r);
+            reference.enqueue(r.clone());
+        }
+        assert_drained_equal(session, reference);
+    }
+}
