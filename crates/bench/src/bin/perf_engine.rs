@@ -1,6 +1,6 @@
 //! Serving-engine performance suite: wall-time of the event-driven
-//! macro-stepping [`EngineSession`] against the frozen per-token
-//! [`SessionReference`] on a decode-heavy batch workload at 1k / 10k / 50k
+//! macro-stepping [`EngineSession`](llmqo_serve::EngineSession) against the frozen
+//! per-token [`SessionReference`](llmqo_serve::SessionReference) on a decode-heavy batch workload at 1k / 10k / 50k
 //! requests, with and without the prefix cache. Writes `BENCH_engine.json` —
 //! the repo's serving-layer performance trajectory, the sibling of
 //! `BENCH_solver.json` — and prints the table with speedups.

@@ -16,7 +16,32 @@
 //! [`Usage`], prices it ([`Pricing`]), and provides the analytical model
 //! behind the paper's Table 4 ([`Pricing::estimated_cost_ratio`]). It also
 //! exposes the per-operator estimates ([`LlmOpEstimate`]) the relational
-//! layer's cost-based optimizer uses to order LLM predicates.
+//! layer's cost-based optimizer uses to order LLM predicates, and the
+//! Beta-smoothed [`SelectivityPosterior`] its adaptive executor refines
+//! those estimates with at runtime.
+//!
+//! # Example
+//!
+//! Price two candidate filter orders and verify the optimizer's ranking
+//! rule picks the cheaper one, then sharpen an estimate with observations:
+//!
+//! ```
+//! use llmqo_costmodel::{LlmOpEstimate, Pricing, SelectivityPosterior};
+//!
+//! let pricing = Pricing::gpt4o_mini();
+//! let cheap_picky = LlmOpEstimate::new(120.0, 2.0, 0.2);
+//! let pricey_lax = LlmOpEstimate::new(900.0, 40.0, 0.9);
+//! // Ascending cost/(1−selectivity) minimizes expected spend.
+//! assert!(cheap_picky.rank(&pricing) < pricey_lax.rank(&pricing));
+//!
+//! // At runtime the executor observes the "picky" filter passing nearly
+//! // everything; the posterior pulls its selectivity up and its priority
+//! // down.
+//! let mut post = SelectivityPosterior::new(cheap_picky.selectivity, 8.0);
+//! post.observe(97, 100);
+//! let revised = cheap_picky.with_selectivity(post.mean());
+//! assert!(revised.rank(&pricing) > cheap_picky.rank(&pricing));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +50,6 @@ mod operator;
 mod pricing;
 mod provider;
 
-pub use operator::LlmOpEstimate;
+pub use operator::{LlmOpEstimate, SelectivityPosterior};
 pub use pricing::{Pricing, Usage};
 pub use provider::{AnthropicCache, OpenAiCache, ProviderCache};

@@ -18,6 +18,75 @@
 use crate::pricing::Pricing;
 use serde::{Deserialize, Serialize};
 
+/// A Beta-smoothed selectivity posterior: the static prior the optimizer
+/// starts from (typically uniform over the query's label space), updated
+/// with pass/fail counts the executor observes at runtime.
+///
+/// The prior enters as `strength` pseudo-observations split
+/// `strength × prior` passes / `strength × (1 − prior)` fails, so early
+/// batches nudge the estimate smoothly instead of yanking it to an extreme
+/// after one lucky batch, while large observation counts dominate the prior
+/// entirely — the standard Beta–Bernoulli posterior mean.
+///
+/// # Examples
+///
+/// ```
+/// use llmqo_costmodel::SelectivityPosterior;
+/// let mut post = SelectivityPosterior::new(0.5, 8.0);
+/// assert_eq!(post.mean(), 0.5);
+/// post.observe(2, 100); // the filter actually passes ~2% of rows
+/// assert!(post.mean() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectivityPosterior {
+    /// Pseudo-pass count from the prior (`strength × prior`).
+    alpha: f64,
+    /// Pseudo-fail count from the prior (`strength × (1 − prior)`).
+    beta: f64,
+    /// Observed rows that passed.
+    passed: u64,
+    /// Observed rows offered.
+    total: u64,
+}
+
+impl SelectivityPosterior {
+    /// Creates a posterior around `prior` (clamped to `[0, 1]`) weighted as
+    /// `strength` pseudo-observations. A non-positive `strength` is clamped
+    /// to a tiny positive weight so the mean is always well defined.
+    pub fn new(prior: f64, strength: f64) -> Self {
+        let prior = prior.clamp(0.0, 1.0);
+        let strength = strength.max(1e-6);
+        SelectivityPosterior {
+            alpha: strength * prior,
+            beta: strength * (1.0 - prior),
+            passed: 0,
+            total: 0,
+        }
+    }
+
+    /// Folds in one batch of observations: `passed` of `total` offered rows
+    /// passed the filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `passed > total`.
+    pub fn observe(&mut self, passed: u64, total: u64) {
+        assert!(passed <= total, "cannot pass more rows than were offered");
+        self.passed += passed;
+        self.total += total;
+    }
+
+    /// The posterior mean pass rate.
+    pub fn mean(&self) -> f64 {
+        (self.alpha + self.passed as f64) / (self.alpha + self.beta + self.total as f64)
+    }
+
+    /// Rows observed so far (0 means the mean is still the pure prior).
+    pub fn observations(&self) -> u64 {
+        self.total
+    }
+}
+
 /// What the optimizer estimates about one LLM operator before running it.
 ///
 /// # Examples
@@ -72,6 +141,14 @@ impl LlmOpEstimate {
     pub fn rank(&self, pricing: &Pricing) -> f64 {
         self.per_row_cost(pricing) / (1.0 - self.selectivity).max(1e-9)
     }
+
+    /// The same estimate with its selectivity replaced by an observed (or
+    /// posterior) value — how the adaptive executor re-prices an operator
+    /// mid-query without re-estimating its token costs.
+    pub fn with_selectivity(mut self, selectivity: f64) -> Self {
+        self.selectivity = selectivity.clamp(0.0, 1.0);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +197,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn posterior_starts_at_prior_and_converges_to_observations() {
+        let mut p = SelectivityPosterior::new(0.5, 8.0);
+        assert!((p.mean() - 0.5).abs() < 1e-12);
+        assert_eq!(p.observations(), 0);
+        // A small batch moves the mean part-way: 8 pseudo + 10 real.
+        p.observe(1, 10);
+        let after_small = p.mean();
+        assert!(after_small < 0.5 && after_small > 0.1, "{after_small}");
+        // A large batch dominates the prior.
+        p.observe(99, 990);
+        assert!((p.mean() - 0.1).abs() < 0.01, "{}", p.mean());
+        assert_eq!(p.observations(), 1000);
+    }
+
+    #[test]
+    fn posterior_clamps_degenerate_inputs() {
+        let p = SelectivityPosterior::new(7.0, -3.0);
+        assert!((p.mean() - 1.0).abs() < 1e-9);
+        let mut z = SelectivityPosterior::new(0.0, 4.0);
+        z.observe(0, 0); // empty batches are no-ops
+        assert_eq!(z.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pass more rows")]
+    fn posterior_rejects_passed_above_total() {
+        SelectivityPosterior::new(0.5, 1.0).observe(3, 2);
+    }
+
+    #[test]
+    fn with_selectivity_replaces_only_selectivity() {
+        let e = LlmOpEstimate::new(100.0, 2.0, 0.5).with_selectivity(0.05);
+        assert_eq!(e.selectivity, 0.05);
+        assert_eq!(e.prompt_tokens_per_row, 100.0);
+        let p = Pricing::gpt4o_mini();
+        assert!(e.rank(&p) < LlmOpEstimate::new(100.0, 2.0, 0.5).rank(&p));
+        assert_eq!(e.with_selectivity(9.0).selectivity, 1.0);
     }
 
     #[test]

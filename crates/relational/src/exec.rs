@@ -9,23 +9,27 @@
 //!
 //! The physical layer is *batch-oriented*: [`run_llm_rows`] evaluates one
 //! query over any row subset against an incremental
-//! [`EngineSession`], optionally **deduplicating** rows whose projected
-//! field values are identical so each distinct prompt hits the engine once
-//! (the solver then runs on the dedup-compacted batch). [`execute`] is the
-//! single-shot wrapper; the SQL runner drives the same primitive batch by
-//! batch for lazy `LIMIT` evaluation.
+//! [`EngineSession`], optionally answering rows whose exact prompt was
+//! already submitted from the executor's **session answer cache**
+//! ([`crate::AnswerCache`]) and **deduplicating** the remaining rows whose
+//! projected field values are identical so each distinct prompt hits the
+//! engine once (the solver then runs on the novel, dedup-compacted batch).
+//! [`execute`] is the single-shot wrapper; the SQL runner drives the same
+//! primitive batch by batch for lazy `LIMIT` and adaptive execution.
 //!
 //! [`run_llm_rows`]: QueryExecutor::run_llm_rows
 //!
 //! Reordering is *semantics-preserving by construction*: schedules are
 //! validated permutations and every output is keyed by its original row
-//! index. Deduplication shares engine requests, not answers: the simulated
-//! labeler is this harness's per-row measurement instrument (accuracy
-//! studies couple its draws by row), so every row still receives its own
-//! generated output and optimizations cannot change query results.
+//! index. Deduplication and the answer cache share engine requests, not
+//! answers: the simulated labeler is this harness's per-row measurement
+//! instrument (accuracy studies couple its draws by row), so every row
+//! still receives its own generated output and optimizations cannot change
+//! query results.
 
+use crate::adaptive::{AnswerCache, AnswerCacheStats, CachedAnswer};
 use crate::optimizer::OptStats;
-use crate::prompt::encode_table_rows;
+use crate::prompt::{encode_table_rows, field_fragment};
 use crate::query::{LlmQuery, QueryKind};
 use crate::table::{Table, TableError};
 use llmqo_core::{phc_of_plan, FunctionalDeps, PhcReport, Reorderer, SolveError};
@@ -34,6 +38,7 @@ use llmqo_serve::{
 };
 use llmqo_tokenizer::Tokenizer;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -140,12 +145,32 @@ pub struct ExecOptions {
     /// values share one engine request. Off by default (the differential
     /// oracle's behaviour).
     pub dedup: bool,
+    /// Session answer cache: rows whose exact prompt (instruction +
+    /// serialized projected fields) was ever submitted on this executor are
+    /// answered without a new engine request — across batches, operators,
+    /// and successive queries. Off by default. Queries with a
+    /// [`key_field`](crate::LlmQuery::key_field) are never cached: their
+    /// labeler draws depend on where the schedule placed the key field
+    /// (the positional-accuracy instrument of Fig. 6), which a cache hit
+    /// has no schedule to derive from.
+    pub answer_cache: bool,
 }
 
 impl ExecOptions {
-    /// Options with deduplication enabled.
+    /// Options with deduplication enabled (answer cache off).
     pub fn deduped() -> Self {
-        ExecOptions { dedup: true }
+        ExecOptions {
+            dedup: true,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// Every physical optimization on: dedup plus the session answer cache.
+    pub fn optimized() -> Self {
+        ExecOptions {
+            dedup: true,
+            answer_cache: true,
+        }
     }
 }
 
@@ -236,6 +261,12 @@ pub struct QueryExecutor<'a> {
     engine: &'a SimEngine,
     llm: &'a dyn SimLlm,
     tokenizer: Tokenizer,
+    /// Session answer cache (see [`AnswerCache`]): shared by every query
+    /// executed on this executor, consulted only when the caller opts in
+    /// via [`ExecOptions::answer_cache`]. Interior mutability keeps the
+    /// execution API `&self` (the SQL runner holds the executor by shared
+    /// reference).
+    cache: RefCell<AnswerCache>,
 }
 
 impl<'a> fmt::Debug for QueryExecutor<'a> {
@@ -253,7 +284,19 @@ impl<'a> QueryExecutor<'a> {
             engine,
             llm,
             tokenizer,
+            cache: RefCell::new(AnswerCache::new()),
         }
+    }
+
+    /// Lifetime hit/miss/entry counters of the session answer cache.
+    pub fn answer_cache_stats(&self) -> AnswerCacheStats {
+        self.cache.borrow().stats()
+    }
+
+    /// Drops every answer-cache entry and counter (e.g. between unrelated
+    /// workloads sharing one executor).
+    pub fn clear_answer_cache(&self) {
+        self.cache.borrow_mut().clear();
     }
 
     /// The serving engine (the SQL runner opens per-operator sessions on it).
@@ -319,7 +362,7 @@ impl<'a> QueryExecutor<'a> {
             reorderer,
             fds,
             truth,
-            opts.dedup,
+            opts,
         )?;
         let engine_report = session.finish().report;
         Ok(stage.into_query_output(query, reorderer.name(), engine_report))
@@ -327,11 +370,14 @@ impl<'a> QueryExecutor<'a> {
 
     /// The physical batch primitive: evaluates `query` over the given
     /// original-index `rows` of `table` against an incremental engine
-    /// `session`. When `dedup` is set, rows with identical projected field
-    /// values are compacted to one representative before the solver runs, a
-    /// single engine request is issued per representative, and outputs fan
-    /// back out by original row index. The SQL runner calls this batch by
-    /// batch (sharing one session per operator) for lazy `LIMIT` execution.
+    /// `session`. With [`ExecOptions::answer_cache`], rows whose exact
+    /// prompt was ever submitted on this executor are answered from the
+    /// session cache first; with [`ExecOptions::dedup`], the remaining
+    /// novel rows with identical projected field values are compacted to
+    /// one representative before the solver runs, a single engine request
+    /// is issued per representative, and outputs fan back out by original
+    /// row index. The SQL runner calls this batch by batch (sharing one
+    /// session per operator) for lazy `LIMIT` and adaptive execution.
     ///
     /// # Errors
     ///
@@ -346,7 +392,7 @@ impl<'a> QueryExecutor<'a> {
         reorderer: &dyn Reorderer,
         fds: &FunctionalDeps,
         truth: &dyn Fn(usize) -> String,
-        dedup: bool,
+        opts: ExecOptions,
     ) -> Result<StageOutcome, ExecError> {
         if query.fields.is_empty() {
             return Err(ExecError::EmptyFields);
@@ -360,13 +406,70 @@ impl<'a> QueryExecutor<'a> {
         let encoded = encode_table_rows(&self.tokenizer, table, query, Some(rows))?;
         let projected = project_fds(fds, &encoded.used_cols);
 
-        // Exact request deduplication: group local rows by their projected
-        // field values (the interner makes that a ValueId-tuple comparison).
-        // `groups[g]` lists the local rows served by representative `g`.
-        let groups: Vec<Vec<usize>> = if dedup {
+        // Session answer cache: resolve each offered row's prompt identity
+        // (interned instruction + serialized projected fields) and answer
+        // repeats from the cache *before* dedup-compaction, so the solver
+        // and the engine only ever see novel rows. Like dedup, the cache
+        // shares engine work, not labeler draws: hit rows still generate
+        // their own outputs below. Key-field queries are exempt: their
+        // labeler draws depend on where the schedule placed the key field,
+        // which a cache hit has no schedule to derive from — and they exist
+        // precisely to measure positional effects (Fig. 6), which caching
+        // would distort. Without a key field, `key_field_pos` is the
+        // constant 0.5 on every path, so hits label exactly as a cache-off
+        // run would.
+        let use_cache = opts.answer_cache && query.key_field.is_none();
+        let mut instr_id = 0u32;
+        let mut cache_keys: Vec<String> = Vec::new();
+        let mut hit_rows: Vec<(usize, CachedAnswer)> = Vec::new();
+        let novel: Vec<usize> = if use_cache {
+            let mut cache = self.cache.borrow_mut();
+            instr_id = cache.instruction_id(&query_cache_identity(query));
+            // Serialize each distinct (field, value) fragment once —
+            // duplicate-heavy batches reuse the string through the
+            // encode-time ValueId instead of re-formatting per row.
+            let mut frag_strings: Vec<Option<String>> = vec![None; encoded.fragments.len()];
+            cache_keys = (0..encoded.reorder.nrows())
+                .map(|local| {
+                    let mut key = String::new();
+                    for (f, cell) in encoded.reorder.row(local).iter().enumerate() {
+                        let id = cell.value.as_u32() as usize;
+                        let frag = frag_strings[id].get_or_insert_with(|| {
+                            field_fragment(
+                                &query.fields[f],
+                                &table.value(rows[local], encoded.used_cols[f]).to_string(),
+                            )
+                        });
+                        key.push_str(frag);
+                    }
+                    key
+                })
+                .collect();
+            let mut novel = Vec::with_capacity(encoded.reorder.nrows());
+            for (local, key) in cache_keys.iter().enumerate() {
+                match cache.lookup(instr_id, key) {
+                    Some(answer) => {
+                        outcome.opt.cache_hits += 1;
+                        outcome.opt.cache_tokens_saved +=
+                            answer.prompt_tokens + answer.output_tokens;
+                        hit_rows.push((local, answer));
+                    }
+                    None => novel.push(local),
+                }
+            }
+            novel
+        } else {
+            (0..encoded.reorder.nrows()).collect()
+        };
+
+        // Exact request deduplication: group novel local rows by their
+        // projected field values (the interner makes that a ValueId-tuple
+        // comparison). `groups[g]` lists the local rows served by
+        // representative `g`.
+        let groups: Vec<Vec<usize>> = if opts.dedup {
             let mut index: HashMap<&[llmqo_core::Cell], usize> = HashMap::new();
             let mut groups: Vec<Vec<usize>> = Vec::new();
-            for local in 0..encoded.reorder.nrows() {
+            for &local in &novel {
                 let key = encoded.reorder.row(local);
                 match index.entry(key) {
                     std::collections::hash_map::Entry::Occupied(e) => {
@@ -380,19 +483,10 @@ impl<'a> QueryExecutor<'a> {
             }
             groups
         } else {
-            (0..encoded.reorder.nrows()).map(|r| vec![r]).collect()
+            novel.iter().map(|&r| vec![r]).collect()
         };
         let reps: Vec<usize> = groups.iter().map(|g| g[0]).collect();
-        // Borrow the encoded table directly when nothing deduplicated (the
-        // common case for unique-field queries and every oracle run).
-        let compacted_storage;
-        let compact: &llmqo_core::ReorderTable = if reps.len() == encoded.reorder.nrows() {
-            &encoded.reorder
-        } else {
-            compacted_storage = encoded.reorder.select_rows(&reps);
-            &compacted_storage
-        };
-        outcome.opt.rows_deduped = (encoded.reorder.nrows() - reps.len()) as u64;
+        outcome.opt.rows_deduped = (novel.len() - reps.len()) as u64;
         for group in &groups {
             for &local in &group[1..] {
                 let row_tokens: u64 = encoded
@@ -405,56 +499,119 @@ impl<'a> QueryExecutor<'a> {
             }
         }
 
-        // The solver sees only the dedup-compacted batch.
-        let solution = reorderer.reorder(compact, &projected)?;
-        debug_assert!(solution.plan.validate(compact).is_ok());
-        outcome.field_phc = phc_of_plan(compact, &solution.plan);
-        outcome.solve_time_s = solution.solve_time.as_secs_f64();
-        outcome.claimed_phc = solution.claimed_phc;
-
-        // One engine request per scheduled representative, carrying the
-        // *original* row index so serving traces stay attributable.
-        let requests: Vec<SimRequest> = solution
-            .plan
-            .rows
-            .iter()
-            .map(|rp| row_request(&encoded, compact, rp, rows[reps[rp.row]], query))
-            .collect();
-        outcome.opt.llm_calls = requests.len() as u64;
-        session.run_batch(&requests)?;
-
-        // Generate outputs for every offered row — the labeler is a per-row
-        // instrument, so deduplication is invisible in results by design.
-        let key_col = query
-            .key_field
-            .as_deref()
-            .and_then(|k| query.fields.iter().position(|f| f == k));
-        for rp in &solution.plan.rows {
-            let key_field_pos = match key_col {
-                Some(k) if rp.fields.len() > 1 => {
-                    let pos = rp
-                        .fields
-                        .iter()
-                        .position(|&f| f as usize == k)
-                        .expect("plans carry every field");
-                    pos as f64 / (rp.fields.len() - 1) as f64
-                }
-                _ => 0.5,
+        if !reps.is_empty() {
+            // Borrow the encoded table directly when nothing deduplicated
+            // or was cached (the common case for unique-field queries and
+            // every oracle run).
+            let compacted_storage;
+            let compact: &llmqo_core::ReorderTable = if reps.len() == encoded.reorder.nrows() {
+                &encoded.reorder
+            } else {
+                compacted_storage = encoded.reorder.select_rows(&reps);
+                &compacted_storage
             };
-            for &local in &groups[rp.row] {
-                let original = rows[local];
-                let truth_text = truth(original);
-                let text = self.llm.generate(&GenRequest {
-                    row_id: original as u64,
-                    truth: &truth_text,
-                    label_space: &query.label_space,
-                    key_field_pos,
-                });
-                outcome.outputs.push(RowOutput {
-                    row: original,
-                    text,
-                });
+
+            // The solver sees only the novel, dedup-compacted batch.
+            let solution = reorderer.reorder(compact, &projected)?;
+            debug_assert!(solution.plan.validate(compact).is_ok());
+            outcome.field_phc = phc_of_plan(compact, &solution.plan);
+            outcome.solve_time_s = solution.solve_time.as_secs_f64();
+            outcome.claimed_phc = solution.claimed_phc;
+
+            // One engine request per scheduled representative, carrying the
+            // *original* row index so serving traces stay attributable.
+            let requests: Vec<SimRequest> = solution
+                .plan
+                .rows
+                .iter()
+                .map(|rp| row_request(&encoded, compact, rp, rows[reps[rp.row]], query))
+                .collect();
+            outcome.opt.llm_calls = requests.len() as u64;
+            // This batch's completion records, in completion order — the
+            // per-request answer extraction the cache stores serving costs
+            // from (`EngineSession::completion_of` offers the same lookup
+            // for drivers that no longer hold the returned slice).
+            let completions = session.run_batch(&requests)?;
+            let answer_records: HashMap<usize, CachedAnswer> = if use_cache {
+                completions
+                    .iter()
+                    .map(|c| {
+                        (
+                            c.id,
+                            CachedAnswer {
+                                prompt_tokens: c.prompt_tokens as u64,
+                                output_tokens: u64::from(c.output_tokens),
+                            },
+                        )
+                    })
+                    .collect()
+            } else {
+                HashMap::new()
+            };
+
+            // Generate outputs for every offered novel row — the labeler is
+            // a per-row instrument, so deduplication is invisible in
+            // results by design — and register each scheduled prompt in the
+            // answer cache with its serving record.
+            let key_col = query
+                .key_field
+                .as_deref()
+                .and_then(|k| query.fields.iter().position(|f| f == k));
+            for rp in &solution.plan.rows {
+                let key_field_pos = match key_col {
+                    Some(k) if rp.fields.len() > 1 => {
+                        let pos = rp
+                            .fields
+                            .iter()
+                            .position(|&f| f as usize == k)
+                            .expect("plans carry every field");
+                        pos as f64 / (rp.fields.len() - 1) as f64
+                    }
+                    _ => 0.5,
+                };
+                if use_cache {
+                    let original = rows[reps[rp.row]];
+                    let record = answer_records[&original];
+                    self.cache.borrow_mut().insert(
+                        instr_id,
+                        cache_keys[reps[rp.row]].clone(),
+                        record,
+                    );
+                }
+                for &local in &groups[rp.row] {
+                    let original = rows[local];
+                    let truth_text = truth(original);
+                    let text = self.llm.generate(&GenRequest {
+                        row_id: original as u64,
+                        truth: &truth_text,
+                        label_space: &query.label_space,
+                        key_field_pos,
+                    });
+                    outcome.outputs.push(RowOutput {
+                        row: original,
+                        text,
+                    });
+                }
             }
+        }
+
+        // Cache-hit rows: no solver, no engine request — but still one
+        // labeler draw each. Hits exist only for key-field-free queries
+        // (see `use_cache` above), whose key-field position is the
+        // constant 0.5 on every execution path.
+        for &(local, _answer) in &hit_rows {
+            let original = rows[local];
+            let truth_text = truth(original);
+            let text = self.llm.generate(&GenRequest {
+                row_id: original as u64,
+                truth: &truth_text,
+                label_space: &query.label_space,
+                key_field_pos: 0.5,
+            });
+            outcome.outputs.push(RowOutput {
+                row: original,
+                text,
+            });
         }
         outcome.outputs.sort_by_key(|o| o.row);
         Ok(outcome)
@@ -556,6 +713,26 @@ fn row_request(
         prompt,
         output_len: sample_output_len(&query.name, original, query.output_tokens_mean),
     }
+}
+
+/// The query-level half of an answer-cache key, interned via
+/// [`AnswerCache::instruction_id`]: the instruction text plus everything
+/// else that shapes the answer the engine produces — query kind, label
+/// space, and mean output length. Two operators share cached answers only
+/// when *all* of it matches; a filter and a projection with the same
+/// prompt text must not collide (their simulated decode costs differ).
+/// The per-row half is the serialized projected fields in query-field
+/// order: schedules permute fields but never change which `(field, value)`
+/// pairs a prompt carries, so together the two halves are exactly the
+/// prompt's semantic identity.
+fn query_cache_identity(query: &LlmQuery) -> String {
+    format!(
+        "{}\u{1}{:?}\u{1}{:?}\u{1}{}",
+        query.full_instruction(),
+        query.kind,
+        query.label_space,
+        query.output_tokens_mean,
+    )
 }
 
 /// Projects full-schema functional dependencies onto the used columns,
@@ -899,6 +1076,232 @@ mod tests {
     }
 
     #[test]
+    fn answer_cache_short_circuits_repeats_across_queries() {
+        let eng = engine();
+        let ex = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let t = table(20);
+        let q = LlmQuery::filter(
+            "cached",
+            "Is the product good? Answer Yes or No.",
+            vec!["product".into()],
+            vec!["Yes".into(), "No".into()],
+            "Yes",
+            2.0,
+        );
+        let truth = |row: usize| {
+            if row.is_multiple_of(3) {
+                "Yes".into()
+            } else {
+                "No".into()
+            }
+        };
+        let fds = FunctionalDeps::empty(2);
+        let off = ex.execute(&t, &q, &Ggr::default(), &fds, &truth).unwrap();
+        // First cached run: 4 distinct products → 4 requests, all misses.
+        let first = ex
+            .execute_with(
+                &t,
+                &q,
+                &Ggr::default(),
+                &fds,
+                &truth,
+                ExecOptions::optimized(),
+            )
+            .unwrap();
+        assert_eq!(first.outputs, off.outputs);
+        assert_eq!(first.report.opt.llm_calls, 4);
+        assert_eq!(first.report.opt.cache_hits, 0);
+        assert_eq!(ex.answer_cache_stats().entries, 4);
+        // Second run of the same query on the same executor: every row is
+        // a cache hit, zero engine requests, identical outputs.
+        let second = ex
+            .execute_with(
+                &t,
+                &q,
+                &Ggr::default(),
+                &fds,
+                &truth,
+                ExecOptions::optimized(),
+            )
+            .unwrap();
+        assert_eq!(second.outputs, off.outputs);
+        assert_eq!(second.selected_rows, off.selected_rows);
+        assert_eq!(second.report.opt.llm_calls, 0);
+        assert_eq!(second.report.opt.cache_hits, 20);
+        assert!(second.report.opt.cache_tokens_saved > 0);
+        assert_eq!(second.report.engine.completed, 0);
+        let stats = ex.answer_cache_stats();
+        assert_eq!(stats.entries, 4);
+        assert_eq!(stats.hits, 20);
+        // A different instruction over the same fields misses.
+        let mut q2 = q.clone();
+        q2.user_prompt = "Is the product terrible? Answer Yes or No.".into();
+        let third = ex
+            .execute_with(
+                &t,
+                &q2,
+                &Ggr::default(),
+                &fds,
+                &truth,
+                ExecOptions::optimized(),
+            )
+            .unwrap();
+        assert_eq!(third.report.opt.cache_hits, 0);
+        assert_eq!(third.report.opt.llm_calls, 4);
+        ex.clear_answer_cache();
+        assert_eq!(ex.answer_cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn answer_cache_separates_query_kinds_with_identical_prompts() {
+        let eng = engine();
+        let ex = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let t = table(12);
+        let fds = FunctionalDeps::empty(2);
+        let filter = LlmQuery::filter(
+            "f",
+            "Summarize the product.",
+            vec!["product".into()],
+            vec!["Yes".into(), "No".into()],
+            "Yes",
+            2.0,
+        );
+        // Identical prompt text and fields, but a projection: ~16× the
+        // decode length. Must not be answered from the filter's entries.
+        let projection =
+            LlmQuery::projection("p", "Summarize the product.", vec!["product".into()], 32.0);
+        let truth = |_: usize| "Yes".to_string();
+        ex.execute_with(
+            &t,
+            &filter,
+            &Ggr::default(),
+            &fds,
+            &truth,
+            ExecOptions::optimized(),
+        )
+        .unwrap();
+        let proj = ex
+            .execute_with(
+                &t,
+                &projection,
+                &Ggr::default(),
+                &fds,
+                &truth,
+                ExecOptions::optimized(),
+            )
+            .unwrap();
+        assert_eq!(proj.report.opt.cache_hits, 0, "kinds must not collide");
+        assert!(proj.report.opt.llm_calls > 0);
+        // But the projection's own repeats do share.
+        let again = ex
+            .execute_with(
+                &t,
+                &projection,
+                &Ggr::default(),
+                &fds,
+                &truth,
+                ExecOptions::optimized(),
+            )
+            .unwrap();
+        assert_eq!(again.report.opt.llm_calls, 0);
+        assert_eq!(again.report.opt.cache_hits, 12);
+    }
+
+    #[test]
+    fn answer_cache_is_exempt_for_key_field_queries() {
+        use llmqo_serve::ModelProfile;
+        // A position-sensitive labeler with a key-field query: results
+        // depend on where the schedule places the key field, which a cache
+        // hit could not reproduce — so such queries must never be cached,
+        // and a warmed executor must answer exactly like a fresh one.
+        let profile = ModelProfile::llama3_8b().with_base_accuracy(0.5);
+        let tokenizer = Tokenizer::new();
+        let fds = FunctionalDeps::empty(2);
+        let q = filter_query().with_key_field("review");
+        let truth = |_: usize| "Yes".to_string();
+
+        // t1's rows share t2's field values (same table content), but t1 is
+        // executed first so a (buggy) cache would be warm for t2's prompts.
+        let t = table(30);
+        let eng_fresh = engine();
+        let fresh = QueryExecutor::new(&eng_fresh, &profile, tokenizer);
+        let baseline = fresh
+            .execute_with(
+                &t,
+                &q,
+                &Ggr::default(),
+                &fds,
+                &truth,
+                ExecOptions::optimized(),
+            )
+            .unwrap();
+
+        let eng_warm = engine();
+        let warmed = QueryExecutor::new(&eng_warm, &profile, tokenizer);
+        let first = warmed
+            .execute_with(
+                &t,
+                &q,
+                &Ggr::default(),
+                &fds,
+                &truth,
+                ExecOptions::optimized(),
+            )
+            .unwrap();
+        let second = warmed
+            .execute_with(
+                &t,
+                &q,
+                &Ggr::default(),
+                &fds,
+                &truth,
+                ExecOptions::optimized(),
+            )
+            .unwrap();
+        assert_eq!(first.outputs, baseline.outputs);
+        assert_eq!(second.outputs, baseline.outputs, "warm ≡ fresh");
+        assert_eq!(second.report.opt.cache_hits, 0, "key-field query cached");
+        assert_eq!(warmed.answer_cache_stats().entries, 0);
+
+        // Without a key field the same position-sensitive profile is safe
+        // to cache: key_field_pos is the constant 0.5 on every path.
+        let q2 = filter_query();
+        let off = warmed
+            .execute_with(
+                &t,
+                &q2,
+                &Ggr::default(),
+                &fds,
+                &truth,
+                ExecOptions::deduped(),
+            )
+            .unwrap();
+        let on1 = warmed
+            .execute_with(
+                &t,
+                &q2,
+                &Ggr::default(),
+                &fds,
+                &truth,
+                ExecOptions::optimized(),
+            )
+            .unwrap();
+        let on2 = warmed
+            .execute_with(
+                &t,
+                &q2,
+                &Ggr::default(),
+                &fds,
+                &truth,
+                ExecOptions::optimized(),
+            )
+            .unwrap();
+        assert_eq!(on1.outputs, off.outputs);
+        assert_eq!(on2.outputs, off.outputs, "hits label identically");
+        assert!(on2.report.opt.cache_hits > 0);
+    }
+
+    #[test]
     fn run_llm_rows_on_no_rows_is_empty_and_engine_free() {
         let eng = engine();
         let ex = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
@@ -914,7 +1317,7 @@ mod tests {
                 &OriginalOrder,
                 &FunctionalDeps::empty(2),
                 &truth,
-                true,
+                ExecOptions::deduped(),
             )
             .unwrap();
         assert!(out.outputs.is_empty());

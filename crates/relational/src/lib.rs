@@ -22,8 +22,51 @@
 //!   (priced via `llmqo-costmodel`), and the batched physical executor adds
 //!   exact request deduplication and lazy `LIMIT` evaluation — provably
 //!   without changing results.
+//! * [`adaptive`] — runtime re-optimization: a [`SelectivityTracker`]
+//!   feeds observed per-filter pass rates (Beta-smoothed over the static
+//!   prior) back into the ranking between batches, lazy-`LIMIT` batches
+//!   aim at `ceil(remaining / observed_selectivity)`, and an
+//!   [`AnswerCache`] on the executor short-circuits every repeated prompt
+//!   across batches, operators, and successive queries.
 //!
-//! # Example
+//! # Example: the SQL front-end
+//!
+//! [`SqlRunner`] is the top-level entry point — register tables, run
+//! LLM-SQL, read rows and the per-operator reports:
+//!
+//! ```
+//! use llmqo_core::{FunctionalDeps, Ggr};
+//! use llmqo_relational::{QueryExecutor, Schema, SqlRunner, Table};
+//! use llmqo_serve::{Deployment, EngineConfig, GpuCluster, GpuSpec, ModelSpec,
+//!                   OracleLlm, SimEngine};
+//! use llmqo_tokenizer::Tokenizer;
+//!
+//! let mut table = Table::new(Schema::of_strings(&["review", "product"]));
+//! for i in 0..10 {
+//!     table.push_row(vec![
+//!         format!("review text {i}").into(),
+//!         format!("product {}", i / 5).into(),
+//!     ]).unwrap();
+//! }
+//! let fds = FunctionalDeps::empty(2);
+//! let engine = SimEngine::new(
+//!     Deployment::new(ModelSpec::llama3_8b(), GpuCluster::single(GpuSpec::l4())),
+//!     EngineConfig::default(),
+//! );
+//! let executor = QueryExecutor::new(&engine, &OracleLlm, Tokenizer::new());
+//! let solver = Ggr::default();
+//! let mut runner = SqlRunner::new(&executor, &solver);
+//! runner.register("reviews", &table, &fds);
+//!
+//! let truth = |row: usize| if row < 5 { "Yes".into() } else { "No".into() };
+//! let res = runner
+//!     .run("SELECT review FROM reviews WHERE LLM('good?', review) = 'Yes'", &truth)
+//!     .unwrap();
+//! assert_eq!(res.rows.len(), 5);
+//! assert_eq!(res.stages[0].report.opt.llm_calls, 10);
+//! ```
+//!
+//! # Example: the executor API
 //!
 //! ```
 //! use llmqo_core::{FunctionalDeps, Ggr};
@@ -60,6 +103,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 mod exec;
 mod optimizer;
 mod prompt;
@@ -69,6 +113,7 @@ mod sql;
 mod table;
 mod value;
 
+pub use adaptive::{AnswerCache, AnswerCacheStats, CachedAnswer, SelectivityTracker};
 pub use exec::{
     plan_requests, project_fds, ExecError, ExecOptions, ExecutionReport, QueryExecutor,
     QueryOutput, RowOutput,

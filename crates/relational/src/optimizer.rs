@@ -266,8 +266,27 @@ pub struct OptimizerConfig {
     /// `LIMIT`-driven lazy evaluation: issue LLM requests in growing batches
     /// and stop once the limit is satisfied.
     pub lazy_limit: bool,
-    /// Smallest lazy batch (rows); batches double until the limit is met.
+    /// Smallest lazy batch (rows); without adaptive sizing, batches double
+    /// from here until the limit is met.
     pub lazy_batch_min: usize,
+    /// Adaptive runtime re-optimization: track observed LLM-filter pass
+    /// rates batch by batch (Beta-smoothed over the static prior), re-rank
+    /// remaining LLM filters between batches, size lazy-`LIMIT` batches at
+    /// `ceil(remaining / observed_pipeline_selectivity)` (doubling only as
+    /// fallback), and — when [`answer_cache`](OptimizerConfig::answer_cache)
+    /// is also on, which preserves cross-batch request sharing — run
+    /// multi-LLM-filter statements in growing pilot batches even without a
+    /// `LIMIT` so a mis-ranked order is corrected after the first batch.
+    /// See [`crate::SelectivityTracker`].
+    pub adaptive: bool,
+    /// Session-scoped exact answer cache: a prompt (instruction +
+    /// serialized projected fields) ever submitted on this executor is
+    /// never submitted again — across batches, operators, and successive
+    /// queries. See [`crate::AnswerCache`].
+    pub answer_cache: bool,
+    /// Pseudo-observation weight of the static prior in each adaptive
+    /// posterior (see [`crate::adaptive::DEFAULT_PRIOR_STRENGTH`]).
+    pub adaptive_prior_strength: f64,
 }
 
 impl Default for OptimizerConfig {
@@ -284,6 +303,9 @@ impl OptimizerConfig {
             reorder: true,
             lazy_limit: true,
             lazy_batch_min: 32,
+            adaptive: true,
+            answer_cache: true,
+            adaptive_prior_strength: crate::adaptive::DEFAULT_PRIOR_STRENGTH,
         }
     }
 
@@ -295,6 +317,20 @@ impl OptimizerConfig {
             reorder: false,
             lazy_limit: false,
             lazy_batch_min: 32,
+            adaptive: false,
+            answer_cache: false,
+            adaptive_prior_strength: crate::adaptive::DEFAULT_PRIOR_STRENGTH,
+        }
+    }
+
+    /// The PR-3 static optimizer: every rewrite on but no runtime feedback
+    /// and no answer cache — the baseline the adaptive layer is measured
+    /// against (`table_adaptive`) and differentially tested against.
+    pub fn static_only() -> Self {
+        OptimizerConfig {
+            adaptive: false,
+            answer_cache: false,
+            ..OptimizerConfig::all()
         }
     }
 }
@@ -429,23 +465,44 @@ pub struct OptStats {
     /// under lazy `LIMIT`, candidates the scan never reached are not
     /// offered and appear nowhere in these stats).
     pub rows_in: u64,
-    /// Offered rows that shared another row's engine request (exact
-    /// dedup): `rows_in - llm_calls`.
+    /// Offered rows that shared another row's engine request via exact
+    /// dedup. Offered rows split three ways: `rows_in = llm_calls +
+    /// rows_deduped + cache_hits`.
     pub rows_deduped: u64,
     /// Engine requests issued.
     pub llm_calls: u64,
     /// Prompt tokens (instruction + fields) the deduplicated rows did *not*
     /// send to the engine.
     pub prefill_tokens_saved: u64,
-    /// Batches the operator ran in (1 unless lazy `LIMIT` was active).
+    /// Batches the operator ran in (1 unless batched lazy/adaptive
+    /// execution was active).
     pub batches: u32,
+    /// Offered rows answered from the session answer cache (no engine
+    /// request, before dedup-compaction even saw them).
+    pub cache_hits: u64,
+    /// Prompt + output tokens the cache hits did not re-submit/re-decode.
+    pub cache_tokens_saved: u64,
+    /// Candidate rows this operator never received because lazy `LIMIT`
+    /// stopped the scan early (attributed to the first LLM operator in
+    /// execution order — the pipeline point where scanning would have
+    /// resumed). This is what reconciles `rows_in` with the table size:
+    /// `rows_in + rows_skipped` covers every candidate the operator would
+    /// have been offered under full materialization.
+    pub rows_skipped: u64,
+    /// Times adaptive re-ranking moved this operator to a different
+    /// position between batches.
+    pub reranks: u32,
 }
 
 impl OptStats {
-    /// Engine requests avoided versus evaluating every offered row
-    /// individually (dedup sharing plus lazy-`LIMIT` short-circuiting).
+    /// Engine requests avoided versus evaluating every candidate row
+    /// individually: dedup sharing and answer-cache hits (both inside
+    /// `rows_in`) plus the rows lazy `LIMIT` never scanned at all
+    /// (`rows_skipped`). With this, report numbers reconcile with engine
+    /// request counts: `rows_in + rows_skipped = llm_calls +
+    /// llm_calls_saved()`.
     pub fn llm_calls_saved(&self) -> u64 {
-        self.rows_in.saturating_sub(self.llm_calls)
+        (self.rows_in + self.rows_skipped).saturating_sub(self.llm_calls)
     }
 
     /// Accumulates another batch's stats into this one.
@@ -455,6 +512,10 @@ impl OptStats {
         self.llm_calls += other.llm_calls;
         self.prefill_tokens_saved += other.prefill_tokens_saved;
         self.batches += other.batches;
+        self.cache_hits += other.cache_hits;
+        self.cache_tokens_saved += other.cache_tokens_saved;
+        self.rows_skipped += other.rows_skipped;
+        self.reranks += other.reranks;
     }
 }
 
@@ -622,6 +683,10 @@ mod tests {
             llm_calls: 6,
             prefill_tokens_saved: 100,
             batches: 1,
+            cache_hits: 2,
+            cache_tokens_saved: 50,
+            rows_skipped: 5,
+            reranks: 1,
         };
         a.add(&OptStats {
             rows_in: 8,
@@ -629,10 +694,20 @@ mod tests {
             llm_calls: 3,
             prefill_tokens_saved: 25,
             batches: 1,
+            cache_hits: 1,
+            cache_tokens_saved: 10,
+            rows_skipped: 0,
+            reranks: 1,
         });
         assert_eq!(a.rows_in, 18);
         assert_eq!(a.llm_calls, 9);
-        assert_eq!(a.llm_calls_saved(), 9);
         assert_eq!(a.batches, 2);
+        assert_eq!(a.cache_hits, 3);
+        assert_eq!(a.cache_tokens_saved, 60);
+        assert_eq!(a.rows_skipped, 5);
+        assert_eq!(a.reranks, 2);
+        // Early-stop savings count toward avoided requests: 18 offered
+        // + 5 never scanned − 9 issued.
+        assert_eq!(a.llm_calls_saved(), 14);
     }
 }

@@ -14,7 +14,8 @@
 //! multi-invocation), `AVG(LLM(...))` (T4), `LIMIT`, and `EXPLAIN`.
 //!
 //! Statements compile to a [`LogicalPlan`], pass through the cost-based
-//! rewrite rules of [`crate::optimizer`], and run on [`SqlRunner`]'s
+//! rewrite rules of the optimizer (see [`OptimizerConfig`]), and run on
+//! [`SqlRunner`]'s
 //! batched physical executor: cheap predicates run before LLM operators,
 //! LLM predicates are ordered by estimated selectivity × per-row cost,
 //! duplicate rows share engine requests, and `LIMIT` queries evaluate
@@ -23,7 +24,8 @@
 //! pre-optimizer pipeline, which is the differential oracle the integration
 //! tests compare against.
 
-use crate::exec::{ExecError, QueryExecutor, QueryOutput, StageOutcome};
+use crate::adaptive::SelectivityTracker;
+use crate::exec::{ExecError, ExecOptions, QueryExecutor, QueryOutput, StageOutcome};
 use crate::optimizer::{
     annotate_estimates, optimize_plan, CmpOp, LogicalOp, LogicalPlan, OptimizerConfig, SqlPredicate,
 };
@@ -559,8 +561,12 @@ pub struct SqlResult {
     pub rows: Vec<Vec<String>>,
     /// The aggregate, for `AVG(LLM(...))` statements.
     pub aggregate: Option<f64>,
-    /// Per-LLM-operator execution outputs, in (optimized) execution order.
+    /// Per-LLM-operator execution outputs, in *final* execution order
+    /// (adaptive re-ranking may have moved operators mid-query).
     pub stages: Vec<QueryOutput>,
+    /// Human-readable optimizer events: static rewrites plus runtime
+    /// adaptive decisions (re-ranks, batch-size aims).
+    pub notes: Vec<String>,
 }
 
 /// Defaults applied when compiling SQL to [`LlmQuery`] plans (SQL carries no
@@ -591,7 +597,7 @@ impl Default for SqlDefaults {
 
 /// Executes LLM-SQL statements against registered tables through a
 /// [`QueryExecutor`] and a [`Reorderer`], applying the cost-based logical
-/// optimizer (see [`crate::optimizer`]) before execution. Construct with
+/// optimizer (see [`OptimizerConfig`]) before execution. Construct with
 /// every optimization on (the default) or tune via
 /// [`with_optimizer`](SqlRunner::with_optimizer);
 /// [`OptimizerConfig::none`] reproduces the unoptimized pipeline.
@@ -773,10 +779,13 @@ impl<'a> SqlRunner<'a> {
         let (plan, notes) = self.plan_for(&stmt)?;
         let mut out = plan.explain();
         out.push_str(&format!(
-            "-- optimizer: dedup {}, reorder {}, lazy limit {} (pricing: {})\n",
+            "-- optimizer: dedup {}, reorder {}, lazy limit {}, adaptive {}, \
+             answer cache {} (pricing: {})\n",
             on_off(self.opt.dedup),
             on_off(self.opt.reorder),
             on_off(self.opt.lazy_limit),
+            on_off(self.opt.adaptive),
+            on_off(self.opt.answer_cache),
             self.pricing.name,
         ));
         for note in &notes {
@@ -801,6 +810,7 @@ impl<'a> SqlRunner<'a> {
                 rows: text.lines().map(|l| vec![l.to_string()]).collect(),
                 aggregate: None,
                 stages: Vec::new(),
+                notes: Vec::new(),
             });
         }
         let &(table, fds) =
@@ -809,15 +819,23 @@ impl<'a> SqlRunner<'a> {
                 .ok_or_else(|| SqlError::UnknownTable {
                     name: stmt.table.clone(),
                 })?;
-        let (plan, _notes) = self.plan_for(&stmt)?;
-        self.execute_plan(&plan, table, fds, truth)
+        let (plan, notes) = self.plan_for(&stmt)?;
+        self.execute_plan(&plan, notes, table, fds, truth)
     }
 
     /// The physical interpreter: runs the optimized operator chain with
-    /// per-operator engine sessions, exact dedup, and lazy `LIMIT` batching.
+    /// per-operator engine sessions, exact dedup, the session answer cache,
+    /// and batched (lazy `LIMIT` / adaptive pilot) execution. With
+    /// [`OptimizerConfig::adaptive`] on, observed per-filter pass rates are
+    /// folded into a [`SelectivityTracker`] batch by batch; between batches
+    /// the remaining LLM filters are re-ranked by posterior
+    /// cost/(1−selectivity) and lazy-`LIMIT` batches are sized at
+    /// `ceil(remaining / observed_pipeline_selectivity)` (doubling only as
+    /// fallback).
     fn execute_plan(
         &self,
         plan: &LogicalPlan,
+        mut notes: Vec<String>,
         table: &Table,
         fds: &FunctionalDeps,
         truth: &dyn Fn(usize) -> String,
@@ -827,13 +845,31 @@ impl<'a> SqlRunner<'a> {
         let has_agg = ops
             .iter()
             .any(|op| matches!(op, LogicalOp::LlmAggregate { .. }));
+        let n_llm_filters = ops
+            .iter()
+            .filter(|op| matches!(op, LogicalOp::LlmFilter { .. }))
+            .count();
         // Lazy LIMIT applies when a limit exists, results stream row by row
         // (aggregation blocks), and stopping early actually saves LLM work.
         let lazy = self.opt.lazy_limit && limit.is_some() && !has_agg && plan.llm_ops() > 0;
+        let adaptive = self.opt.adaptive;
+        // Without a LIMIT there is nothing to stop early — but a statement
+        // with several LLM filters still profits from *pilot batching*: run
+        // the first batch under the static order, observe real pass rates,
+        // and evaluate the remaining rows under the corrected order. Pilot
+        // batching requires the answer cache: dedup groups only within one
+        // batch, so without the cache, splitting a duplicate-heavy
+        // statement into batches would re-issue each distinct prompt once
+        // per batch instead of once per statement.
+        let pilot =
+            adaptive && self.opt.reorder && self.opt.answer_cache && !lazy && n_llm_filters >= 2;
+        let batching = lazy || pilot;
 
         // One engine session and one accumulated outcome per LLM operator,
-        // indexed by op position. Sessions persist across lazy batches so
-        // later batches reuse the prefixes earlier ones computed.
+        // indexed by *plan* position — stable across adaptive re-ranking,
+        // which permutes only the execution schedule below. Sessions
+        // persist across batches so later batches reuse the prefixes
+        // earlier ones computed.
         let mut sessions: Vec<Option<EngineSession>> = (0..ops.len()).map(|_| None).collect();
         let mut outcomes: Vec<Option<StageOutcome>> = vec![None; ops.len()];
 
@@ -850,25 +886,49 @@ impl<'a> SqlRunner<'a> {
             }
         }
 
+        // The execution schedule: remaining plan-op indices in execution
+        // order. Adaptive re-ranking permutes the LlmFilter entries among
+        // the slots they occupy; everything else stays put.
+        let mut exec_order: Vec<usize> = (first_heavy..ops.len()).collect();
+
+        // Seed the tracker with the optimizer's static priors: per LLM
+        // filter, and their product as the pipeline prior for batch sizing.
+        let mut tracker = SelectivityTracker::new(self.opt.adaptive_prior_strength);
+        if adaptive {
+            let mut pipeline_prior = 1.0;
+            for (idx, op) in ops.iter().enumerate() {
+                if let LogicalOp::LlmFilter { est, .. } = op {
+                    let prior = est.map_or(0.5, |e| e.selectivity);
+                    tracker.register(idx, prior);
+                    pipeline_prior *= prior;
+                }
+            }
+            tracker.register_pipeline(pipeline_prior);
+        }
+
         // Emitted result rows: original index plus the LLM projection text
         // when the SELECT list is an LLM call.
         let mut emitted: Vec<(usize, Option<String>)> = Vec::new();
         let mut start = 0usize;
+        let mut batch_no = 0u32;
         let mut batch_size = if lazy {
             self.opt.lazy_batch_min.max(limit.unwrap_or(0)).max(1)
+        } else if pilot {
+            self.opt.lazy_batch_min.max(1)
         } else {
             candidates.len()
         };
         // An already-satisfied limit (e.g. LIMIT 0) issues no batch at all.
         while start < candidates.len() && !(lazy && limit.is_some_and(|k| emitted.len() >= k)) {
-            let end = if lazy {
+            let end = if batching {
                 (start + batch_size).min(candidates.len())
             } else {
                 candidates.len()
             };
+            let emitted_before = emitted.len();
             let mut rows: Vec<usize> = candidates[start..end].to_vec();
-            for (idx, op) in ops.iter().enumerate().skip(first_heavy) {
-                match op {
+            for &idx in &exec_order {
+                match &ops[idx] {
                     LogicalOp::Scan { .. } => unreachable!("scan is always ops[0]"),
                     LogicalOp::SqlFilter { pred } => {
                         rows = filter_sql(table, &rows, pred)?;
@@ -886,12 +946,16 @@ impl<'a> SqlRunner<'a> {
                             .predicate_label
                             .as_deref()
                             .expect("filter queries carry a predicate label");
+                        let offered = rows.len() as u64;
                         rows = out
                             .outputs
                             .iter()
                             .filter(|o| (o.text == label) != *negated)
                             .map(|o| o.row)
                             .collect();
+                        if adaptive {
+                            tracker.observe(idx, rows.len() as u64, offered);
+                        }
                         accumulate(&mut outcomes[idx], out);
                     }
                     LogicalOp::LlmProject { query, .. } => {
@@ -925,18 +989,85 @@ impl<'a> SqlRunner<'a> {
                     LogicalOp::Limit { .. } => {}
                 }
             }
+            batch_no += 1;
+            if adaptive {
+                tracker.observe_pipeline(
+                    (emitted.len() - emitted_before) as u64,
+                    (end - start) as u64,
+                );
+            }
             start = end;
-            if !lazy {
+            if !batching {
                 break;
             }
-            batch_size *= 2;
+            // Mid-query re-ranking is the runtime refinement of the static
+            // reorder rule — a config that disables reordering keeps the
+            // written LLM-predicate order, adaptively sized batches or not.
+            if adaptive && self.opt.reorder && start < candidates.len() {
+                self.rerank_schedule(
+                    ops,
+                    &tracker,
+                    &mut exec_order,
+                    &mut outcomes,
+                    batch_no,
+                    &mut notes,
+                );
+            }
+            // Size the next batch: aim at the limit through the observed
+            // pipeline selectivity, falling back to doubling until the
+            // pipeline has data (and always, when adaptivity is off).
+            let aimed = if lazy && adaptive {
+                let remaining = limit
+                    .expect("lazy requires a limit")
+                    .saturating_sub(emitted.len());
+                tracker.next_batch_size(
+                    remaining,
+                    self.opt.lazy_batch_min,
+                    candidates.len() - start,
+                )
+            } else {
+                None
+            };
+            match aimed {
+                Some(n) => {
+                    if n != batch_size {
+                        notes.push(format!(
+                            "adaptive batch sizing after batch {batch_no}: {n} rows \
+                             (pipeline selectivity {:.3})",
+                            tracker.pipeline_selectivity().unwrap_or(0.0),
+                        ));
+                    }
+                    batch_size = n;
+                }
+                None => batch_size *= 2,
+            }
         }
 
-        // Finalize per-operator stages in execution order.
+        // LIMIT-early-stop savings: candidates the scan never reached are
+        // attributed to the first LLM operator in final execution order, so
+        // `rows_in + rows_skipped` reconciles with full materialization.
+        if start < candidates.len() {
+            let skipped = (candidates.len() - start) as u64;
+            if let Some(&idx) = exec_order.iter().find(|&&i| {
+                matches!(
+                    ops[i],
+                    LogicalOp::LlmFilter { .. }
+                        | LogicalOp::LlmProject { .. }
+                        | LogicalOp::LlmAggregate { .. }
+                )
+            }) {
+                outcomes[idx]
+                    .get_or_insert_with(StageOutcome::default)
+                    .opt
+                    .rows_skipped += skipped;
+            }
+        }
+
+        // Finalize per-operator stages in final execution order.
         let mut stages = Vec::new();
         let mut aggregate = None;
-        for (idx, op) in ops.iter().enumerate() {
-            let query = match op {
+        for &idx in &exec_order {
+            let query = match &ops[idx] {
                 LogicalOp::LlmFilter { query, .. }
                 | LogicalOp::LlmProject { query, .. }
                 | LogicalOp::LlmAggregate { query, .. } => query,
@@ -948,7 +1079,7 @@ impl<'a> SqlRunner<'a> {
                 .map(|s| s.finish().report)
                 .unwrap_or_default();
             let stage = outcome.into_query_output(query, self.reorderer.name(), engine);
-            if matches!(op, LogicalOp::LlmAggregate { .. }) {
+            if matches!(ops[idx], LogicalOp::LlmAggregate { .. }) {
                 aggregate = stage.aggregate;
             }
             stages.push(stage);
@@ -1002,7 +1133,78 @@ impl<'a> SqlRunner<'a> {
             rows,
             aggregate,
             stages,
+            notes,
         })
+    }
+
+    /// Re-runs the cost/(1−selectivity) ranking over the schedule's LLM
+    /// filters with posterior selectivities, permuting them among the slots
+    /// they occupy when the observed order diverges from the current one.
+    /// Sorting is stable, so equal-rank filters keep their position; each
+    /// moved operator's [`OptStats::reranks`](crate::OptStats) is bumped
+    /// and a human-readable note records the event.
+    fn rerank_schedule(
+        &self,
+        ops: &[LogicalOp],
+        tracker: &SelectivityTracker,
+        exec_order: &mut [usize],
+        outcomes: &mut [Option<StageOutcome>],
+        batch_no: u32,
+        notes: &mut Vec<String>,
+    ) {
+        let slots: Vec<usize> = (0..exec_order.len())
+            .filter(|&s| matches!(ops[exec_order[s]], LogicalOp::LlmFilter { .. }))
+            .collect();
+        if slots.len() < 2 {
+            return;
+        }
+        let rank_of = |idx: usize| -> f64 {
+            match &ops[idx] {
+                LogicalOp::LlmFilter { est, .. } => {
+                    let posterior = tracker.selectivity(idx);
+                    match (est, posterior) {
+                        (Some(e), Some(s)) => e.with_selectivity(s).rank(&self.pricing),
+                        (Some(e), None) => e.rank(&self.pricing),
+                        (None, _) => f64::INFINITY,
+                    }
+                }
+                _ => unreachable!("slots hold LLM filters only"),
+            }
+        };
+        let mut ranked: Vec<usize> = slots.iter().map(|&s| exec_order[s]).collect();
+        ranked.sort_by(|&a, &b| rank_of(a).total_cmp(&rank_of(b)));
+        let current: Vec<usize> = slots.iter().map(|&s| exec_order[s]).collect();
+        if ranked == current {
+            return;
+        }
+        let describe = |order: &[usize]| -> String {
+            order
+                .iter()
+                .map(|&idx| match &ops[idx] {
+                    LogicalOp::LlmFilter { query, .. } => format!(
+                        "{} (sel {:.2})",
+                        query.name,
+                        tracker.selectivity(idx).unwrap_or(f64::NAN)
+                    ),
+                    _ => unreachable!("slots hold LLM filters only"),
+                })
+                .collect::<Vec<_>>()
+                .join("; ")
+        };
+        notes.push(format!(
+            "adaptive re-rank after batch {batch_no}: [{}] → [{}]",
+            describe(&current),
+            describe(&ranked),
+        ));
+        for (&slot, &idx) in slots.iter().zip(&ranked) {
+            if exec_order[slot] != idx {
+                outcomes[idx]
+                    .get_or_insert_with(StageOutcome::default)
+                    .opt
+                    .reranks += 1;
+            }
+            exec_order[slot] = idx;
+        }
     }
 
     /// Runs one LLM operator over one batch of rows, opening the operator's
@@ -1033,7 +1235,10 @@ impl<'a> SqlRunner<'a> {
             self.reorderer,
             fds,
             truth,
-            self.opt.dedup,
+            ExecOptions {
+                dedup: self.opt.dedup,
+                answer_cache: self.opt.answer_cache,
+            },
         )?)
     }
 }

@@ -177,7 +177,7 @@ pub struct CacheStats {
 }
 
 /// Outcome of the shared enabled-cache admission arithmetic
-/// ([`PrefixCache::admission_plan`]).
+/// (`PrefixCache::admission_plan`).
 struct AdmissionPlan {
     /// Prompt tokens that would be served from cache at admission.
     cached_tokens: usize,
@@ -196,7 +196,7 @@ struct BlockEntry {
     last_used: u64,
 }
 
-/// The paged prefix cache. See the [module docs](self) for semantics.
+/// The paged prefix cache. See the `cache` module docs for semantics.
 #[derive(Debug)]
 pub struct PrefixCache {
     config: CacheConfig,
@@ -291,7 +291,7 @@ impl PrefixCache {
     /// scheduling step — the hook the engine's macro-stepper uses to prove a
     /// blocked head-of-queue request stays blocked. Shares the exact
     /// arithmetic of the real admission via
-    /// [`admission_plan`](PrefixCache::admission_plan).
+    /// `admission_plan`.
     pub fn can_admit_chain(&self, chain: &BlockChain, decode_tokens: usize) -> bool {
         if !self.config.enabled {
             let needed = (chain.prompt_tokens() + decode_tokens).div_ceil(self.config.block_size);

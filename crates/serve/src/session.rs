@@ -252,6 +252,22 @@ impl EngineSession {
         self.report.completed
     }
 
+    /// Every [`Completion`] recorded so far, in completion order — the
+    /// mid-session form of [`SessionReport::completions`], for drivers that
+    /// attribute per-request serving costs before the session finishes.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// The completion record of request `id`, if it has finished — answer
+    /// extraction per request id for layers (like the relational answer
+    /// cache) that key engine work by the request they submitted. Ids are
+    /// caller-chosen and may repeat across submissions; the *latest*
+    /// completion wins.
+    pub fn completion_of(&self, id: usize) -> Option<&Completion> {
+        self.completions.iter().rev().find(|c| c.id == id)
+    }
+
     /// Total KV capacity in blocks.
     pub fn capacity_blocks(&self) -> usize {
         self.capacity_blocks
@@ -712,6 +728,26 @@ mod tests {
         let out = s.finish();
         assert_eq!(out.report, batch);
         assert_eq!(out.completions.len(), 40);
+    }
+
+    #[test]
+    fn completion_extraction_by_request_id() {
+        let e = engine();
+        let mut s = e.session().unwrap();
+        let done = s.run_batch(&reqs(6, 32, 8, 4)).unwrap().to_vec();
+        assert_eq!(s.completions(), done.as_slice());
+        for c in &done {
+            assert_eq!(s.completion_of(c.id), Some(c));
+        }
+        assert!(s.completion_of(999).is_none());
+        // Re-submitting an id keeps the latest record reachable.
+        let mut dup = reqs(1, 32, 8, 4);
+        dup[0].id = 3;
+        s.run_batch(&dup).unwrap();
+        let first = *done.iter().find(|c| c.id == 3).unwrap();
+        let latest = s.completion_of(3).copied().unwrap();
+        assert!(latest.finished_s > first.finished_s);
+        assert_eq!(s.completions().len(), 7);
     }
 
     #[test]

@@ -215,7 +215,7 @@ impl Strategy for &str {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`].
     pub trait IntoLenRange {
         /// Resolves to `(min, max)` inclusive bounds.
         fn bounds(&self) -> (usize, usize);
@@ -246,7 +246,7 @@ pub mod collection {
         VecStrategy { element, min, max }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
