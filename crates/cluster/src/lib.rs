@@ -62,7 +62,7 @@ mod request;
 mod router;
 mod sim;
 
-pub use report::{ClusterReport, ReplicaReport};
+pub use report::{ClusterReport, ReplicaOccupancy, ReplicaReport};
 pub use request::{tag_requests, ArrivalProcess, ClusterRequest};
 pub use router::{LeastLoaded, PrefixAffinity, ReplicaSnapshot, RoundRobin, Router};
 pub use sim::{ClusterConfig, ClusterError, ClusterSim};

@@ -3,6 +3,48 @@
 use llmqo_serve::{percentile, Completion, EngineReport};
 use std::fmt;
 
+/// KV-cache occupancy of one replica, sampled at every placement decision
+/// the dispatcher makes for it (one sample per routed request, taken right
+/// before the request is enqueued). This is where the session probes —
+/// `kv_blocks_in_use` and `probe_cached_tokens` — surface in cluster
+/// reports: what the router *could* have known at each decision point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReplicaOccupancy {
+    /// Placement decisions sampled (== requests routed here).
+    pub samples: u64,
+    /// Sum over samples of KV blocks in use (cached + running).
+    pub kv_blocks_sum: u64,
+    /// Highest KV-blocks-in-use value seen at any placement.
+    pub kv_blocks_peak: usize,
+    /// The replica's total KV capacity in blocks.
+    pub capacity_blocks: usize,
+    /// Prompt tokens the replica's cache would have served across all
+    /// requests placed on it, probed at placement time (an upper bound on
+    /// realized hits: admission happens later, after possible evictions).
+    pub probed_cached_tokens: u64,
+}
+
+impl ReplicaOccupancy {
+    /// Mean fraction of KV capacity in use at placement time (0 when no
+    /// samples were taken).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.samples == 0 || self.capacity_blocks == 0 {
+            0.0
+        } else {
+            self.kv_blocks_sum as f64 / (self.samples as f64 * self.capacity_blocks as f64)
+        }
+    }
+
+    /// Peak fraction of KV capacity in use at placement time.
+    pub fn peak_utilization(&self) -> f64 {
+        if self.capacity_blocks == 0 {
+            0.0
+        } else {
+            self.kv_blocks_peak as f64 / self.capacity_blocks as f64
+        }
+    }
+}
+
 /// One replica's share of the job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReplicaReport {
@@ -16,6 +58,8 @@ pub struct ReplicaReport {
     pub assigned: usize,
     /// Seconds this replica spent idle waiting for work.
     pub idle_s: f64,
+    /// KV occupancy sampled at the dispatcher's placement decisions.
+    pub occupancy: ReplicaOccupancy,
 }
 
 impl ReplicaReport {
@@ -122,11 +166,14 @@ impl fmt::Display for ClusterReport {
         for (i, r) in self.replicas.iter().enumerate() {
             writeln!(
                 f,
-                "  replica {i}: assigned {:>5}  PHR {:>5.1}%  finish {:>8.2}s  idle {:>7.2}s",
+                "  replica {i}: assigned {:>5}  PHR {:>5.1}%  finish {:>8.2}s  idle {:>7.2}s  \
+                 kv mean/peak {:>5.1}%/{:>5.1}%",
                 r.assigned,
                 r.prefix_hit_rate() * 100.0,
                 r.engine.job_completion_time_s,
-                r.idle_s
+                r.idle_s,
+                r.occupancy.mean_utilization() * 100.0,
+                r.occupancy.peak_utilization() * 100.0
             )?;
         }
         Ok(())
@@ -149,7 +196,23 @@ mod tests {
             completions: Vec::new(),
             assigned,
             idle_s: 0.0,
+            occupancy: ReplicaOccupancy::default(),
         }
+    }
+
+    #[test]
+    fn occupancy_utilization_helpers() {
+        let occ = ReplicaOccupancy {
+            samples: 4,
+            kv_blocks_sum: 200,
+            kv_blocks_peak: 80,
+            capacity_blocks: 100,
+            probed_cached_tokens: 64,
+        };
+        assert!((occ.mean_utilization() - 0.5).abs() < 1e-12);
+        assert!((occ.peak_utilization() - 0.8).abs() < 1e-12);
+        assert_eq!(ReplicaOccupancy::default().mean_utilization(), 0.0);
+        assert_eq!(ReplicaOccupancy::default().peak_utilization(), 0.0);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! [`ClusterSim::run_single_stepped`], the one-step-per-event differential
 //! oracle, for every deterministic router.
 
-use crate::report::{ClusterReport, ReplicaReport};
+use crate::report::{ClusterReport, ReplicaOccupancy, ReplicaReport};
 use crate::request::ClusterRequest;
 use crate::router::{ReplicaSnapshot, Router};
 use llmqo_serve::{EngineError, EngineSession, SimEngine};
@@ -143,6 +143,39 @@ struct Replica {
     /// Arrival times of requests enqueued here, in enqueue (= admission)
     /// order; zipped with admission-ordered completions for queue waits.
     arrivals: Vec<f64>,
+    /// KV occupancy sampled at each placement decision (always on: the
+    /// samples land in [`ReplicaReport::occupancy`]).
+    occupancy: ReplicaOccupancy,
+}
+
+/// Cold path: emits the router-decision trace event and refreshes the
+/// chosen replica's occupancy gauges. Only called when observability is on.
+fn trace_placement(
+    replica: &Replica,
+    choice: usize,
+    request: &ClusterRequest,
+    kv_blocks_in_use: usize,
+    probed_cached_tokens: usize,
+) {
+    let r = llmqo_obs::registry();
+    r.gauge(&format!("cluster.replica{choice}.kv_blocks_in_use"))
+        .set(kv_blocks_in_use as f64);
+    r.gauge(&format!("cluster.replica{choice}.queued"))
+        .set(replica.session.queued() as f64);
+    r.counter("cluster.requests_routed").inc();
+    llmqo_obs::tracer().instant(
+        0,
+        request.request.id as u64,
+        "route",
+        "router",
+        replica.session.clock(),
+        &[
+            ("replica", choice.into()),
+            ("prefix_key", request.prefix_key.into()),
+            ("kv_blocks_in_use", kv_blocks_in_use.into()),
+            ("probed_cached_tokens", probed_cached_tokens.into()),
+        ],
+    );
 }
 
 impl ClusterSim {
@@ -230,15 +263,28 @@ impl ClusterSim {
             }
         }
 
+        let obs_on = llmqo_obs::enabled();
         let mut replicas: Vec<Replica> = (0..self.config.replicas)
-            .map(|_| {
+            .map(|i| {
+                let mut session = self.engine.session()?;
+                // Lane 0 is the default (single-engine / SQL) lane; replica
+                // i's spans go to lane i + 1.
+                let lane = u32::try_from(i + 1).unwrap_or(u32::MAX);
+                session.set_trace_lane(lane);
+                if obs_on {
+                    llmqo_obs::tracer().name_lane(lane, &format!("replica {i}"));
+                }
                 Ok(Replica {
-                    session: self.engine.session()?,
+                    session,
                     assigned: 0,
                     arrivals: Vec::new(),
+                    occupancy: ReplicaOccupancy::default(),
                 })
             })
             .collect::<Result<_, EngineError>>()?;
+        // Scratch buffer for flattening a request's prompt fragments when
+        // probing the chosen replica's cache at placement time.
+        let mut prompt_buf: Vec<llmqo_tokenizer::TokenId> = Vec::new();
 
         // Arrival order: by time, original order on ties (stable sort).
         let mut order: Vec<usize> = (0..requests.len()).collect();
@@ -290,6 +336,25 @@ impl ClusterSim {
                 // catch it up to the moment the request reaches it — its
                 // arrival, or later if backpressure held it in admission.
                 replica.session.advance_to(requests[j].arrival_s.max(now));
+                // Sample what the router could have known at this decision:
+                // KV occupancy and the probed prefix hit on the chosen
+                // replica. Pure reads, shared by both stepping modes, so
+                // macro-stepped and single-stepped reports stay identical.
+                let kv = replica.session.kv_blocks_in_use();
+                prompt_buf.clear();
+                for frag in &requests[j].request.prompt {
+                    prompt_buf.extend_from_slice(frag);
+                }
+                let probed = replica.session.probe_cached_tokens(&prompt_buf);
+                let occ = &mut replica.occupancy;
+                occ.samples += 1;
+                occ.kv_blocks_sum += kv as u64;
+                occ.kv_blocks_peak = occ.kv_blocks_peak.max(kv);
+                occ.capacity_blocks = replica.session.capacity_blocks();
+                occ.probed_cached_tokens += probed as u64;
+                if llmqo_obs::enabled() {
+                    trace_placement(replica, choice, &requests[j], kv, probed);
+                }
                 replica.session.enqueue_ref(&requests[j].request);
                 replica.assigned += 1;
                 replica.arrivals.push(requests[j].arrival_s);
@@ -372,6 +437,7 @@ impl ClusterSim {
                 completions: outcome.completions,
                 assigned: replica.assigned,
                 idle_s,
+                occupancy: replica.occupancy,
             });
         }
         Ok(ClusterReport::assemble(router.name(), reports, queue_waits))

@@ -139,6 +139,11 @@ impl LlmOpEstimate {
     /// ascending. A selectivity of 1 (passes everything) ranks last via a
     /// tiny-denominator clamp rather than a division by zero.
     pub fn rank(&self, pricing: &Pricing) -> f64 {
+        if llmqo_obs::enabled() {
+            llmqo_obs::registry()
+                .counter("costmodel.rank_evaluations")
+                .inc();
+        }
         self.per_row_cost(pricing) / (1.0 - self.selectivity).max(1e-9)
     }
 

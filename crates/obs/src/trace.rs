@@ -1,0 +1,327 @@
+//! The sim-time span/event tracer and its Chrome `trace_event` exporter.
+//!
+//! Timestamps are **simulation seconds** supplied by the caller (the
+//! engine's discrete-event clock), converted to the microseconds Chrome's
+//! trace format expects with a fixed `round(t · 1e6)` rule — so a
+//! deterministic simulation produces a byte-identical trace. Lanes map to
+//! trace `pid`s (lane 0 is the default/SQL lane; cluster replicas take
+//! lane `index + 1`) and tracks to `tid`s (request ids for lifecycle
+//! spans, operator indices for executor phases).
+
+use crate::json::escape;
+use std::sync::Mutex;
+
+/// Hard cap on buffered events; further events are counted, not stored,
+/// so a runaway trace degrades deterministically instead of exhausting
+/// memory.
+const MAX_EVENTS: usize = 4_000_000;
+
+/// A typed argument value attached to a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned integer argument.
+    U64(u64),
+    /// A float argument.
+    F64(f64),
+    /// A string argument.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_owned())
+    }
+}
+
+#[derive(Debug)]
+struct TraceEvent {
+    ph: char,
+    name: String,
+    cat: &'static str,
+    ts_us: u64,
+    dur_us: u64,
+    pid: u32,
+    tid: u64,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+#[derive(Debug)]
+struct TraceState {
+    events: Vec<TraceEvent>,
+    /// Lane-name metadata, emitted as `process_name` metadata events.
+    lanes: Vec<(u32, String)>,
+    dropped: u64,
+}
+
+/// The sim-time tracer. All recording methods are cheap no-ops while the
+/// buffer is full; callers additionally guard with [`crate::enabled`] so a
+/// disabled run never takes the lock at all.
+pub struct Tracer {
+    state: Mutex<TraceState>,
+}
+
+pub(crate) fn global() -> &'static Tracer {
+    static GLOBAL: Tracer = Tracer {
+        state: Mutex::new(TraceState {
+            events: Vec::new(),
+            lanes: Vec::new(),
+            dropped: 0,
+        }),
+    };
+    &GLOBAL
+}
+
+/// Sim seconds → Chrome trace microseconds, the one conversion rule used
+/// everywhere (determinism depends on there being exactly one).
+fn to_us(t_s: f64) -> u64 {
+    let us = (t_s * 1e6).round();
+    if us <= 0.0 {
+        0
+    } else {
+        us as u64
+    }
+}
+
+impl Tracer {
+    fn push(&self, event: TraceEvent) {
+        let mut state = self.state.lock().expect("tracer poisoned");
+        if state.events.len() >= MAX_EVENTS {
+            state.dropped += 1;
+            return;
+        }
+        state.events.push(event);
+    }
+
+    /// Records a complete span (`ph: "X"`): `[ts_s, ts_s + dur_s)` on lane
+    /// `lane`, track `track`.
+    #[allow(clippy::too_many_arguments)] // one parameter per trace_event field
+    pub fn complete(
+        &self,
+        lane: u32,
+        track: u64,
+        name: &str,
+        cat: &'static str,
+        ts_s: f64,
+        dur_s: f64,
+        args: &[(&'static str, ArgValue)],
+    ) {
+        self.push(TraceEvent {
+            ph: 'X',
+            name: name.to_owned(),
+            cat,
+            ts_us: to_us(ts_s),
+            dur_us: to_us(dur_s),
+            pid: lane,
+            tid: track,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Records an instant event (`ph: "i"`) at `ts_s`.
+    pub fn instant(
+        &self,
+        lane: u32,
+        track: u64,
+        name: &str,
+        cat: &'static str,
+        ts_s: f64,
+        args: &[(&'static str, ArgValue)],
+    ) {
+        self.push(TraceEvent {
+            ph: 'i',
+            name: name.to_owned(),
+            cat,
+            ts_us: to_us(ts_s),
+            dur_us: 0,
+            pid: lane,
+            tid: track,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Names a lane (rendered by trace viewers as the process name). Idempotent
+    /// per `(lane, name)` pair.
+    pub fn name_lane(&self, lane: u32, name: &str) {
+        let mut state = self.state.lock().expect("tracer poisoned");
+        if !state.lanes.iter().any(|(l, n)| *l == lane && n == name) {
+            state.lanes.push((lane, name.to_owned()));
+        }
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("tracer poisoned").events.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped after the buffer cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().expect("tracer poisoned").dropped
+    }
+
+    /// Discards all buffered events and lane names.
+    pub fn clear(&self) {
+        let mut state = self.state.lock().expect("tracer poisoned");
+        state.events.clear();
+        state.lanes.clear();
+        state.dropped = 0;
+    }
+
+    /// Exports the buffer as Chrome `trace_event` JSON (the
+    /// `{"traceEvents": [...]}` object form), loadable in Perfetto or
+    /// `chrome://tracing`. Events appear in recording order; the export is
+    /// byte-deterministic for a given buffer.
+    pub fn export_chrome_json(&self) -> String {
+        let state = self.state.lock().expect("tracer poisoned");
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+        };
+        for (lane, name) in &state.lanes {
+            sep(&mut out);
+            out.push_str(&format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{lane},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(name)
+            ));
+        }
+        for e in &state.events {
+            sep(&mut out);
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},",
+                escape(&e.name),
+                escape(e.cat),
+                e.ph,
+                e.ts_us
+            ));
+            if e.ph == 'X' {
+                out.push_str(&format!("\"dur\":{},", e.dur_us));
+            }
+            if e.ph == 'i' {
+                // Thread-scoped instants render as small arrows on the track.
+                out.push_str("\"s\":\"t\",");
+            }
+            out.push_str(&format!("\"pid\":{},\"tid\":{}", e.pid, e.tid));
+            if !e.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in e.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{}\":", escape(k)));
+                    match v {
+                        ArgValue::U64(n) => out.push_str(&n.to_string()),
+                        ArgValue::F64(x) if x.is_finite() => out.push_str(&format!("{x}")),
+                        ArgValue::F64(_) => out.push('0'),
+                        ArgValue::Str(s) => out.push_str(&format!("\"{}\"", escape(s))),
+                    }
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str(&format!("],\"droppedEvents\":{}}}", state.dropped));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json;
+
+    /// A standalone tracer so tests cannot interfere through the global.
+    fn tracer() -> Tracer {
+        Tracer {
+            state: Mutex::new(TraceState {
+                events: Vec::new(),
+                lanes: Vec::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json_and_deterministic() {
+        let record = |t: &Tracer| {
+            t.name_lane(1, "replica 0");
+            t.complete(
+                1,
+                42,
+                "prefill",
+                "request",
+                0.0181,
+                0.0537,
+                &[("prompt_tokens", 128u64.into()), ("cached", 0.5f64.into())],
+            );
+            t.instant(
+                0,
+                3,
+                "route \"x\"",
+                "router",
+                0.001,
+                &[("replica", 1usize.into())],
+            );
+            t.export_chrome_json()
+        };
+        let a = record(&tracer());
+        let b = record(&tracer());
+        assert_eq!(a, b, "identical recordings export identically");
+        validate_json(&a).unwrap();
+        assert!(a.contains("\"ph\":\"X\""));
+        assert!(a.contains("\"dur\":53700"));
+        assert!(a.contains("\"ts\":18100"));
+        assert!(a.contains("process_name"));
+        assert!(a.contains("route \\\"x\\\""), "names are escaped: {a}");
+    }
+
+    #[test]
+    fn timestamps_round_half_up_in_microseconds() {
+        assert_eq!(to_us(0.0), 0);
+        assert_eq!(to_us(1.0), 1_000_000);
+        assert_eq!(to_us(0.0000004), 0);
+        assert_eq!(to_us(0.0000006), 1);
+        assert_eq!(to_us(-1.0), 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let t = tracer();
+        t.complete(0, 0, "a", "c", 0.0, 1.0, &[]);
+        t.name_lane(0, "lane");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        let empty = t.export_chrome_json();
+        validate_json(&empty).unwrap();
+        assert!(empty.contains("\"traceEvents\":[]"));
+    }
+}

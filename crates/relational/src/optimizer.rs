@@ -237,6 +237,17 @@ impl LogicalPlan {
     /// `EXPLAIN`-style rendering: top operator first, scan at the bottom,
     /// one tree edge per level.
     pub fn explain(&self) -> String {
+        self.explain_with(|_, _| None)
+    }
+
+    /// [`explain`](Self::explain) with a per-node annotation hook: `annotate`
+    /// receives each operator's plan index (bottom-up, scan = 0) and may
+    /// return extra text appended to the operator's line — how
+    /// `EXPLAIN ANALYZE` attaches measured statistics to the same rendering.
+    pub fn explain_with<F>(&self, annotate: F) -> String
+    where
+        F: Fn(usize, &LogicalOp) -> Option<String>,
+    {
         let mut out = String::new();
         for (depth, op) in self.ops.iter().rev().enumerate() {
             if depth > 0 {
@@ -244,6 +255,10 @@ impl LogicalPlan {
                 out.push_str("└─ ");
             }
             out.push_str(&op.label());
+            if let Some(extra) = annotate(self.ops.len() - 1 - depth, op) {
+                out.push_str("  ");
+                out.push_str(&extra);
+            }
             out.push('\n');
         }
         out

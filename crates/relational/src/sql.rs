@@ -138,6 +138,9 @@ pub struct SqlStatement {
     pub limit: Option<usize>,
     /// Whether the statement was prefixed with `EXPLAIN`.
     pub explain: bool,
+    /// Whether the statement was prefixed with `EXPLAIN ANALYZE` (execute,
+    /// then render the plan annotated with measured per-operator stats).
+    pub analyze: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -444,6 +447,12 @@ impl Parser {
         } else {
             false
         };
+        let analyze = if explain && self.is_keyword("ANALYZE") {
+            self.next();
+            true
+        } else {
+            false
+        };
         self.expect_keyword("SELECT")?;
         let projection = if self.is_keyword("LLM") {
             let call = self.parse_llm_call()?;
@@ -520,6 +529,7 @@ impl Parser {
             where_clause,
             limit,
             explain,
+            analyze,
         })
     }
 }
@@ -567,6 +577,20 @@ pub struct SqlResult {
     /// Human-readable optimizer events: static rewrites plus runtime
     /// adaptive decisions (re-ranks, batch-size aims).
     pub notes: Vec<String>,
+}
+
+/// Per-plan-node measurements collected while `execute_plan` runs, consumed
+/// by the `EXPLAIN ANALYZE` rendering.
+struct AnalyzeData {
+    /// `(rows offered, rows produced)` per plan-op index, summed over
+    /// batches. The `Limit` node holds the materialized count before and
+    /// after truncation.
+    node_rows: Vec<(u64, u64)>,
+    /// Plan-op index → index into [`SqlResult::stages`] for LLM operators.
+    stage_of: Vec<Option<usize>>,
+    /// How many leading entries of [`SqlResult::notes`] are optimizer
+    /// rewrites; the rest were appended at runtime in schedule order.
+    rewrite_notes: usize,
 }
 
 /// Defaults applied when compiling SQL to [`LlmQuery`] plans (SQL carries no
@@ -796,14 +820,17 @@ impl<'a> SqlRunner<'a> {
 
     /// Parses and executes `sql`, supplying ground truth per row via `truth`.
     /// `EXPLAIN`-prefixed statements return the plan rendering as rows
-    /// instead of executing.
+    /// instead of executing; `EXPLAIN ANALYZE` executes the statement and
+    /// returns the plan annotated with measured per-operator statistics
+    /// (rows in/out, LLM calls, dedup/cache savings, re-ranks, sim-time),
+    /// with the executed stages and notes attached to the result.
     ///
     /// # Errors
     ///
     /// [`SqlError`] on parse, catalog, or execution failure.
     pub fn run(&self, sql: &str, truth: &dyn Fn(usize) -> String) -> Result<SqlResult, SqlError> {
         let stmt = parse_sql(sql)?;
-        if stmt.explain {
+        if stmt.explain && !stmt.analyze {
             let text = self.explain(sql)?;
             return Ok(SqlResult {
                 columns: vec!["plan".into()],
@@ -820,7 +847,65 @@ impl<'a> SqlRunner<'a> {
                     name: stmt.table.clone(),
                 })?;
         let (plan, notes) = self.plan_for(&stmt)?;
-        self.execute_plan(&plan, notes, table, fds, truth)
+        let (result, data) = self.execute_plan(&plan, notes, table, fds, truth)?;
+        if stmt.analyze {
+            let text = self.render_analyze(&plan, &result, &data);
+            return Ok(SqlResult {
+                columns: vec!["plan".into()],
+                rows: text.lines().map(|l| vec![l.to_string()]).collect(),
+                aggregate: result.aggregate,
+                stages: result.stages,
+                notes: result.notes,
+            });
+        }
+        Ok(result)
+    }
+
+    /// Renders the executed plan with per-node measurements plus the
+    /// optimizer footer — the `EXPLAIN ANALYZE` output. Runtime notes
+    /// (adaptive re-ranks, batch resizing) follow the `-- rewrite:` lines
+    /// as `-- runtime:` lines, verbatim and in schedule order.
+    fn render_analyze(&self, plan: &LogicalPlan, result: &SqlResult, data: &AnalyzeData) -> String {
+        let mut out = plan.explain_with(|idx, op| {
+            let (rows_in, rows_out) = data.node_rows[idx];
+            Some(match op {
+                LogicalOp::Scan { .. } => format!("(rows {rows_out})"),
+                LogicalOp::LlmFilter { .. }
+                | LogicalOp::LlmProject { .. }
+                | LogicalOp::LlmAggregate { .. } => {
+                    let report = data.stage_of[idx].map(|s| &result.stages[s].report);
+                    let opt = report.map(|r| r.opt).unwrap_or_default();
+                    let sim_s = report.map_or(0.0, |r| r.engine.job_completion_time_s);
+                    format!(
+                        "(rows {rows_in} → {rows_out}, llm calls {}, dedup saved {}, \
+                         cache saved {}, re-ranks {}, skipped {}, sim {sim_s:.2}s)",
+                        opt.llm_calls,
+                        opt.rows_deduped,
+                        opt.cache_hits,
+                        opt.reranks,
+                        opt.rows_skipped,
+                    )
+                }
+                _ => format!("(rows {rows_in} → {rows_out})"),
+            })
+        });
+        out.push_str(&format!(
+            "-- optimizer: dedup {}, reorder {}, lazy limit {}, adaptive {}, \
+             answer cache {} (pricing: {})\n",
+            on_off(self.opt.dedup),
+            on_off(self.opt.reorder),
+            on_off(self.opt.lazy_limit),
+            on_off(self.opt.adaptive),
+            on_off(self.opt.answer_cache),
+            self.pricing.name,
+        ));
+        for note in &result.notes[..data.rewrite_notes] {
+            out.push_str(&format!("-- rewrite: {note}\n"));
+        }
+        for note in &result.notes[data.rewrite_notes..] {
+            out.push_str(&format!("-- runtime: {note}\n"));
+        }
+        out
     }
 
     /// The physical interpreter: runs the optimized operator chain with
@@ -839,8 +924,13 @@ impl<'a> SqlRunner<'a> {
         table: &Table,
         fds: &FunctionalDeps,
         truth: &dyn Fn(usize) -> String,
-    ) -> Result<SqlResult, SqlError> {
+    ) -> Result<(SqlResult, AnalyzeData), SqlError> {
         let ops = &plan.ops;
+        let mut data = AnalyzeData {
+            node_rows: vec![(0, 0); ops.len()],
+            stage_of: vec![None; ops.len()],
+            rewrite_notes: notes.len(),
+        };
         let limit = plan.limit();
         let has_agg = ops
             .iter()
@@ -876,10 +966,13 @@ impl<'a> SqlRunner<'a> {
         // Leading cheap predicates narrow the candidate set before any
         // batching — with the reorder rule on, that is all of them.
         let mut candidates: Vec<usize> = (0..table.nrows()).collect();
+        data.node_rows[0] = (candidates.len() as u64, candidates.len() as u64);
         let mut first_heavy = 1;
         while first_heavy < ops.len() {
             if let LogicalOp::SqlFilter { pred } = &ops[first_heavy] {
+                let offered = candidates.len() as u64;
                 candidates = filter_sql(table, &candidates, pred)?;
+                data.node_rows[first_heavy] = (offered, candidates.len() as u64);
                 first_heavy += 1;
             } else {
                 break;
@@ -928,6 +1021,7 @@ impl<'a> SqlRunner<'a> {
             let emitted_before = emitted.len();
             let mut rows: Vec<usize> = candidates[start..end].to_vec();
             for &idx in &exec_order {
+                let node_offered = rows.len() as u64;
                 match &ops[idx] {
                     LogicalOp::Scan { .. } => unreachable!("scan is always ops[0]"),
                     LogicalOp::SqlFilter { pred } => {
@@ -988,6 +1082,8 @@ impl<'a> SqlRunner<'a> {
                     }
                     LogicalOp::Limit { .. } => {}
                 }
+                data.node_rows[idx].0 += node_offered;
+                data.node_rows[idx].1 += rows.len() as u64;
             }
             batch_no += 1;
             if adaptive {
@@ -1036,6 +1132,11 @@ impl<'a> SqlRunner<'a> {
                              (pipeline selectivity {:.3})",
                             tracker.pipeline_selectivity().unwrap_or(0.0),
                         ));
+                        if llmqo_obs::enabled() {
+                            llmqo_obs::registry()
+                                .counter("sql.adaptive_batch_resizes")
+                                .inc();
+                        }
                     }
                     batch_size = n;
                 }
@@ -1082,6 +1183,7 @@ impl<'a> SqlRunner<'a> {
             if matches!(ops[idx], LogicalOp::LlmAggregate { .. }) {
                 aggregate = stage.aggregate;
             }
+            data.stage_of[idx] = Some(stages.len());
             stages.push(stage);
         }
 
@@ -1125,16 +1227,29 @@ impl<'a> SqlRunner<'a> {
             ),
             _ => unreachable!("find matched projection operators only"),
         };
+        let before_limit = rows.len() as u64;
         if let Some(n) = limit {
             rows.truncate(n);
         }
-        Ok(SqlResult {
-            columns,
-            rows,
-            aggregate,
-            stages,
-            notes,
-        })
+        // The Limit node's true in/out is the materialized row count before
+        // and after truncation, not the pass-through counts the batch loop
+        // accumulated for it.
+        if let Some(pos) = ops
+            .iter()
+            .position(|op| matches!(op, LogicalOp::Limit { .. }))
+        {
+            data.node_rows[pos] = (before_limit, rows.len() as u64);
+        }
+        Ok((
+            SqlResult {
+                columns,
+                rows,
+                aggregate,
+                stages,
+                notes,
+            },
+            data,
+        ))
     }
 
     /// Re-runs the cost/(1−selectivity) ranking over the schedule's LLM
@@ -1196,6 +1311,9 @@ impl<'a> SqlRunner<'a> {
             describe(&current),
             describe(&ranked),
         ));
+        if llmqo_obs::enabled() {
+            llmqo_obs::registry().counter("sql.adaptive_reranks").inc();
+        }
         for (&slot, &idx) in slots.iter().zip(&ranked) {
             if exec_order[slot] != idx {
                 outcomes[idx]
@@ -1227,7 +1345,8 @@ impl<'a> SqlRunner<'a> {
             );
         }
         let session = session.as_mut().expect("session created above");
-        Ok(self.executor.run_llm_rows(
+        let started_s = session.clock();
+        let out = self.executor.run_llm_rows(
             session,
             table,
             rows,
@@ -1239,7 +1358,28 @@ impl<'a> SqlRunner<'a> {
                 dedup: self.opt.dedup,
                 answer_cache: self.opt.answer_cache,
             },
-        )?)
+        )?;
+        if llmqo_obs::enabled() {
+            // Executor phase span on the SQL lane: one span per operator
+            // batch, on the operator's own session timeline.
+            llmqo_obs::tracer().complete(
+                0,
+                0,
+                &format!("op.{}", query.name),
+                "executor",
+                started_s,
+                session.clock() - started_s,
+                &[
+                    ("rows", llmqo_obs::ArgValue::from(rows.len())),
+                    ("llm_calls", llmqo_obs::ArgValue::from(out.opt.llm_calls)),
+                ],
+            );
+            llmqo_obs::registry().counter("sql.stage_batches").inc();
+            llmqo_obs::registry()
+                .counter("sql.llm_calls")
+                .add(out.opt.llm_calls);
+        }
+        Ok(out)
     }
 }
 
@@ -1773,5 +1913,166 @@ mod tests {
         assert_eq!(res.columns, vec!["plan"]);
         assert!(res.stages.is_empty());
         assert!(res.rows.iter().any(|r| r[0].contains("Scan t")));
+    }
+
+    #[test]
+    fn parses_explain_analyze_prefix() {
+        let stmt = parse_sql("EXPLAIN ANALYZE SELECT review FROM t LIMIT 2").unwrap();
+        assert!(stmt.explain);
+        assert!(stmt.analyze);
+        let plain = parse_sql("EXPLAIN SELECT review FROM t LIMIT 2").unwrap();
+        assert!(plain.explain);
+        assert!(!plain.analyze);
+        // ANALYZE without EXPLAIN is just an unexpected keyword.
+        assert!(parse_sql("ANALYZE SELECT review FROM t").is_err());
+    }
+
+    #[test]
+    fn explain_analyze_reports_measured_stats() {
+        let (table, fds) = fixture();
+        let eng = engine();
+        let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let solver = Ggr::default();
+        let mut runner = SqlRunner::new(&executor, &solver);
+        runner.register("t", &table, &fds);
+        let truth = |row: usize| {
+            if row.is_multiple_of(2) {
+                "Yes".into()
+            } else {
+                "No".into()
+            }
+        };
+        let res = runner
+            .run(
+                "EXPLAIN ANALYZE SELECT review FROM t \
+                 WHERE LLM('good?', review) = 'Yes' AND product = 'product 1' LIMIT 4",
+                &truth,
+            )
+            .unwrap();
+        assert_eq!(res.columns, vec!["plan"]);
+        let text: String = res
+            .rows
+            .iter()
+            .map(|r| r[0].as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        // Exact per-node row accounting: 30 scanned, the cheap predicate
+        // keeps product-1's ten rows, the LLM filter passes the even half.
+        assert!(text.contains("Scan t  (rows 30)"), "{text}");
+        assert!(
+            text.contains("SqlFilter product = 'product 1'  (rows 30 → 10)"),
+            "{text}"
+        );
+        let llm_line = res
+            .rows
+            .iter()
+            .map(|r| r[0].as_str())
+            .find(|l| l.contains("LlmFilter"))
+            .expect("LLM filter line");
+        for field in [
+            "llm calls",
+            "dedup saved",
+            "cache saved",
+            "re-ranks",
+            "skipped",
+            "sim ",
+        ] {
+            assert!(llm_line.contains(field), "missing `{field}` in {llm_line}");
+        }
+        // The Limit node reports materialized rows before → after truncation.
+        let limit_line = res
+            .rows
+            .iter()
+            .map(|r| r[0].as_str())
+            .find(|l| l.contains("Limit 4"))
+            .expect("limit line");
+        assert!(limit_line.ends_with("→ 4)"), "{limit_line}");
+        assert!(text.contains("-- optimizer: dedup on, reorder on, lazy limit on"));
+        assert!(text.contains("-- rewrite: reordered WHERE"));
+        // Unlike plain EXPLAIN, the statement really executed.
+        assert_eq!(res.stages.len(), 1);
+        assert!(res.stages[0].report.opt.llm_calls > 0);
+        assert!(res.stages[0].report.engine.job_completion_time_s > 0.0);
+    }
+
+    /// Golden footer contract: `SqlResult::notes` adaptive events render in
+    /// `EXPLAIN ANALYZE` output in schedule order with stable wording —
+    /// `-- rewrite:` lines first (static optimizer), then one `-- runtime:`
+    /// line per runtime note, verbatim and in the order they fired.
+    #[test]
+    fn explain_analyze_runtime_notes_follow_schedule_order() {
+        let mut table = Table::new(Schema::of_strings(&["review", "note"]));
+        for i in 0..400 {
+            table
+                .push_row(vec![
+                    format!("a longer review body with several unique words number {i}").into(),
+                    format!("note {i}").into(),
+                ])
+                .unwrap();
+        }
+        let fds = FunctionalDeps::empty(2);
+        let eng = engine();
+        let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+        let solver = Ggr::default();
+        let mut runner = SqlRunner::new(&executor, &solver);
+        runner.register("t", &table, &fds);
+        // Skewed truth flips the pilot order mid-query (see the adaptive
+        // differential suite), so runtime notes are guaranteed to fire.
+        let truth = |row: usize| {
+            if row.is_multiple_of(20) {
+                "Yes".to_string()
+            } else {
+                "No".to_string()
+            }
+        };
+        let res = runner
+            .run(
+                "EXPLAIN ANALYZE SELECT note FROM t \
+                 WHERE LLM('is the note recent?', note) <> 'Yes' \
+                 AND LLM('is the review glowing?', review) = 'Yes'",
+                &truth,
+            )
+            .unwrap();
+        let lines: Vec<&str> = res.rows.iter().map(|r| r[0].as_str()).collect();
+        let runtime_lines: Vec<&str> = lines
+            .iter()
+            .copied()
+            .filter(|l| l.starts_with("-- runtime: "))
+            .collect();
+        assert!(
+            runtime_lines
+                .iter()
+                .any(|l| l.starts_with("-- runtime: adaptive re-rank after batch ")),
+            "expected a re-rank runtime note, got: {lines:?}"
+        );
+        // Every runtime note appears exactly once, verbatim, in schedule
+        // order (`res.notes` order, after the rewrite prefix).
+        let runtime_notes: Vec<&str> = res
+            .notes
+            .iter()
+            .map(String::as_str)
+            .filter(|n| n.starts_with("adaptive"))
+            .collect();
+        assert_eq!(
+            runtime_lines,
+            runtime_notes
+                .iter()
+                .map(|n| format!("-- runtime: {n}"))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>(),
+            "runtime footer must mirror notes in schedule order"
+        );
+        // Rewrite lines all precede runtime lines.
+        let last_rewrite = lines
+            .iter()
+            .rposition(|l| l.starts_with("-- rewrite: "))
+            .unwrap_or(0);
+        let first_runtime = lines
+            .iter()
+            .position(|l| l.starts_with("-- runtime: "))
+            .expect("runtime notes present");
+        assert!(last_rewrite < first_runtime, "{lines:?}");
     }
 }

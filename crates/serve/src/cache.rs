@@ -21,6 +21,7 @@
 
 use llmqo_tokenizer::TokenId;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
@@ -176,6 +177,31 @@ pub struct CacheStats {
     pub peak_blocks: usize,
 }
 
+/// Internal bookkeeping counters over a cache's lifetime — the *cost* side
+/// of the cache, as opposed to [`CacheStats`]' *outcome* side.
+///
+/// Deliberately **not** part of [`CacheStats`]: the stats struct is
+/// byte-compared by every differential oracle, and these counters measure
+/// implementation work (map probes, lazy-heap churn) that optimizations
+/// are allowed to change. They exist to turn the ROADMAP's "cached-sim
+/// bottleneck is the cache itself" hypothesis into numbers; the `perf_trace`
+/// bench publishes them into the `llmqo-obs` registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheInternals {
+    /// Block-map lookups on the probe/admission read paths
+    /// (`probe_chain` + `admission_plan` chain walks).
+    pub block_map_probes: u64,
+    /// Stale lazy-invalidation heap entries skipped by `evict_one` or
+    /// dropped by the periodic heap compaction.
+    pub heap_stale_invalidations: u64,
+    /// Calls to [`PrefixCache::mark_computed`] (one per prefill chunk that
+    /// landed, the per-step cache write traffic).
+    pub mark_computed_calls: u64,
+    /// Blocks evicted (same number as [`CacheStats::evictions`], repeated
+    /// here so one struct carries the whole internals picture).
+    pub evictions: u64,
+}
+
 /// Outcome of the shared enabled-cache admission arithmetic
 /// (`PrefixCache::admission_plan`).
 struct AdmissionPlan {
@@ -217,6 +243,14 @@ pub struct PrefixCache {
     private_blocks: usize,
     clock: u64,
     stats: CacheStats,
+    /// Read-path lookup count ([`CacheInternals::block_map_probes`]); a
+    /// `Cell` because `probe_chain`/`admission_plan` are `&self`.
+    probes: Cell<u64>,
+    /// Stale heap entries skipped/compacted away
+    /// ([`CacheInternals::heap_stale_invalidations`]).
+    stale: Cell<u64>,
+    /// [`mark_computed`](PrefixCache::mark_computed) call count.
+    marks: Cell<u64>,
 }
 
 impl PrefixCache {
@@ -235,6 +269,9 @@ impl PrefixCache {
             private_blocks: 0,
             clock: 0,
             stats: CacheStats::default(),
+            probes: Cell::new(0),
+            stale: Cell::new(0),
+            marks: Cell::new(0),
         }
     }
 
@@ -253,6 +290,16 @@ impl PrefixCache {
     /// Lifetime statistics.
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// Lifetime internal bookkeeping counters (see [`CacheInternals`]).
+    pub fn internals(&self) -> CacheInternals {
+        CacheInternals {
+            block_map_probes: self.probes.get(),
+            heap_stale_invalidations: self.stale.get(),
+            mark_computed_calls: self.marks.get(),
+            evictions: self.stats.evictions,
+        }
     }
 
     /// Number of prompt tokens of `tokens` that would be served from
@@ -276,6 +323,7 @@ impl PrefixCache {
         let bs = self.config.block_size;
         let mut cached = 0usize;
         for h in chain.blocks() {
+            self.probes.set(self.probes.get() + 1);
             match self.blocks.get(h) {
                 Some(e) if e.computed || self.config.share_in_flight => cached += bs,
                 _ => break,
@@ -312,6 +360,7 @@ impl PrefixCache {
         let mut cached_tokens = 0usize;
         let mut prefix_computed = true;
         for h in chain.blocks() {
+            self.probes.set(self.probes.get() + 1);
             match self.blocks.get(h) {
                 Some(e) => {
                     if e.refcount == 0 {
@@ -458,6 +507,7 @@ impl PrefixCache {
     /// Marks the sequence's prompt blocks as computed up to
     /// `prefilled_tokens`, making them compute-reusable by later admissions.
     pub fn mark_computed(&mut self, alloc: &SeqAlloc, prefilled_tokens: usize) {
+        self.marks.set(self.marks.get() + 1);
         let bs = self.config.block_size;
         for &h in alloc.chain.iter().take(prefilled_tokens / bs) {
             if let Some(e) = self.blocks.get_mut(&h) {
@@ -502,6 +552,7 @@ impl PrefixCache {
     fn evict_one(&mut self) -> Option<u64> {
         while let Some(&Reverse((stamp, h))) = self.evictable.peek() {
             if !self.evictable_entry_is_valid(stamp, h) {
+                self.stale.set(self.stale.get() + 1);
                 self.evictable.pop();
                 continue;
             }
@@ -529,10 +580,13 @@ impl PrefixCache {
             return;
         }
         let old = std::mem::take(&mut self.evictable);
+        let before = old.len();
         self.evictable = old
             .into_iter()
             .filter(|&Reverse((stamp, h))| self.evictable_entry_is_valid(stamp, h))
             .collect();
+        let dropped = (before - self.evictable.len()) as u64;
+        self.stale.set(self.stale.get() + dropped);
     }
 
     /// Frees one block slot if none is free.
@@ -600,6 +654,32 @@ mod tests {
 
     fn toks(n: usize, salt: u32) -> Vec<TokenId> {
         (0..n as u32).map(|i| i * 7 + salt).collect()
+    }
+
+    #[test]
+    fn internals_count_probes_marks_and_evictions() {
+        let mut c = cache(2);
+        assert_eq!(c.internals(), CacheInternals::default());
+        let a = c.try_admit(&toks(8, 0), 0).unwrap();
+        c.mark_computed(&a, 8);
+        c.release(a);
+        let after_first = c.internals();
+        assert!(after_first.block_map_probes >= 2, "admission walks chain");
+        assert_eq!(after_first.mark_computed_calls, 1);
+        // A fresh prefix in a full cache forces evictions of the rc==0
+        // blocks the first request left behind.
+        let b = c.try_admit(&toks(8, 9), 0).unwrap();
+        c.release(b);
+        let after_second = c.internals();
+        assert!(after_second.evictions >= 1);
+        assert_eq!(after_second.evictions, c.stats().evictions);
+        assert!(after_second.block_map_probes > after_first.block_map_probes);
+        // `probe` walks are counted too, and never mutate anything else.
+        let before = c.internals();
+        c.probe(&toks(8, 0));
+        let after = c.internals();
+        assert!(after.block_map_probes > before.block_map_probes);
+        assert_eq!(after.evictions, before.evictions);
     }
 
     #[test]

@@ -61,10 +61,11 @@ mod engine;
 mod hardware;
 mod labeler;
 mod model;
+pub mod obs;
 mod session;
 mod session_reference;
 
-pub use cache::{BlockChain, CacheConfig, CacheStats, PrefixCache, SeqAlloc};
+pub use cache::{BlockChain, CacheConfig, CacheInternals, CacheStats, PrefixCache, SeqAlloc};
 pub use engine::{Deployment, EngineConfig, EngineError, EngineReport, SimEngine, SimRequest};
 pub use hardware::{GpuCluster, GpuSpec};
 pub use labeler::{GenRequest, KeyFieldPreference, ModelProfile, OracleLlm, SimLlm};

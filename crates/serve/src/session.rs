@@ -86,6 +86,9 @@ struct QueuedRequest {
     id: usize,
     output_len: u32,
     chain: BlockChain,
+    /// Clock at [`EngineSession::enqueue_ref`] time; feeds the traced
+    /// queue-wait span and is never read by the scheduler itself.
+    enqueued_s: f64,
 }
 
 struct Running {
@@ -150,6 +153,9 @@ pub struct EngineSession {
     ttfts: Vec<f64>,
     latencies: Vec<f64>,
     completions: Vec<Completion>,
+    /// Trace lane (Chrome-trace `pid`) this session's spans land on; lane 0
+    /// by default, replica `i + 1` under the cluster simulator.
+    trace_lane: u32,
 }
 
 impl std::fmt::Debug for EngineSession {
@@ -198,7 +204,15 @@ impl EngineSession {
             ttfts: Vec::new(),
             latencies: Vec::new(),
             completions: Vec::new(),
+            trace_lane: 0,
         })
+    }
+
+    /// Assigns the Chrome-trace lane (`pid`) this session's observability
+    /// spans are emitted on. Purely cosmetic for trace grouping; the cluster
+    /// simulator gives each replica its own lane.
+    pub fn set_trace_lane(&mut self, lane: u32) {
+        self.trace_lane = lane;
     }
 
     /// Adds a request to the tail of the admission queue.
@@ -223,8 +237,20 @@ impl EngineSession {
             id: request.id,
             output_len: request.output_len,
             chain,
+            enqueued_s: self.clock,
         });
         self.waiting.push_back(self.store.len() - 1);
+        if llmqo_obs::enabled() {
+            crate::obs::metrics().requests_enqueued.inc();
+            llmqo_obs::tracer().instant(
+                self.trace_lane,
+                request.id as u64,
+                "enqueue",
+                "request",
+                self.clock,
+                &[("prompt_tokens", request.prompt_len().into())],
+            );
+        }
     }
 
     /// Current session clock, seconds.
@@ -320,6 +346,13 @@ impl EngineSession {
     /// [`EngineError::RequestTooLarge`] if the head-of-queue request can
     /// never fit in KV memory even with the batch drained.
     pub fn step(&mut self) -> Result<bool, EngineError> {
+        let timer = llmqo_obs::WallTimer::start();
+        let out = self.step_inner();
+        timer.observe(crate::obs::metrics().wall_step_s);
+        out
+    }
+
+    fn step_inner(&mut self) -> Result<bool, EngineError> {
         if self.is_idle() {
             return Ok(false);
         }
@@ -388,10 +421,18 @@ impl EngineSession {
                 break;
             };
             let req = &self.store[idx];
-            match self
+            let obs_on = llmqo_obs::enabled();
+            let evictions_before = if obs_on {
+                self.cache.stats().evictions
+            } else {
+                0
+            };
+            let timer = llmqo_obs::WallTimer::start();
+            let admitted = self
                 .cache
-                .try_admit_chain(&req.chain, req.output_len as usize)
-            {
+                .try_admit_chain(&req.chain, req.output_len as usize);
+            timer.observe(crate::obs::metrics().wall_cache_s);
+            match admitted {
                 Some(alloc) => {
                     self.waiting.pop_front();
                     self.clock += self.config.per_request_overhead_s;
@@ -408,6 +449,9 @@ impl EngineSession {
                         first_token_at: None,
                     });
                     self.warming += 1;
+                    if obs_on {
+                        self.trace_admission(idx, evictions_before);
+                    }
                     let i = self.running.len() - 1;
                     let r = &self.running[i];
                     if r.prefilled < r.prompt_len {
@@ -457,12 +501,14 @@ impl EngineSession {
 
         // Apply effects: prefill progress (marking blocks computed) and
         // one decoded token per decoding sequence.
+        let timer = llmqo_obs::WallTimer::start();
         for &(i, chunk) in &chunks {
             let r = &mut self.running[i];
             r.prefilled += chunk;
             self.report.computed_prompt_tokens += chunk as u64;
             self.cache.mark_computed(&r.alloc, r.prefilled);
         }
+        timer.observe(crate::obs::metrics().wall_cache_s);
         self.chunk_buf = chunks;
         let mut i = 0;
         while i < self.running.len() {
@@ -476,6 +522,9 @@ impl EngineSession {
                         self.running[i].first_token_at = Some(self.clock);
                         self.ttfts.push(self.clock - self.running[i].admitted_at);
                         self.warming -= 1;
+                        if llmqo_obs::enabled() {
+                            self.trace_first_token(i);
+                        }
                     }
                 }
                 if self.running[i].output_done >= out_target {
@@ -490,6 +539,21 @@ impl EngineSession {
                         }
                     };
                     self.latencies.push(self.clock - r.admitted_at);
+                    if llmqo_obs::enabled() {
+                        let m = crate::obs::metrics();
+                        m.completions.inc();
+                        m.output_tokens.add(u64::from(r.output_done));
+                        m.latency_s.record(self.clock - r.admitted_at);
+                        llmqo_obs::tracer().complete(
+                            self.trace_lane,
+                            self.store[r.idx].id as u64,
+                            "decode",
+                            "request",
+                            first_token_at,
+                            self.clock - first_token_at,
+                            &[("output_tokens", u64::from(r.output_done).into())],
+                        );
+                    }
                     self.completions.push(Completion {
                         id: self.store[r.idx].id,
                         admitted_s: r.admitted_at,
@@ -499,7 +563,9 @@ impl EngineSession {
                         cached_tokens: r.alloc.cached_tokens,
                         output_tokens: r.output_done,
                     });
+                    let timer = llmqo_obs::WallTimer::start();
                     self.cache.release(r.alloc);
+                    timer.observe(crate::obs::metrics().wall_cache_s);
                     self.report.completed += 1;
                     continue;
                 }
@@ -507,6 +573,69 @@ impl EngineSession {
             i += 1;
         }
         Ok(true)
+    }
+
+    /// Cold path: span + metric emission for the admission that just pushed
+    /// the newest [`Running`] entry. Only called when observability is on.
+    fn trace_admission(&self, store_idx: usize, evictions_before: u64) {
+        let r = self.running.last().expect("called right after push");
+        let q = &self.store[store_idx];
+        let m = crate::obs::metrics();
+        m.requests_admitted.inc();
+        m.cached_prompt_tokens.add(r.alloc.cached_tokens as u64);
+        let tr = llmqo_obs::tracer();
+        tr.complete(
+            self.trace_lane,
+            q.id as u64,
+            "queued",
+            "request",
+            q.enqueued_s,
+            self.clock - q.enqueued_s,
+            &[],
+        );
+        tr.instant(
+            self.trace_lane,
+            q.id as u64,
+            "cache.admit",
+            "cache",
+            self.clock,
+            &[
+                ("cached_tokens", r.alloc.cached_tokens.into()),
+                ("prompt_tokens", r.prompt_len.into()),
+            ],
+        );
+        let evicted = self.cache.stats().evictions - evictions_before;
+        if evicted > 0 {
+            tr.instant(
+                self.trace_lane,
+                q.id as u64,
+                "cache.evict",
+                "cache",
+                self.clock,
+                &[("blocks", evicted.into())],
+            );
+        }
+    }
+
+    /// Cold path: span + metric emission when `self.running[i]` produces its
+    /// first output token. Only called when observability is on.
+    fn trace_first_token(&self, i: usize) {
+        let r = &self.running[i];
+        crate::obs::metrics()
+            .ttft_s
+            .record(self.clock - r.admitted_at);
+        llmqo_obs::tracer().complete(
+            self.trace_lane,
+            self.store[r.idx].id as u64,
+            "prefill",
+            "request",
+            r.admitted_at,
+            self.clock - r.admitted_at,
+            &[
+                ("prompt_tokens", r.prompt_len.into()),
+                ("cached_tokens", r.alloc.cached_tokens.into()),
+            ],
+        );
     }
 
     /// If the batch is in steady-state decode, returns the number of steps
@@ -567,6 +696,8 @@ impl EngineSession {
     /// expressions verbatim (including the float evaluation order), so the
     /// resulting clock and report are bit-identical to stepping one by one.
     fn decode_fast_forward(&mut self, steps: u64, horizon: Option<f64>) -> u64 {
+        let timer = llmqo_obs::WallTimer::start();
+        let start_clock = self.clock;
         let decoding = self.running.len() as u64;
         let mut decode_ctx: u64 = self
             .running
@@ -595,6 +726,18 @@ impl EngineSession {
         for r in &mut self.running {
             r.output_done += done;
         }
+        if llmqo_obs::enabled() && taken > 0 {
+            llmqo_obs::tracer().complete(
+                self.trace_lane,
+                0,
+                "decode.macro_step",
+                "engine",
+                start_clock,
+                self.clock - start_clock,
+                &[("steps", taken.into()), ("sequences", decoding.into())],
+            );
+        }
+        timer.observe(crate::obs::metrics().wall_decode_recurrence_s);
         taken
     }
 
@@ -675,6 +818,12 @@ impl EngineSession {
     /// Finalizes the session: computes latency percentiles and returns the
     /// aggregate report plus per-request completion records.
     pub fn finish(mut self) -> SessionReport {
+        if llmqo_obs::enabled() {
+            crate::obs::publish_cache_internals(
+                crate::cache::CacheInternals::default(),
+                self.cache.internals(),
+            );
+        }
         self.ttfts.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         self.latencies
             .sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));

@@ -15,6 +15,8 @@
 //!   and radix-tree prefix reuse (the vLLM/SGLang stand-in).
 //! * [`datasets`] — synthetic reproductions of the paper's seven datasets
 //!   and its 16-query benchmark suite.
+//! * [`obs`] — observability: metrics registry, sim-time tracer, and the
+//!   Prometheus / JSON / Chrome-trace exporters (no-op by default).
 //! * [`rag`] — embedding + vector-index retrieval substrate.
 //! * [`costmodel`] — OpenAI/Anthropic prompt-cache pricing simulators.
 //! * [`tokenizer`] — the deterministic subword tokenizer used throughout.
@@ -41,6 +43,7 @@ pub use llmqo_cluster as cluster;
 pub use llmqo_core as core;
 pub use llmqo_costmodel as costmodel;
 pub use llmqo_datasets as datasets;
+pub use llmqo_obs as obs;
 pub use llmqo_rag as rag;
 pub use llmqo_relational as relational;
 pub use llmqo_serve as serve;

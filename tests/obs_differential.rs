@@ -1,0 +1,298 @@
+//! Differential contract of the observability layer (`llmqo-obs`): the
+//! instrumentation threaded through the engine, cluster, and relational
+//! layers must be **observationally invisible** — runs with sinks disabled
+//! (the default) and with everything enabled produce identical reports,
+//! completions, and SQL results on all seven tier-1 datasets — and the
+//! sinks themselves must be trustworthy: histogram quantiles track the
+//! exact [`percentile`](llmqo::serve::percentile) within the log-bucket
+//! resolution, and the sim-time trace exporter is byte-deterministic.
+//!
+//! Tests that flip the global `llmqo_obs` enabled flag or touch the global
+//! registry/tracer serialize on one mutex — `cargo test` runs test
+//! functions of one binary concurrently, and the sinks are process-global.
+
+use llmqo::cluster::{
+    ClusterConfig, ClusterReport, ClusterRequest, ClusterSim, PrefixAffinity, RoundRobin, Router,
+};
+use llmqo::core::Ggr;
+use llmqo::datasets::{Dataset, DatasetId};
+use llmqo::relational::{OptimizerConfig, QueryExecutor, SqlResult, SqlRunner};
+use llmqo::serve::{
+    percentile, Deployment, EngineConfig, GpuCluster, GpuSpec, ModelSpec, OracleLlm, SimEngine,
+    SimRequest,
+};
+use llmqo::tokenizer::Tokenizer;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn engine() -> SimEngine {
+    SimEngine::new(
+        Deployment::new(ModelSpec::llama3_8b(), GpuCluster::single(GpuSpec::l4())),
+        EngineConfig::default(),
+    )
+}
+
+/// A grouped shared-prefix workload: 12 groups of 6 requests sharing a
+/// 48-token prefix, exercising admission, caching, eviction, and decode.
+fn workload() -> Vec<SimRequest> {
+    (0..72usize)
+        .map(|i| {
+            let g = (i / 6) as u32;
+            let mut toks: Vec<u32> = (0..48).map(|j| g * 1000 + j).collect();
+            toks.extend((0..12).map(|j| 500_000 + i as u32 * 64 + j));
+            SimRequest::from_tokens(i, toks, 4)
+        })
+        .collect()
+}
+
+fn tagged_workload() -> Vec<ClusterRequest> {
+    workload()
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| ClusterRequest::new(r, (i / 6) as u64))
+        .collect()
+}
+
+fn run_session() -> (Vec<llmqo::serve::Completion>, llmqo::serve::SessionReport) {
+    let eng = engine();
+    let mut session = eng.session().expect("session");
+    let requests = workload();
+    let completions = session.run_batch(&requests).expect("run").to_vec();
+    (completions, session.finish())
+}
+
+fn run_cluster(router: &mut dyn Router) -> ClusterReport {
+    let sim = ClusterSim::new(
+        engine(),
+        ClusterConfig {
+            replicas: 3,
+            queue_cap: 16,
+        },
+    );
+    sim.run(router, &tagged_workload()).expect("cluster run")
+}
+
+fn skewed_truth(row: usize) -> String {
+    if row.is_multiple_of(20) {
+        "Yes".to_string()
+    } else {
+        "No".to_string()
+    }
+}
+
+fn run_sql(ds: &Dataset, table_name: &str, sql: &str) -> SqlResult {
+    let eng = engine();
+    let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+    let solver = Ggr::default();
+    let mut runner = SqlRunner::new(&executor, &solver).with_optimizer(OptimizerConfig::all());
+    runner.register(table_name, &ds.table, &ds.fds);
+    runner
+        .run(sql, &skewed_truth)
+        .unwrap_or_else(|e| panic!("{sql}: {e}"))
+}
+
+/// Equality on every sim-deterministic field of a SQL result.
+/// `ExecutionReport::solve_time_s` is wall-clock and differs between any
+/// two runs, so whole-struct `==` is the one comparison we cannot make.
+fn assert_sql_identical(a: &SqlResult, b: &SqlResult, context: &str) {
+    assert_eq!(a.columns, b.columns, "{context}: columns");
+    assert_eq!(a.rows, b.rows, "{context}: rows");
+    assert_eq!(a.aggregate, b.aggregate, "{context}: aggregate");
+    assert_eq!(a.notes, b.notes, "{context}: notes");
+    assert_eq!(a.stages.len(), b.stages.len(), "{context}: stage count");
+    for (x, y) in a.stages.iter().zip(&b.stages) {
+        assert_eq!(x.outputs, y.outputs, "{context}: stage outputs");
+        assert_eq!(x.aggregate, y.aggregate, "{context}: stage aggregate");
+        assert_eq!(x.report.query, y.report.query, "{context}: stage query");
+        assert_eq!(x.report.engine, y.report.engine, "{context}: engine report");
+        assert_eq!(x.report.opt, y.report.opt, "{context}: opt stats");
+    }
+}
+
+/// Instrumented-but-disabled engine runs are identical to enabled runs:
+/// the sinks never influence scheduling, clocks, or cache decisions.
+#[test]
+fn session_outcome_is_invisible_to_observability() {
+    let _g = lock();
+    llmqo_obs::set_enabled(false);
+    let disabled = run_session();
+    llmqo_obs::set_enabled(true);
+    llmqo_obs::registry().reset();
+    llmqo_obs::tracer().clear();
+    let enabled = run_session();
+    llmqo_obs::set_enabled(false);
+    assert_eq!(disabled, enabled);
+    // The enabled run really did record: lifecycle spans + counters exist.
+    assert!(!llmqo_obs::tracer().is_empty(), "no trace events recorded");
+    assert_eq!(llmqo_obs::registry().counter("serve.completions").get(), 72);
+}
+
+/// The same invisibility contract at the cluster layer, for a prefix-blind
+/// and a prefix-affine router.
+#[test]
+fn cluster_reports_are_invisible_to_observability() {
+    let _g = lock();
+    for router in [
+        &mut RoundRobin::default() as &mut dyn Router,
+        &mut PrefixAffinity::default(),
+    ] {
+        llmqo_obs::set_enabled(false);
+        let disabled = run_cluster(router);
+        llmqo_obs::set_enabled(true);
+        llmqo_obs::registry().reset();
+        llmqo_obs::tracer().clear();
+        let enabled = run_cluster(router);
+        llmqo_obs::set_enabled(false);
+        assert_eq!(disabled, enabled, "router {}", disabled.policy);
+        // Occupancy sampling is always on (pure reads shared by both
+        // modes), so the report itself carries the satellite gauges.
+        assert!(disabled.replicas.iter().any(|r| r.occupancy.samples > 0));
+    }
+}
+
+/// SQL execution — the whole optimizer + adaptive runtime + engine stack —
+/// is unchanged by enabling observability, on all seven tier-1 datasets.
+#[test]
+fn sql_results_are_invisible_to_observability_on_all_seven_datasets() {
+    let _g = lock();
+    let cases: &[(DatasetId, &str, &str)] = &[
+        (
+            DatasetId::Movies,
+            "movies",
+            "SELECT movietitle FROM movies \
+             WHERE LLM('kids?', movieinfo, reviewcontent) = 'Yes' \
+             AND LLM('fresh?', reviewtype, topcritic) <> 'Yes'",
+        ),
+        (
+            DatasetId::Products,
+            "products",
+            "SELECT product_title FROM products \
+             WHERE LLM('useful?', text, review_title) = 'Yes' \
+             AND LLM('verified?', verified_purchase, rating) <> 'Yes'",
+        ),
+        (
+            DatasetId::Bird,
+            "bird",
+            "SELECT PostId FROM bird \
+             WHERE LLM('stats?', Body, Text) = 'Yes' \
+             AND LLM('old?', PostDate) <> 'Yes' LIMIT 6",
+        ),
+        (
+            DatasetId::Pdmx,
+            "pdmx",
+            "SELECT artistname FROM pdmx \
+             WHERE LLM('complex?', complexity, genre) = 'Yes' \
+             AND LLM('grouped?', groups, composername) <> 'Yes'",
+        ),
+        (
+            DatasetId::Beer,
+            "beer",
+            "SELECT beer/name FROM beer \
+             WHERE LLM('good?', review/overall, review/palate) = 'Yes' \
+             AND LLM('ipa?', beer/style) <> 'Yes' LIMIT 8",
+        ),
+        (
+            DatasetId::Squad,
+            "squad",
+            "SELECT question FROM squad \
+             WHERE LLM('answerable?', question, context1) = 'Yes' \
+             AND LLM('short?', context2) <> 'Yes'",
+        ),
+        (
+            DatasetId::Fever,
+            "fever",
+            "SELECT claim FROM fever \
+             WHERE LLM('supported?', claim, context1) = 'Yes' \
+             AND LLM('refuted?', context2, context3) <> 'Yes' LIMIT 5",
+        ),
+    ];
+    for &(id, name, sql) in cases {
+        let ds = Dataset::generate_with_rows(id, 120);
+        llmqo_obs::set_enabled(false);
+        let disabled = run_sql(&ds, name, sql);
+        llmqo_obs::set_enabled(true);
+        llmqo_obs::registry().reset();
+        llmqo_obs::tracer().clear();
+        let enabled = run_sql(&ds, name, sql);
+        llmqo_obs::set_enabled(false);
+        assert_sql_identical(&disabled, &enabled, id.name());
+    }
+}
+
+/// Two identical enabled runs export byte-identical Chrome trace JSON:
+/// timestamps come from the deterministic sim clock, never wall time.
+#[test]
+fn trace_export_is_byte_deterministic() {
+    let _g = lock();
+    let mut exports = Vec::new();
+    for _ in 0..2 {
+        llmqo_obs::set_enabled(true);
+        llmqo_obs::registry().reset();
+        llmqo_obs::tracer().clear();
+        run_session();
+        let _ = run_cluster(&mut PrefixAffinity::default());
+        llmqo_obs::set_enabled(false);
+        exports.push(llmqo_obs::tracer().export_chrome_json());
+    }
+    assert!(!exports[0].is_empty());
+    assert_eq!(exports[0], exports[1], "trace export is nondeterministic");
+    llmqo_obs::validate_json(&exports[0]).expect("trace JSON well-formed");
+}
+
+/// The text expositions round-trip: Prometheus text parses back into the
+/// samples that produced it, and the JSON snapshot is well-formed.
+#[test]
+fn metric_expositions_round_trip() {
+    let _g = lock();
+    llmqo_obs::set_enabled(true);
+    llmqo_obs::registry().reset();
+    llmqo_obs::tracer().clear();
+    run_session();
+    llmqo_obs::set_enabled(false);
+    let prom = llmqo_obs::registry().prometheus_text();
+    let samples = llmqo_obs::parse_prometheus(&prom).expect("prometheus text parses");
+    assert!(!samples.is_empty());
+    assert!(samples
+        .iter()
+        .any(|s| s.name.starts_with("serve_requests_enqueued")));
+    let json = llmqo_obs::registry().json_snapshot();
+    llmqo_obs::validate_json(&json).expect("metrics JSON well-formed");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram quantiles vs the exact nearest-rank percentile the serving
+    /// layer computes: log-bucketing with 8 sub-buckets per octave bounds
+    /// the representative error at ~4.4%, so 10% relative tolerance holds
+    /// for any sample set and any probe point.
+    #[test]
+    fn histogram_quantiles_track_exact_percentile(
+        raw in proptest::collection::vec(1u64..1_000_000_000_000_000u64, 1..300),
+        p_mil in 0u64..=1000,
+    ) {
+        // The vendored proptest shim has no f64 range strategies; span
+        // 1e-6..1e9 seconds by scaling integer draws.
+        let samples: Vec<f64> = raw.iter().map(|&x| x as f64 * 1e-6).collect();
+        let p = p_mil as f64 / 1000.0;
+        let registry = llmqo_obs::Registry::new();
+        let hist = registry.histogram("q");
+        for &s in &samples {
+            hist.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let exact = percentile(&sorted, p);
+        let approx = hist.quantile(p);
+        prop_assert!(
+            (approx - exact).abs() <= 0.10 * exact.abs(),
+            "quantile({p}) = {approx}, exact = {exact}"
+        );
+    }
+}
