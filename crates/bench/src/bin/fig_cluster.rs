@@ -49,7 +49,7 @@ fn main() {
                 queue_cap: tagged.len().max(1),
             },
         );
-        sim.run(&mut RoundRobin::default(), &tagged)
+        sim.run(&mut RoundRobin, &tagged)
             .expect("single-replica run")
             .prefix_hit_rate()
     };
@@ -66,7 +66,7 @@ fn main() {
         );
         let mut phr = std::collections::HashMap::new();
         for router in [
-            &mut RoundRobin::default() as &mut dyn Router,
+            &mut RoundRobin as &mut dyn Router,
             &mut LeastLoaded,
             &mut PrefixAffinity::default(),
             &mut PrefixAffinity::bounded(1.25),

@@ -1,0 +1,259 @@
+//! **Chaos sweep**: goodput and tail queue-wait of an 8-replica cluster
+//! under injected faults, across the retry-policy ladder and a
+//! prefix-affine vs prefix-blind router. Writes `BENCH_chaos.json`.
+//!
+//! The grid is {no-fault, 1-crash, 10%-transient-errors, 1-straggler} ×
+//! {retry off, retry+backoff, retry+hedging} × {prefix-affinity,
+//! round-robin} on a synthetic grouped shared-prefix workload. Every cell
+//! asserts the zero-loss ledger `succeeded + failed == offered`, the
+//! no-fault/no-retry cell is verified byte-identical to the fault-free
+//! dispatcher, and the run fails if prefix-affinity ever loses its
+//! prefix-hit-rate advantage over round-robin while faults are active —
+//! the failover path must preserve locality, not just liveness.
+//!
+//! ```sh
+//! LLMQO_SCALE=0.2 cargo run --release -p llmqo-bench --bin perf_chaos
+//! ```
+
+use llmqo_bench::harness;
+use llmqo_cluster::{
+    ArrivalProcess, ClusterConfig, ClusterReport, ClusterRequest, ClusterSim, FaultPlan,
+    PrefixAffinity, RetryPolicy, RoundRobin, Router,
+};
+use llmqo_serve::{EngineConfig, SimEngine, SimRequest};
+
+const REPLICAS: usize = 8;
+const QUEUE_CAP: usize = 16;
+
+/// Grouped shared-prefix workload: `groups` prefix groups of `per_group`
+/// requests each — the shape the reordering solver hands the cluster, and
+/// the one where routing policy decides whether prefixes stay cached.
+fn workload(groups: usize, per_group: usize) -> Vec<ClusterRequest> {
+    let mut requests: Vec<ClusterRequest> = (0..groups * per_group)
+        .map(|i| {
+            let g = (i / per_group) as u32;
+            let mut toks: Vec<u32> = (0..64).map(|j| g * 1000 + j).collect();
+            toks.extend((0..16).map(|j| 500_000 + i as u32 * 64 + j));
+            ClusterRequest::new(SimRequest::from_tokens(i, toks, 4), u64::from(g))
+        })
+        .collect();
+    ArrivalProcess::Poisson {
+        rate_rps: 400.0,
+        seed: 17,
+    }
+    .assign(&mut requests);
+    requests
+}
+
+fn sim() -> ClusterSim {
+    ClusterSim::new(
+        SimEngine::new(harness::deployment_8b(), EngineConfig::default()),
+        ClusterConfig {
+            replicas: REPLICAS,
+            queue_cap: QUEUE_CAP,
+        },
+    )
+}
+
+struct Cell {
+    fault: &'static str,
+    retry: &'static str,
+    report: ClusterReport,
+}
+
+fn json_escape_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let scale = harness::scale();
+    let groups = ((24.0 * scale).round() as usize).max(8);
+    let requests = workload(groups, 8);
+    let sim = sim();
+
+    // Probe run: the fault-free makespan anchors every fault instant so
+    // the scenarios stay meaningful at any LLMQO_SCALE.
+    let probe = sim
+        .run(&mut PrefixAffinity::default(), &requests)
+        .expect("probe run");
+    let mk = probe.makespan_s;
+    println!(
+        "probe: {} requests over {groups} groups, 8 replicas, fault-free makespan {mk:.2}s",
+        requests.len()
+    );
+
+    let faults: Vec<(&'static str, FaultPlan)> = vec![
+        ("no-fault", FaultPlan::seeded(23)),
+        (
+            "1-crash",
+            FaultPlan::seeded(23).crash_restart(0, 0.2 * mk, 0.6 * mk),
+        ),
+        (
+            "10%-transient",
+            FaultPlan::seeded(23).transient_errors_ppm(100_000),
+        ),
+        (
+            "1-straggler",
+            FaultPlan::seeded(23).slowdown(0, 0.1 * mk, 0.8 * mk, 4.0),
+        ),
+    ];
+    let policies: Vec<(&'static str, RetryPolicy)> = vec![
+        ("off", RetryPolicy::disabled()),
+        ("backoff", RetryPolicy::retries(3)),
+        (
+            "backoff+hedge",
+            // Hedge at roughly the fault-free tail: duplicates target only
+            // requests genuinely stuck behind a fault, not the median.
+            RetryPolicy::retries(3).with_hedging((0.9 * mk).max(0.05)),
+        ),
+    ];
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (fault_name, plan) in &faults {
+        for (retry_name, policy) in &policies {
+            for router_is_affine in [true, false] {
+                let mut router: Box<dyn Router> = if router_is_affine {
+                    Box::new(PrefixAffinity::default())
+                } else {
+                    Box::new(RoundRobin)
+                };
+                let report = sim
+                    .run_with_faults(router.as_mut(), &requests, plan, policy)
+                    .expect("chaos run");
+                if report.faults.engaged() {
+                    let fs = &report.faults;
+                    assert_eq!(
+                        fs.succeeded + fs.failed,
+                        fs.offered,
+                        "{fault_name}/{retry_name}/{}: requests lost",
+                        report.policy
+                    );
+                } else {
+                    // The inert cell must be byte-identical to the
+                    // fault-free dispatcher — the differential spine,
+                    // re-proven on the bench workload itself.
+                    let seed_run = sim.run(router.as_mut(), &requests).expect("seed run");
+                    assert_eq!(
+                        seed_run, report,
+                        "inert chaos cell diverged from the fault-free path"
+                    );
+                }
+                cells.push(Cell {
+                    fault: fault_name,
+                    retry: retry_name,
+                    report,
+                });
+            }
+        }
+    }
+
+    // Failover must preserve locality: whenever faults are active and
+    // recovery is on, prefix-affinity's cluster-wide prefix hit rate must
+    // stay strictly above round-robin's.
+    for (fault_name, _) in &faults {
+        for (retry_name, _) in &policies {
+            let phr = |policy: &str| {
+                cells
+                    .iter()
+                    .find(|c| {
+                        c.fault == *fault_name
+                            && c.retry == *retry_name
+                            && c.report.policy == policy
+                    })
+                    .map(|c| c.report.prefix_hit_rate())
+                    .expect("cell exists")
+            };
+            let affine = phr("prefix-affinity");
+            let blind = phr("round-robin");
+            assert!(
+                affine > blind,
+                "{fault_name}/{retry_name}: prefix-affinity PHR {:.1}% did not beat \
+                 round-robin {:.1}% — failover lost the locality advantage",
+                affine * 100.0,
+                blind * 100.0
+            );
+        }
+    }
+
+    println!(
+        "\n{:<14} {:<14} {:<16} {:>8} {:>10} {:>7} {:>6} {:>7} {:>7} {:>9}",
+        "fault",
+        "retry",
+        "router",
+        "goodput",
+        "p99 wait",
+        "PHR",
+        "failed",
+        "retries",
+        "hedges",
+        "failovers"
+    );
+    for c in &cells {
+        let fs = &c.report.faults;
+        println!(
+            "{:<14} {:<14} {:<16} {:>8.1} {:>9.3}s {:>6.1}% {:>6} {:>7} {:>7} {:>9}",
+            c.fault,
+            c.retry,
+            c.report.policy,
+            c.report.goodput_rps(),
+            c.report.queue_wait_p99_s,
+            c.report.prefix_hit_rate() * 100.0,
+            fs.failed,
+            fs.retries,
+            fs.hedges_issued,
+            fs.failovers
+        );
+    }
+
+    // BENCH_chaos.json: hand-rolled (the vendored serde has no JSON
+    // serializer), one object per grid cell.
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"chaos\",\n");
+    json.push_str("  \"metric\": \"goodput (useful requests per second of makespan) and p99 admission queue wait under injected faults\",\n");
+    json.push_str(&format!("  \"replicas\": {REPLICAS},\n"));
+    json.push_str(&format!("  \"queue_cap\": {QUEUE_CAP},\n"));
+    json.push_str(&format!("  \"requests\": {},\n", requests.len()));
+    json.push_str(&format!("  \"prefix_groups\": {groups},\n"));
+    json.push_str(&format!(
+        "  \"fault_free_makespan_s\": {},\n",
+        json_escape_num(mk)
+    ));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let fs = &c.report.faults;
+        json.push_str(&format!(
+            "    {{\"fault\": \"{}\", \"retry\": \"{}\", \"router\": \"{}\", \
+             \"goodput_rps\": {}, \"queue_wait_p99_s\": {}, \"prefix_hit_rate\": {}, \
+             \"makespan_s\": {}, \"offered\": {}, \"succeeded\": {}, \"failed\": {}, \
+             \"retries\": {}, \"transient_errors\": {}, \"hedges_issued\": {}, \
+             \"hedges_won\": {}, \"failovers\": {}, \"deadline_misses\": {}, \
+             \"unavailable_s\": {}}}{}\n",
+            c.fault,
+            c.retry,
+            c.report.policy,
+            json_escape_num(c.report.goodput_rps()),
+            json_escape_num(c.report.queue_wait_p99_s),
+            json_escape_num(c.report.prefix_hit_rate()),
+            json_escape_num(c.report.makespan_s),
+            fs.offered,
+            fs.succeeded,
+            fs.failed,
+            fs.retries,
+            fs.transient_errors,
+            fs.hedges_issued,
+            fs.hedges_won,
+            fs.failovers,
+            fs.deadline_misses,
+            json_escape_num(fs.unavailable_s),
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    llmqo_obs::validate_json(&json).expect("BENCH_chaos.json is well-formed");
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    println!("\nwrote BENCH_chaos.json ({} cells)", cells.len());
+}

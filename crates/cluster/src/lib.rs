@@ -21,6 +21,13 @@
 //!   per-replica queues (backpressure) on one shared timeline.
 //! * [`ClusterReport`] — makespan, cluster-wide and per-replica prefix hit
 //!   rates, queue-wait percentiles, and load skew.
+//! * [`FaultPlan`] / [`RetryPolicy`] /
+//!   [`ClusterSim::run_with_faults`] — deterministic, sim-time fault
+//!   injection (crash/restart, drain/rejoin, straggler windows, transient
+//!   errors) with bounded retries, exponential backoff + deterministic
+//!   jitter, per-request deadlines, hedging, and prefix-affinity-aware
+//!   failover; failure metrics land in [`ClusterReport::faults`]
+//!   ([`FaultStats`]).
 //!
 //! # Example
 //!
@@ -48,7 +55,7 @@
 //!         ClusterRequest::new(SimRequest::from_tokens(i, toks, 2), u64::from(g))
 //!     })
 //!     .collect();
-//! let rr = sim.run(&mut RoundRobin::default(), &requests).unwrap();
+//! let rr = sim.run(&mut RoundRobin, &requests).unwrap();
 //! let pa = sim.run(&mut PrefixAffinity::default(), &requests).unwrap();
 //! assert_eq!(rr.completed, 240);
 //! assert!(pa.prefix_hit_rate() >= rr.prefix_hit_rate());
@@ -56,12 +63,16 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod chaos;
+mod fault;
 mod report;
 mod request;
 mod router;
 mod sim;
 
+pub use fault::{FaultEvent, FaultPlan, FaultStats, RetryPolicy};
 pub use report::{ClusterReport, ReplicaOccupancy, ReplicaReport};
 pub use request::{tag_requests, ArrivalProcess, ClusterRequest};
 pub use router::{LeastLoaded, PrefixAffinity, ReplicaSnapshot, RoundRobin, Router};

@@ -1,5 +1,6 @@
 //! Aggregated results of a sharded serving run.
 
+use crate::fault::FaultStats;
 use llmqo_serve::{percentile, Completion, EngineReport};
 use std::fmt;
 
@@ -91,6 +92,11 @@ pub struct ClusterReport {
     pub queue_wait_p99_s: f64,
     /// Worst queue wait, seconds.
     pub queue_wait_max_s: f64,
+    /// Failure metrics. All zeros (and [`FaultStats::engaged`] is `false`)
+    /// unless the run went through
+    /// [`ClusterSim::run_with_faults`](crate::ClusterSim::run_with_faults)
+    /// with a non-inert plan or policy.
+    pub faults: FaultStats,
 }
 
 impl ClusterReport {
@@ -99,7 +105,7 @@ impl ClusterReport {
         replicas: Vec<ReplicaReport>,
         mut queue_waits: Vec<f64>,
     ) -> Self {
-        queue_waits.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        queue_waits.sort_by(f64::total_cmp);
         ClusterReport {
             policy: policy.to_owned(),
             makespan_s: replicas
@@ -112,6 +118,7 @@ impl ClusterReport {
             queue_wait_p50_s: percentile(&queue_waits, 0.50),
             queue_wait_p99_s: percentile(&queue_waits, 0.99),
             queue_wait_max_s: queue_waits.last().copied().unwrap_or(0.0),
+            faults: FaultStats::default(),
             replicas,
         }
     }
@@ -146,6 +153,25 @@ impl ClusterReport {
             self.completed as f64 / self.makespan_s
         }
     }
+
+    /// *Useful* requests per second of makespan: successes that met their
+    /// deadline, over the makespan. Distinct from
+    /// [`throughput_rps`](ClusterReport::throughput_rps) under faults,
+    /// where wasted hedge work and late completions inflate raw completion
+    /// counts; identical to it on fault-free runs.
+    pub fn goodput_rps(&self) -> f64 {
+        if !self.faults.engaged() {
+            return self.throughput_rps();
+        }
+        if self.makespan_s <= 0.0 {
+            return 0.0;
+        }
+        let useful = self
+            .faults
+            .succeeded
+            .saturating_sub(usize::try_from(self.faults.late_successes).unwrap_or(usize::MAX));
+        useful as f64 / self.makespan_s
+    }
 }
 
 impl fmt::Display for ClusterReport {
@@ -163,6 +189,25 @@ impl fmt::Display for ClusterReport {
             self.queue_wait_p99_s,
             self.completed
         )?;
+        if self.faults.engaged() {
+            let fs = &self.faults;
+            writeln!(
+                f,
+                "  faults: offered {}  ok {}  failed {}  retries {}  hedges {}/{} won  \
+                 failovers {}  deadline misses {}  goodput {:.2} rps  unavailable {:.2}s/{} windows",
+                fs.offered,
+                fs.succeeded,
+                fs.failed,
+                fs.retries,
+                fs.hedges_won,
+                fs.hedges_issued,
+                fs.failovers,
+                fs.deadline_misses,
+                self.goodput_rps(),
+                fs.unavailable_s,
+                fs.unavailability_windows
+            )?;
+        }
         for (i, r) in self.replicas.iter().enumerate() {
             writeln!(
                 f,

@@ -27,6 +27,10 @@ pub struct ReplicaSnapshot {
     pub clock_s: f64,
     /// Requests routed to this replica so far.
     pub assigned: usize,
+    /// Whether the replica accepts new work. `false` for crashed, drained,
+    /// or otherwise excluded replicas; the fault-free dispatcher always
+    /// passes `true`.
+    pub alive: bool,
 }
 
 impl ReplicaSnapshot {
@@ -36,9 +40,43 @@ impl ReplicaSnapshot {
     }
 }
 
+/// Picks the routable subset: the alive replicas, or — when none are (the
+/// dispatcher is asking with nowhere to go) — every replica, so a policy
+/// stays a total function and the dispatcher's backpressure/stall handling
+/// deals with the consequences.
+fn pool(replicas: &[ReplicaSnapshot]) -> Vec<&ReplicaSnapshot> {
+    let alive: Vec<&ReplicaSnapshot> = replicas.iter().filter(|r| r.alive).collect();
+    if alive.is_empty() {
+        replicas.iter().collect()
+    } else {
+        alive
+    }
+}
+
 /// A routing policy. Implementations must return an index `< replicas.len()`
 /// and should be deterministic: the cluster simulator's reports are
 /// reproducible only if its router is.
+///
+/// # The retry-insensitive contract
+///
+/// All four built-in routers ([`RoundRobin`], [`LeastLoaded`], and both
+/// [`PrefixAffinity`] forms) are **pure functions of their arguments**: the
+/// same `(prefix_key, replicas)` pair always yields the same choice, and a
+/// consultation mutates nothing. The dispatcher may therefore consult them
+/// any number of times — per backpressure retry, per failover, per hedge —
+/// without perturbing later decisions, which is what lets chaos re-routing
+/// reuse the ordinary routing path and is the contract the macro-stepped
+/// backpressure phases of ROADMAP item 3 build on. The property is enforced
+/// by proptests in `tests/chaos_differential.rs`.
+///
+/// Custom implementations *may* be stateful (the receiver is `&mut self`),
+/// but then observe one extra call per backpressure retry and forfeit the
+/// guarantees above; the simulator stays correct but conservative around
+/// them.
+///
+/// Routers should prefer replicas with [`ReplicaSnapshot::alive`] set;
+/// when no alive replica exists they must still return *some* index (the
+/// dispatcher treats a routed-to-down replica as backpressure).
 pub trait Router {
     /// Display name used in reports.
     fn name(&self) -> &'static str;
@@ -61,10 +99,15 @@ impl fmt::Debug for dyn Router + '_ {
 /// identity. The classic default of dispatch layers — and the policy that
 /// destroys solver-created prefix locality, since consecutive rows of a
 /// shared-prefix group land on different replicas.
-#[derive(Debug, Clone, Default)]
-pub struct RoundRobin {
-    next: usize,
-}
+///
+/// Stateless: the cycle position is recovered from the snapshots (total
+/// placements so far, mod the routable pool), so the decision is a pure
+/// function of the fleet state — see the trait-level contract. Under
+/// backpressure this differs from a counter-per-consultation round-robin
+/// (retries no longer advance the cycle), which only makes the policy
+/// *more* round-robin: the cycle advances exactly once per placed request.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
 
 impl Router for RoundRobin {
     fn name(&self) -> &'static str {
@@ -72,9 +115,12 @@ impl Router for RoundRobin {
     }
 
     fn route(&mut self, _prefix_key: u64, replicas: &[ReplicaSnapshot]) -> usize {
-        let choice = self.next % replicas.len();
-        self.next = (self.next + 1) % replicas.len();
-        choice
+        let pool = pool(replicas);
+        if pool.is_empty() {
+            return 0;
+        }
+        let placed: usize = pool.iter().map(|r| r.assigned).sum();
+        pool[placed % pool.len()].index
     }
 }
 
@@ -90,11 +136,10 @@ impl Router for LeastLoaded {
     }
 
     fn route(&mut self, _prefix_key: u64, replicas: &[ReplicaSnapshot]) -> usize {
-        replicas
+        pool(replicas)
             .iter()
             .min_by_key(|r| (r.load(), r.kv_blocks_in_use, r.index))
-            .expect("route is never called with zero replicas")
-            .index
+            .map_or(0, |r| r.index)
     }
 }
 
@@ -155,9 +200,17 @@ impl Router for PrefixAffinity {
     }
 
     fn route(&mut self, prefix_key: u64, replicas: &[ReplicaSnapshot]) -> usize {
-        let mut ranked: Vec<(u64, usize)> = replicas
+        let pool = pool(replicas);
+        if pool.is_empty() {
+            return 0;
+        }
+        // Ranking only the routable pool is what makes failover
+        // prefix-affinity-aware: with a group's top-ranked replica down,
+        // every request of the group lands on its *second*-ranked replica —
+        // together, preserving locality — and returns home on rejoin.
+        let mut ranked: Vec<(u64, usize, usize)> = pool
             .iter()
-            .map(|r| (mix(prefix_key ^ mix(r.index as u64)), r.index))
+            .map(|r| (mix(prefix_key ^ mix(r.index as u64)), r.index, r.load()))
             .collect();
         ranked.sort_unstable_by(|a, b| b.cmp(a));
         let Some(factor) = self.max_load_factor else {
@@ -166,11 +219,11 @@ impl Router for PrefixAffinity {
         // Consistent hashing with bounded loads: capacity is `factor` times
         // the mean outstanding work counting the incoming request, so at
         // least one replica is always below it.
-        let total: usize = replicas.iter().map(|r| r.load()).sum();
-        let capacity = (factor * (total + 1) as f64 / replicas.len() as f64).ceil();
+        let total: usize = pool.iter().map(|r| r.load()).sum();
+        let capacity = (factor * (total + 1) as f64 / pool.len() as f64).ceil();
         ranked
             .iter()
-            .find(|&&(_, i)| (replicas[i].load() as f64) < capacity)
+            .find(|&&(_, _, load)| (load as f64) < capacity)
             .unwrap_or(&ranked[0])
             .1
     }
@@ -192,16 +245,75 @@ mod tests {
                 capacity_blocks: 1000,
                 clock_s: 0.0,
                 assigned: 0,
+                alive: true,
             })
             .collect()
     }
 
     #[test]
-    fn round_robin_cycles() {
-        let snaps = snapshots(&[(0, 0), (0, 0), (0, 0)]);
-        let mut rr = RoundRobin::default();
-        let picks: Vec<usize> = (0..6).map(|k| rr.route(k, &snaps)).collect();
+    fn round_robin_cycles_with_placements() {
+        // The cycle position is the number of placed requests, so the
+        // policy walks the fleet as `assigned` counts grow — and repeating
+        // the consultation on an unchanged snapshot repeats the choice.
+        let mut snaps = snapshots(&[(0, 0), (0, 0), (0, 0)]);
+        let mut rr = RoundRobin;
+        let mut picks = Vec::new();
+        for k in 0..6 {
+            let choice = rr.route(k, &snaps);
+            assert_eq!(choice, rr.route(k, &snaps), "retry changed the choice");
+            picks.push(choice);
+            snaps[choice].assigned += 1;
+        }
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_dead_replicas() {
+        let mut snaps = snapshots(&[(0, 0), (0, 0), (0, 0)]);
+        snaps[1].alive = false;
+        let mut rr = RoundRobin;
+        let mut picks = Vec::new();
+        for k in 0..4 {
+            let choice = rr.route(k, &snaps);
+            picks.push(choice);
+            snaps[choice].assigned += 1;
+        }
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn routers_stay_total_with_no_replica_alive() {
+        let mut snaps = snapshots(&[(0, 0), (0, 0)]);
+        for s in &mut snaps {
+            s.alive = false;
+        }
+        assert!(RoundRobin.route(7, &snaps) < snaps.len());
+        assert!(LeastLoaded.route(7, &snaps) < snaps.len());
+        assert!(PrefixAffinity::default().route(7, &snaps) < snaps.len());
+        assert!(PrefixAffinity::bounded(1.25).route(7, &snaps) < snaps.len());
+    }
+
+    #[test]
+    fn least_loaded_ignores_dead_replicas() {
+        let mut snaps = snapshots(&[(0, 0), (3, 2), (5, 1)]);
+        snaps[0].alive = false;
+        assert_eq!(LeastLoaded.route(0, &snaps), 1);
+    }
+
+    #[test]
+    fn prefix_affinity_fails_over_to_next_ranked_and_returns_home() {
+        let alive = snapshots(&[(0, 0); 8]);
+        let mut pa = PrefixAffinity::default();
+        for key in 0..100u64 {
+            let home = pa.route(key, &alive);
+            let mut down = alive.clone();
+            down[home].alive = false;
+            let failover = pa.route(key, &down);
+            assert_ne!(failover, home, "key {key} routed to a dead replica");
+            // Stable while down, and back home once the replica rejoins.
+            assert_eq!(pa.route(key, &down), failover);
+            assert_eq!(pa.route(key, &alive), home);
+        }
     }
 
     #[test]

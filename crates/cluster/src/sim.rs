@@ -74,6 +74,20 @@ pub enum ClusterError {
     },
     /// A replica engine failed.
     Engine(EngineError),
+    /// A [`FaultPlan`](crate::FaultPlan) or
+    /// [`RetryPolicy`](crate::RetryPolicy) is malformed.
+    InvalidFaultPlan {
+        /// What is wrong.
+        reason: &'static str,
+    },
+    /// Two requests passed to
+    /// [`run_with_faults`](crate::ClusterSim::run_with_faults) share an
+    /// engine request id. Retry attribution (which logical request a
+    /// completion belongs to) needs ids to be unique.
+    DuplicateRequestId {
+        /// The repeated id.
+        id: usize,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -90,6 +104,12 @@ impl fmt::Display for ClusterError {
                 write!(f, "router chose replica {chose} of {replicas}")
             }
             ClusterError::Engine(e) => write!(f, "replica engine error: {e}"),
+            ClusterError::InvalidFaultPlan { reason } => {
+                write!(f, "invalid fault plan or retry policy: {reason}")
+            }
+            ClusterError::DuplicateRequestId { id } => {
+                write!(f, "duplicate request id {id} in a fault-injected run")
+            }
         }
     }
 }
@@ -288,12 +308,7 @@ impl ClusterSim {
 
         // Arrival order: by time, original order on ties (stable sort).
         let mut order: Vec<usize> = (0..requests.len()).collect();
-        order.sort_by(|&a, &b| {
-            requests[a]
-                .arrival_s
-                .partial_cmp(&requests[b].arrival_s)
-                .expect("arrivals validated finite")
-        });
+        order.sort_by(|&a, &b| requests[a].arrival_s.total_cmp(&requests[b].arrival_s));
         let mut next_arrival = 0usize;
         // Requests that have arrived but not yet been placed on a replica.
         let mut admission: VecDeque<usize> = VecDeque::new();
@@ -318,6 +333,7 @@ impl ClusterSim {
                         capacity_blocks: r.session.capacity_blocks(),
                         clock_s: r.session.clock(),
                         assigned: r.assigned,
+                        alive: true,
                     })
                     .collect();
                 let choice = router.route(requests[j].prefix_key, &snapshots);
@@ -428,7 +444,7 @@ impl ClusterSim {
             let outcome = replica.session.finish();
             let mut admissions: Vec<f64> =
                 outcome.completions.iter().map(|c| c.admitted_s).collect();
-            admissions.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            admissions.sort_by(f64::total_cmp);
             for (&arrival, &admitted) in replica.arrivals.iter().zip(&admissions) {
                 queue_waits.push((admitted - arrival).max(0.0));
             }
@@ -485,7 +501,7 @@ mod tests {
     fn every_request_completes_exactly_once_under_every_policy() {
         let requests = grouped_requests(12, 10);
         for router in [
-            &mut RoundRobin::default() as &mut dyn Router,
+            &mut RoundRobin as &mut dyn Router,
             &mut LeastLoaded,
             &mut PrefixAffinity::default(),
         ] {
@@ -504,7 +520,7 @@ mod tests {
     #[test]
     fn affinity_beats_round_robin_on_hit_rate() {
         let requests = grouped_requests(40, 8);
-        let rr = sim(4).run(&mut RoundRobin::default(), &requests).unwrap();
+        let rr = sim(4).run(&mut RoundRobin, &requests).unwrap();
         let pa = sim(4)
             .run(&mut PrefixAffinity::default(), &requests)
             .unwrap();
@@ -528,9 +544,7 @@ mod tests {
                 queue_cap: requests.len(),
             },
         );
-        let cluster = wide_queue
-            .run(&mut RoundRobin::default(), &requests)
-            .unwrap();
+        let cluster = wide_queue.run(&mut RoundRobin, &requests).unwrap();
         let plain = engine()
             .run(
                 &requests
@@ -556,8 +570,8 @@ mod tests {
         .assign(&mut requests);
         for router_pair in [
             (
-                &mut RoundRobin::default() as &mut dyn Router,
-                &mut RoundRobin::default() as &mut dyn Router,
+                &mut RoundRobin as &mut dyn Router,
+                &mut RoundRobin as &mut dyn Router,
             ),
             (&mut LeastLoaded, &mut LeastLoaded),
             (
@@ -634,9 +648,9 @@ mod tests {
             let coarse = tight().run(&mut LeastLoaded, &requests).unwrap();
             assert_eq!(fine, coarse, "least-loaded, queue_cap {cap}");
             let fine = tight()
-                .run_single_stepped(&mut RoundRobin::default(), &requests)
+                .run_single_stepped(&mut RoundRobin, &requests)
                 .unwrap();
-            let coarse = tight().run(&mut RoundRobin::default(), &requests).unwrap();
+            let coarse = tight().run(&mut RoundRobin, &requests).unwrap();
             assert_eq!(fine, coarse, "round-robin (stateful), queue_cap {cap}");
         }
     }

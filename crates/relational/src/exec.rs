@@ -34,7 +34,7 @@ use crate::query::{LlmQuery, QueryKind};
 use crate::table::{Table, TableError};
 use llmqo_core::{phc_of_plan, FunctionalDeps, PhcReport, Reorderer, SolveError};
 use llmqo_serve::{
-    EngineError, EngineReport, EngineSession, GenRequest, SimEngine, SimLlm, SimRequest,
+    fault_unit, EngineError, EngineReport, EngineSession, GenRequest, SimEngine, SimLlm, SimRequest,
 };
 use llmqo_tokenizer::Tokenizer;
 use serde::{Deserialize, Serialize};
@@ -58,6 +58,15 @@ pub enum ExecError {
         /// The offending stage's name.
         stage: String,
     },
+    /// An LLM call kept failing (injected transient errors, see
+    /// [`StatementFaults`]) until the per-statement retry budget ran out,
+    /// and partial-result mode was off.
+    LlmUnavailable {
+        /// Original row index of the first row that could not be served.
+        row: usize,
+        /// Attempts made (the statement budget).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -71,6 +80,13 @@ impl fmt::Display for ExecError {
                 write!(
                     f,
                     "non-final multi-invocation stage {stage} must be a filter"
+                )
+            }
+            ExecError::LlmUnavailable { row, attempts } => {
+                write!(
+                    f,
+                    "LLM call for row {row} failed after {attempts} attempt(s) \
+                     and partial results are disabled"
                 )
             }
         }
@@ -134,8 +150,76 @@ pub struct QueryOutput {
     pub selected_rows: Vec<usize>,
     /// For aggregations: the average of parsed numeric outputs.
     pub aggregate: Option<f64>,
+    /// Original row indices whose LLM calls exhausted the
+    /// [`StatementFaults`] retry budget, ascending. Empty unless fault
+    /// injection was on and `partial_results` degraded the query; these
+    /// rows appear in no other output field.
+    pub failed_rows: Vec<usize>,
     /// Measurements.
     pub report: ExecutionReport,
+}
+
+/// Deterministic per-statement fault injection for the SQL executor: each
+/// engine call rolls against `error_ppm` (seeded, pure — reruns reproduce
+/// the same failures byte for byte), failed rolls retry as fresh engine
+/// requests (warm prefix cache) up to `max_attempts`, and rows still
+/// failing degrade per `partial_results` — dropped with a per-row
+/// annotation, or a clean [`ExecError::LlmUnavailable`]. Never a panic.
+///
+/// Rows answered from the session answer cache never reach the engine and
+/// therefore never roll: cached answers ride out an outage.
+///
+/// # Examples
+///
+/// ```
+/// use llmqo_relational::StatementFaults;
+///
+/// let faults = StatementFaults::new(100_000, 7); // 10% of calls fail
+/// assert_eq!(faults.max_attempts, 3);
+/// assert!(faults.partial_results);
+/// let strict = faults.with_attempts(5).strict();
+/// assert!(!strict.partial_results);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatementFaults {
+    /// Probability that one engine call fails transiently, in parts per
+    /// million (`100_000` = 10%). Zero disables injection entirely.
+    pub error_ppm: u32,
+    /// Seed for the per-call failure rolls.
+    pub seed: u64,
+    /// Serving attempts allowed per representative row, **including** the
+    /// first (values below 1 behave as 1).
+    pub max_attempts: u32,
+    /// After the budget: `true` drops the failed rows and annotates them in
+    /// [`SqlResult::notes`](crate::SqlResult::notes) (partial results);
+    /// `false` fails the statement with [`ExecError::LlmUnavailable`].
+    pub partial_results: bool,
+}
+
+impl StatementFaults {
+    /// Faults at `error_ppm` with seed `seed`, 3 attempts, partial results.
+    pub fn new(error_ppm: u32, seed: u64) -> Self {
+        StatementFaults {
+            error_ppm,
+            seed,
+            max_attempts: 3,
+            partial_results: true,
+        }
+    }
+
+    /// Overrides the per-row attempt budget.
+    #[must_use]
+    pub fn with_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Fail the whole statement instead of degrading to partial results.
+    #[must_use]
+    pub fn strict(mut self) -> Self {
+        self.partial_results = false;
+        self
+    }
 }
 
 /// Physical-layer options for [`QueryExecutor::execute_with`].
@@ -154,6 +238,10 @@ pub struct ExecOptions {
     /// (the positional-accuracy instrument of Fig. 6), which a cache hit
     /// has no schedule to derive from.
     pub answer_cache: bool,
+    /// Deterministic fault injection and graceful degradation. `None` (the
+    /// default) and `Some` with a zero `error_ppm` are byte-identical to
+    /// fault-free execution.
+    pub faults: Option<StatementFaults>,
 }
 
 impl ExecOptions {
@@ -170,6 +258,7 @@ impl ExecOptions {
         ExecOptions {
             dedup: true,
             answer_cache: true,
+            faults: None,
         }
     }
 }
@@ -180,6 +269,9 @@ impl ExecOptions {
 pub(crate) struct StageOutcome {
     /// Per-row outputs in original row indices (sorted within a batch).
     pub outputs: Vec<RowOutput>,
+    /// Original row indices dropped after exhausting the fault retry
+    /// budget (partial-result degradation).
+    pub failed_rows: Vec<usize>,
     /// Total solver wall-clock time.
     pub solve_time_s: f64,
     /// Summed claimed PHC across batches.
@@ -194,6 +286,7 @@ impl StageOutcome {
     /// Folds a later batch's outcome into this one.
     pub fn absorb(&mut self, other: StageOutcome) {
         self.outputs.extend(other.outputs);
+        self.failed_rows.extend(other.failed_rows);
         self.solve_time_s += other.solve_time_s;
         self.claimed_phc += other.claimed_phc;
         self.field_phc.phc += other.field_phc.phc;
@@ -211,6 +304,7 @@ impl StageOutcome {
         engine: EngineReport,
     ) -> QueryOutput {
         self.outputs.sort_by_key(|o| o.row);
+        self.failed_rows.sort_unstable();
         let selected_rows = match (&query.kind, &query.predicate_label) {
             (QueryKind::Filter, Some(label)) => self
                 .outputs
@@ -238,6 +332,7 @@ impl StageOutcome {
             outputs: self.outputs,
             selected_rows,
             aggregate,
+            failed_rows: self.failed_rows,
             report: ExecutionReport {
                 query: query.name.clone(),
                 solver: solver.to_owned(),
@@ -549,6 +644,54 @@ impl<'a> QueryExecutor<'a> {
                 HashMap::new()
             };
 
+            // Deterministic fault injection: each representative's engine
+            // call rolls per attempt against the configured transient-error
+            // rate (pure in `(seed, original row, attempt)` — reruns fail
+            // identically). A failed roll retries as a fresh engine request
+            // — warm prefix cache, so retries are cheap — up to the
+            // statement budget; rows still failing either degrade to
+            // partial results (dropped and annotated downstream) or fail
+            // the statement with a typed error. Never a panic.
+            let mut failed_reps: Vec<bool> = vec![false; groups.len()];
+            if let Some(f) = opts.faults.filter(|f| f.error_ppm > 0) {
+                let p = f64::from(f.error_ppm) / 1e6;
+                let budget = f.max_attempts.max(1);
+                let mut retry_requests: Vec<SimRequest> = Vec::new();
+                for rp in &solution.plan.rows {
+                    let original = rows[reps[rp.row]];
+                    let mut attempt = 1u32;
+                    while attempt <= budget
+                        && fault_unit(f.seed, original as u64, u64::from(attempt)) < p
+                    {
+                        attempt += 1;
+                    }
+                    let served = attempt <= budget;
+                    let extra = if served { attempt - 1 } else { budget - 1 };
+                    if extra > 0 {
+                        outcome.opt.llm_retries += u64::from(extra);
+                        for _ in 0..extra {
+                            retry_requests
+                                .push(row_request(&encoded, compact, rp, original, query));
+                        }
+                    }
+                    if !served {
+                        if !f.partial_results {
+                            return Err(ExecError::LlmUnavailable {
+                                row: original,
+                                attempts: budget,
+                            });
+                        }
+                        failed_reps[rp.row] = true;
+                    }
+                }
+                if !retry_requests.is_empty() {
+                    // Replay the failed attempts so their serving cost is
+                    // real: each retry re-sends the representative's full
+                    // prompt (mostly cache hits) and re-decodes its output.
+                    session.run_batch(&retry_requests)?;
+                }
+            }
+
             // Generate outputs for every offered novel row — the labeler is
             // a per-row instrument, so deduplication is invisible in
             // results by design — and register each scheduled prompt in the
@@ -558,6 +701,17 @@ impl<'a> QueryExecutor<'a> {
                 .as_deref()
                 .and_then(|k| query.fields.iter().position(|f| f == k));
             for rp in &solution.plan.rows {
+                if failed_reps[rp.row] {
+                    // Budget exhausted: the representative's whole dedup
+                    // group degrades — no answer-cache entry (nothing was
+                    // served), no labeler draw, just the per-row failure
+                    // record the SQL layer annotates.
+                    for &local in &groups[rp.row] {
+                        outcome.failed_rows.push(rows[local]);
+                    }
+                    outcome.opt.rows_failed += groups[rp.row].len() as u64;
+                    continue;
+                }
                 let key_field_pos = match key_col {
                     Some(k) if rp.fields.len() > 1 => {
                         let pos = rp

@@ -116,7 +116,7 @@ mod value;
 pub use adaptive::{AnswerCache, AnswerCacheStats, CachedAnswer, SelectivityTracker};
 pub use exec::{
     plan_requests, project_fds, ExecError, ExecOptions, ExecutionReport, QueryExecutor,
-    QueryOutput, RowOutput,
+    QueryOutput, RowOutput, StatementFaults,
 };
 pub use optimizer::{
     annotate_estimates, estimate_llm_op, optimize_plan, CmpOp, LogicalOp, LogicalPlan, OptStats,

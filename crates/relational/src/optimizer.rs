@@ -302,6 +302,11 @@ pub struct OptimizerConfig {
     /// Pseudo-observation weight of the static prior in each adaptive
     /// posterior (see [`crate::adaptive::DEFAULT_PRIOR_STRENGTH`]).
     pub adaptive_prior_strength: f64,
+    /// Deterministic per-statement fault injection and graceful
+    /// degradation (see [`StatementFaults`](crate::StatementFaults)).
+    /// `None` (the default everywhere) and `Some` with a zero `error_ppm`
+    /// are byte-identical to fault-free execution.
+    pub faults: Option<crate::StatementFaults>,
 }
 
 impl Default for OptimizerConfig {
@@ -321,6 +326,7 @@ impl OptimizerConfig {
             adaptive: true,
             answer_cache: true,
             adaptive_prior_strength: crate::adaptive::DEFAULT_PRIOR_STRENGTH,
+            faults: None,
         }
     }
 
@@ -335,6 +341,7 @@ impl OptimizerConfig {
             adaptive: false,
             answer_cache: false,
             adaptive_prior_strength: crate::adaptive::DEFAULT_PRIOR_STRENGTH,
+            faults: None,
         }
     }
 
@@ -507,6 +514,13 @@ pub struct OptStats {
     /// Times adaptive re-ranking moved this operator to a different
     /// position between batches.
     pub reranks: u32,
+    /// Engine requests re-issued after injected transient failures (see
+    /// [`StatementFaults`](crate::StatementFaults)). Not counted in
+    /// `llm_calls`, which reconciles with offered rows.
+    pub llm_retries: u64,
+    /// Offered rows dropped after exhausting the fault retry budget
+    /// (partial-result degradation).
+    pub rows_failed: u64,
 }
 
 impl OptStats {
@@ -531,6 +545,8 @@ impl OptStats {
         self.cache_tokens_saved += other.cache_tokens_saved;
         self.rows_skipped += other.rows_skipped;
         self.reranks += other.reranks;
+        self.llm_retries += other.llm_retries;
+        self.rows_failed += other.rows_failed;
     }
 }
 
@@ -702,6 +718,8 @@ mod tests {
             cache_tokens_saved: 50,
             rows_skipped: 5,
             reranks: 1,
+            llm_retries: 2,
+            rows_failed: 1,
         };
         a.add(&OptStats {
             rows_in: 8,
@@ -713,6 +731,8 @@ mod tests {
             cache_tokens_saved: 10,
             rows_skipped: 0,
             reranks: 1,
+            llm_retries: 1,
+            rows_failed: 0,
         });
         assert_eq!(a.rows_in, 18);
         assert_eq!(a.llm_calls, 9);
@@ -721,6 +741,8 @@ mod tests {
         assert_eq!(a.cache_tokens_saved, 60);
         assert_eq!(a.rows_skipped, 5);
         assert_eq!(a.reranks, 2);
+        assert_eq!(a.llm_retries, 3);
+        assert_eq!(a.rows_failed, 1);
         // Early-stop savings count toward avoided requests: 18 offered
         // + 5 never scanned − 9 issued.
         assert_eq!(a.llm_calls_saved(), 14);

@@ -812,10 +812,30 @@ impl<'a> SqlRunner<'a> {
             on_off(self.opt.answer_cache),
             self.pricing.name,
         ));
+        out.push_str(&self.faults_footer());
         for note in &notes {
             out.push_str(&format!("-- rewrite: {note}\n"));
         }
         Ok(out)
+    }
+
+    /// The `-- faults:` footer line, or empty when no fault injection is
+    /// configured (so fault-free EXPLAIN output is unchanged).
+    fn faults_footer(&self) -> String {
+        let Some(fa) = self.opt.faults else {
+            return String::new();
+        };
+        format!(
+            "-- faults: error rate {} ppm, budget {} attempt(s), {} (seed {})\n",
+            fa.error_ppm,
+            fa.max_attempts.max(1),
+            if fa.partial_results {
+                "partial results"
+            } else {
+                "strict"
+            },
+            fa.seed,
+        )
     }
 
     /// Parses and executes `sql`, supplying ground truth per row via `truth`.
@@ -876,9 +896,19 @@ impl<'a> SqlRunner<'a> {
                     let report = data.stage_of[idx].map(|s| &result.stages[s].report);
                     let opt = report.map(|r| r.opt).unwrap_or_default();
                     let sim_s = report.map_or(0.0, |r| r.engine.job_completion_time_s);
+                    // Failure columns appear only when fault injection
+                    // actually bit, so fault-free renderings are unchanged.
+                    let faults = if opt.llm_retries > 0 || opt.rows_failed > 0 {
+                        format!(
+                            ", retries {}, rows failed {}",
+                            opt.llm_retries, opt.rows_failed
+                        )
+                    } else {
+                        String::new()
+                    };
                     format!(
                         "(rows {rows_in} → {rows_out}, llm calls {}, dedup saved {}, \
-                         cache saved {}, re-ranks {}, skipped {}, sim {sim_s:.2}s)",
+                         cache saved {}, re-ranks {}, skipped {}{faults}, sim {sim_s:.2}s)",
                         opt.llm_calls,
                         opt.rows_deduped,
                         opt.cache_hits,
@@ -899,6 +929,7 @@ impl<'a> SqlRunner<'a> {
             on_off(self.opt.answer_cache),
             self.pricing.name,
         ));
+        out.push_str(&self.faults_footer());
         for note in &result.notes[..data.rewrite_notes] {
             out.push_str(&format!("-- rewrite: {note}\n"));
         }
@@ -1036,6 +1067,7 @@ impl<'a> SqlRunner<'a> {
                             fds,
                             truth,
                         )?;
+                        self.note_failed_rows(query, &out, &mut notes);
                         let label = query
                             .predicate_label
                             .as_deref()
@@ -1061,6 +1093,7 @@ impl<'a> SqlRunner<'a> {
                             fds,
                             truth,
                         )?;
+                        self.note_failed_rows(query, &out, &mut notes);
                         for o in &out.outputs {
                             emitted.push((o.row, Some(o.text.clone())));
                         }
@@ -1075,6 +1108,7 @@ impl<'a> SqlRunner<'a> {
                             fds,
                             truth,
                         )?;
+                        self.note_failed_rows(query, &out, &mut notes);
                         accumulate(&mut outcomes[idx], out);
                     }
                     LogicalOp::Project { .. } => {
@@ -1325,6 +1359,27 @@ impl<'a> SqlRunner<'a> {
         }
     }
 
+    /// Appends the partial-result degradation note for one operator batch:
+    /// which original rows exhausted the fault retry budget and were
+    /// excluded. Rendered verbatim as a `-- runtime:` line by
+    /// `EXPLAIN ANALYZE`.
+    fn note_failed_rows(&self, query: &LlmQuery, out: &StageOutcome, notes: &mut Vec<String>) {
+        if out.failed_rows.is_empty() {
+            return;
+        }
+        let budget = self.opt.faults.map_or(1, |f| f.max_attempts.max(1));
+        notes.push(format!(
+            "degraded {}: rows {:?} failed after {budget} attempt(s) each; \
+             excluded from results (partial-result mode)",
+            query.name, out.failed_rows,
+        ));
+        if llmqo_obs::enabled() {
+            llmqo_obs::registry()
+                .counter("sql.rows_failed")
+                .add(out.failed_rows.len() as u64);
+        }
+    }
+
     /// Runs one LLM operator over one batch of rows, opening the operator's
     /// session on first use.
     fn run_stage_batch(
@@ -1357,6 +1412,7 @@ impl<'a> SqlRunner<'a> {
             ExecOptions {
                 dedup: self.opt.dedup,
                 answer_cache: self.opt.answer_cache,
+                faults: self.opt.faults,
             },
         )?;
         if llmqo_obs::enabled() {

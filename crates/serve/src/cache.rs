@@ -485,14 +485,18 @@ impl PrefixCache {
                 },
             );
             if let Some(p) = chain_parent {
-                self.blocks
-                    .get_mut(&p)
-                    .expect("parent is pinned or was created earlier")
-                    .children += 1;
+                // The parent is pinned or was created earlier in this loop.
+                if let Some(pe) = self.blocks.get_mut(&p) {
+                    pe.children += 1;
+                }
             }
         }
         while self.free_blocks() < private {
-            self.evict_one().expect("supply was checked before commit");
+            // Supply was checked before commit; an empty heap here would
+            // mean that invariant broke, so stop rather than spin.
+            if self.evict_one().is_none() {
+                break;
+            }
         }
         self.private_blocks += private;
         self.note_admission(prompt_tokens, cached_tokens);
@@ -521,10 +525,12 @@ impl PrefixCache {
     pub fn release(&mut self, alloc: SeqAlloc) {
         self.clock += 1;
         for &h in alloc.chain.iter().rev() {
-            let e = self
-                .blocks
-                .get_mut(&h)
-                .expect("released chain block must exist");
+            // A live allocation pins its chain blocks; a missing entry would
+            // be a double release, which the refcount assert also catches.
+            let Some(e) = self.blocks.get_mut(&h) else {
+                debug_assert!(false, "released chain block must exist");
+                continue;
+            };
             debug_assert!(e.refcount > 0, "double release");
             e.refcount -= 1;
             e.last_used = self.clock;
@@ -557,7 +563,10 @@ impl PrefixCache {
                 continue;
             }
             self.evictable.pop();
-            let entry = self.blocks.remove(&h).expect("validated above");
+            // `evictable_entry_is_valid` just confirmed the block is live.
+            let Some(entry) = self.blocks.remove(&h) else {
+                continue;
+            };
             self.rc0_blocks -= 1;
             self.stats.evictions += 1;
             if let Some(p) = entry.parent {
@@ -589,11 +598,11 @@ impl PrefixCache {
         self.stale.set(self.stale.get() + dropped);
     }
 
-    /// Frees one block slot if none is free.
+    /// Frees one block slot if none is free. The caller verified supply
+    /// before committing, so eviction can only fail if that invariant broke.
     fn make_room(&mut self) {
         if self.free_blocks() == 0 {
-            self.evict_one()
-                .expect("caller verified supply before committing");
+            self.evict_one();
         }
     }
 

@@ -55,9 +55,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod cache;
 mod engine;
+mod fault;
 mod hardware;
 mod labeler;
 mod model;
@@ -67,6 +69,7 @@ mod session_reference;
 
 pub use cache::{BlockChain, CacheConfig, CacheInternals, CacheStats, PrefixCache, SeqAlloc};
 pub use engine::{Deployment, EngineConfig, EngineError, EngineReport, SimEngine, SimRequest};
+pub use fault::fault_unit;
 pub use hardware::{GpuCluster, GpuSpec};
 pub use labeler::{GenRequest, KeyFieldPreference, ModelProfile, OracleLlm, SimLlm};
 pub use model::ModelSpec;

@@ -156,6 +156,9 @@ pub struct EngineSession {
     /// Trace lane (Chrome-trace `pid`) this session's spans land on; lane 0
     /// by default, replica `i + 1` under the cluster simulator.
     trace_lane: u32,
+    /// Straggler multiplier applied to every step's roofline time; 1.0 is
+    /// nominal speed. Driven by the cluster fault injector.
+    slowdown: f64,
 }
 
 impl std::fmt::Debug for EngineSession {
@@ -205,6 +208,7 @@ impl EngineSession {
             latencies: Vec::new(),
             completions: Vec::new(),
             trace_lane: 0,
+            slowdown: 1.0,
         })
     }
 
@@ -213,6 +217,25 @@ impl EngineSession {
     /// simulator gives each replica its own lane.
     pub fn set_trace_lane(&mut self, lane: u32) {
         self.trace_lane = lane;
+    }
+
+    /// Sets the straggler multiplier applied to every subsequent step's
+    /// roofline time. `1.0` is nominal speed and is an exact no-op on the
+    /// step arithmetic (IEEE 754 `x * 1.0 ≡ x`), so an un-slowed session is
+    /// bit-identical to one that never heard of slowdowns. Non-finite or
+    /// non-positive factors reset to nominal.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        self.slowdown = if factor.is_finite() && factor > 0.0 {
+            factor
+        } else {
+            1.0
+        };
+    }
+
+    /// The current straggler multiplier (see
+    /// [`set_slowdown`](EngineSession::set_slowdown)).
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
     }
 
     /// Adds a request to the tail of the admission queue.
@@ -490,7 +513,7 @@ impl EngineSession {
             decode_tokens as f64 * model.flops_per_token() + model.attn_flops(decode_ctx);
         let compute_t = (prefill_flops + decode_flops) / self.flops;
         let mem_t = (self.weight_bytes + decode_ctx as f64 * kv_bytes + prefill_kv_bytes) / self.bw;
-        let step_t = compute_t.max(mem_t) + self.config.step_overhead_s;
+        let step_t = (compute_t.max(mem_t) + self.config.step_overhead_s) * self.slowdown;
 
         // Attribute time to phases for the report (by compute share).
         let total_work = (prefill_flops + decode_flops).max(1.0);
@@ -578,7 +601,9 @@ impl EngineSession {
     /// Cold path: span + metric emission for the admission that just pushed
     /// the newest [`Running`] entry. Only called when observability is on.
     fn trace_admission(&self, store_idx: usize, evictions_before: u64) {
-        let r = self.running.last().expect("called right after push");
+        let Some(r) = self.running.last() else {
+            return;
+        };
         let q = &self.store[store_idx];
         let m = crate::obs::metrics();
         m.requests_admitted.inc();
@@ -710,7 +735,7 @@ impl EngineSession {
                 decoding as f64 * self.model.flops_per_token() + self.model.attn_flops(decode_ctx);
             let compute_t = decode_flops / self.flops;
             let mem_t = (self.weight_bytes + decode_ctx as f64 * self.kv_bytes) / self.bw;
-            let step_t = compute_t.max(mem_t) + self.config.step_overhead_s;
+            let step_t = (compute_t.max(mem_t) + self.config.step_overhead_s) * self.slowdown;
             let total_work = decode_flops.max(1.0);
             self.report.decode_time_s += step_t * decode_flops / total_work;
             self.clock += step_t;
@@ -722,7 +747,8 @@ impl EngineSession {
             }
         }
         self.report.total_output_tokens += taken * decoding;
-        let done = u32::try_from(taken).expect("output targets are u32");
+        // `taken ≤ min_remaining − 1 < u32::MAX`: output targets are u32.
+        let done = u32::try_from(taken).unwrap_or(u32::MAX);
         for r in &mut self.running {
             r.output_done += done;
         }
@@ -824,9 +850,8 @@ impl EngineSession {
                 self.cache.internals(),
             );
         }
-        self.ttfts.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        self.latencies
-            .sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        self.ttfts.sort_by(f64::total_cmp);
+        self.latencies.sort_by(f64::total_cmp);
         self.report.ttft_p50_s = percentile(&self.ttfts, 0.50);
         self.report.ttft_p99_s = percentile(&self.ttfts, 0.99);
         self.report.latency_p50_s = percentile(&self.latencies, 0.50);

@@ -368,9 +368,8 @@ impl SessionReference {
     /// Finalizes the session: computes latency percentiles and returns the
     /// aggregate report plus per-request completion records.
     pub fn finish(mut self) -> SessionReport {
-        self.ttfts.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        self.latencies
-            .sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        self.ttfts.sort_by(f64::total_cmp);
+        self.latencies.sort_by(f64::total_cmp);
         self.report.ttft_p50_s = percentile(&self.ttfts, 0.50);
         self.report.ttft_p99_s = percentile(&self.ttfts, 0.99);
         self.report.latency_p50_s = percentile(&self.latencies, 0.50);

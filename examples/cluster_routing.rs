@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
     for router in [
-        &mut RoundRobin::default() as &mut dyn Router,
+        &mut RoundRobin as &mut dyn Router,
         &mut LeastLoaded,
         &mut PrefixAffinity::default(),
         &mut PrefixAffinity::bounded(1.25),

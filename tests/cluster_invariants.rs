@@ -63,7 +63,7 @@ fn sim(replicas: usize) -> ClusterSim {
 fn every_admitted_request_completes_exactly_once_under_every_policy() {
     let requests = ggr_workload(300, 5);
     for router in [
-        &mut RoundRobin::default() as &mut dyn Router,
+        &mut RoundRobin as &mut dyn Router,
         &mut LeastLoaded,
         &mut PrefixAffinity::default(),
         &mut PrefixAffinity::bounded(1.25),
@@ -100,9 +100,7 @@ fn prefix_affinity_dominates_round_robin_on_ggr_schedules() {
     // survives; affinity keeps groups whole.
     let requests = ggr_workload(320, 4);
     for replicas in [4usize, 8] {
-        let rr = sim(replicas)
-            .run(&mut RoundRobin::default(), &requests)
-            .unwrap();
+        let rr = sim(replicas).run(&mut RoundRobin, &requests).unwrap();
         for affinity in [
             &mut PrefixAffinity::default() as &mut dyn Router,
             &mut PrefixAffinity::bounded(1.25),

@@ -139,7 +139,7 @@ fn session_outcome_is_invisible_to_observability() {
 fn cluster_reports_are_invisible_to_observability() {
     let _g = lock();
     for router in [
-        &mut RoundRobin::default() as &mut dyn Router,
+        &mut RoundRobin as &mut dyn Router,
         &mut PrefixAffinity::default(),
     ] {
         llmqo_obs::set_enabled(false);
