@@ -71,7 +71,14 @@ impl ReplicaReport {
 }
 
 /// Whole-cluster results for one routed job.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality deliberately ignores [`backpressure_macro_steps`]: it counts
+/// how the dispatcher *stepped*, not what the cluster *did*, and the whole
+/// point of the differential suites is asserting that macro-stepped runs
+/// (counter > 0) equal their single-stepped oracles (counter == 0).
+///
+/// [`backpressure_macro_steps`]: ClusterReport::backpressure_macro_steps
+#[derive(Debug, Clone)]
 pub struct ClusterReport {
     /// Routing policy name.
     pub policy: String,
@@ -97,6 +104,40 @@ pub struct ClusterReport {
     /// [`ClusterSim::run_with_faults`](crate::ClusterSim::run_with_faults)
     /// with a non-inert plan or policy.
     pub faults: FaultStats,
+    /// Backpressured phases the dispatcher collapsed into `step_until`
+    /// jumps instead of single-stepping (0 for single-stepped runs and for
+    /// routers that keep the conservative
+    /// [`Router::retry_insensitive`](crate::Router::retry_insensitive)
+    /// default). Scheduling bookkeeping, excluded from `PartialEq`.
+    pub backpressure_macro_steps: u64,
+}
+
+impl PartialEq for ClusterReport {
+    fn eq(&self, other: &Self) -> bool {
+        let ClusterReport {
+            policy,
+            replicas,
+            makespan_s,
+            completed,
+            total_prompt_tokens,
+            cached_prompt_tokens,
+            queue_wait_p50_s,
+            queue_wait_p99_s,
+            queue_wait_max_s,
+            faults,
+            backpressure_macro_steps: _,
+        } = self;
+        *policy == other.policy
+            && *replicas == other.replicas
+            && *makespan_s == other.makespan_s
+            && *completed == other.completed
+            && *total_prompt_tokens == other.total_prompt_tokens
+            && *cached_prompt_tokens == other.cached_prompt_tokens
+            && *queue_wait_p50_s == other.queue_wait_p50_s
+            && *queue_wait_p99_s == other.queue_wait_p99_s
+            && *queue_wait_max_s == other.queue_wait_max_s
+            && *faults == other.faults
+    }
 }
 
 impl ClusterReport {
@@ -119,6 +160,7 @@ impl ClusterReport {
             queue_wait_p99_s: percentile(&queue_waits, 0.99),
             queue_wait_max_s: queue_waits.last().copied().unwrap_or(0.0),
             faults: FaultStats::default(),
+            backpressure_macro_steps: 0,
             replicas,
         }
     }

@@ -87,6 +87,18 @@ pub trait Router {
     /// full the dispatcher retries after the next simulation event, so
     /// stateful policies observe one extra call per retry.
     fn route(&mut self, prefix_key: u64, replicas: &[ReplicaSnapshot]) -> usize;
+
+    /// Whether this policy honors the retry-insensitive contract above: a
+    /// pure function of `(prefix_key, replicas)` whose consultations mutate
+    /// nothing, so the dispatcher may skip consultations it can prove would
+    /// fail identically. Declaring `true` lets backpressured phases
+    /// macro-step to the next timed event instead of single-stepping;
+    /// declaring it falsely yields wrong (non-single-step-equivalent)
+    /// schedules. Defaults to `false`, which is always safe — the
+    /// dispatcher stays conservative and consults after every event.
+    fn retry_insensitive(&self) -> bool {
+        false
+    }
 }
 
 impl fmt::Debug for dyn Router + '_ {
@@ -122,6 +134,10 @@ impl Router for RoundRobin {
         let placed: usize = pool.iter().map(|r| r.assigned).sum();
         pool[placed % pool.len()].index
     }
+
+    fn retry_insensitive(&self) -> bool {
+        true
+    }
 }
 
 /// Sends each request to the replica with the least outstanding work
@@ -140,6 +156,10 @@ impl Router for LeastLoaded {
             .iter()
             .min_by_key(|r| (r.load(), r.kv_blocks_in_use, r.index))
             .map_or(0, |r| r.index)
+    }
+
+    fn retry_insensitive(&self) -> bool {
+        true
     }
 }
 
@@ -226,6 +246,10 @@ impl Router for PrefixAffinity {
             .find(|&&(_, _, load)| (load as f64) < capacity)
             .unwrap_or(&ranked[0])
             .1
+    }
+
+    fn retry_insensitive(&self) -> bool {
+        true
     }
 }
 

@@ -21,10 +21,15 @@
 //! empty: [`ClusterSim::run`] hands the chosen replica the next arrival
 //! time as a horizon and lets the session collapse steady-state decode
 //! runs ([`EngineSession::step_until`]), so a job with breathing room costs
-//! events, not tokens. Under backpressure the loop single-steps (every
-//! event's router retry is observable), keeping reports byte-identical to
-//! [`ClusterSim::run_single_stepped`], the one-step-per-event differential
-//! oracle, for every deterministic router.
+//! events, not tokens. Backpressured phases macro-step too when the router
+//! declares [`Router::retry_insensitive`] (all four built-ins do): the
+//! skipped states are pure-decode instants where no snapshot field a
+//! retry-insensitive router reads can change, so the blocked head-of-line
+//! request would have failed placement at each of them identically. Custom
+//! routers that keep the `false` default are served conservatively — one
+//! step per event, every retry observable. Either way reports stay
+//! byte-identical to [`ClusterSim::run_single_stepped`], the
+//! one-step-per-event differential oracle, for every deterministic router.
 
 use crate::report::{ClusterReport, ReplicaOccupancy, ReplicaReport};
 use crate::request::ClusterRequest;
@@ -317,6 +322,8 @@ impl ClusterSim {
         // the admission queue by backpressure can be dispatched no earlier
         // than `now`, whatever its arrival time.
         let mut now = 0.0f64;
+        // Backpressured phases collapsed into `step_until` jumps (see below).
+        let mut backpressure_macro_steps = 0u64;
 
         loop {
             // Place as many admission-queue requests as the routed-to
@@ -404,6 +411,8 @@ impl ClusterSim {
                 }
                 now = now.max(t);
             } else if let Some(b) = busy {
+                let next_arrival_s =
+                    (next_arrival < order.len()).then(|| requests[order[next_arrival]].arrival_s);
                 if macro_steps && admission.is_empty() {
                     // With nothing waiting for placement, no routing (and no
                     // `now` observation) can occur before the next arrival,
@@ -411,15 +420,44 @@ impl ClusterSim {
                     // bounded by that arrival — the single-stepped loop
                     // would pass through the same per-replica states, and
                     // it, too, performs the step that crosses the arrival
-                    // before delivering it. While requests are blocked in
-                    // admission, however, *every* event triggers a router
-                    // retry — observable even in count (stateful policies
-                    // like round-robin mutate on each consultation) — so
-                    // the loop falls back to single steps there.
-                    let horizon = (next_arrival < order.len())
-                        .then(|| requests[order[next_arrival]].arrival_s);
-                    replicas[b].session.step_until(horizon)?;
+                    // before delivering it.
+                    replicas[b].session.step_until(next_arrival_s)?;
+                } else if macro_steps && router.retry_insensitive() {
+                    // Backpressured phase. Every event normally triggers a
+                    // router retry, but a retry-insensitive router's
+                    // consultations mutate nothing and read only snapshot
+                    // fields that are frozen during a pure-decode run (the
+                    // states `step_until` skips change nothing but the
+                    // stepping replica's clock). The head-of-line request
+                    // therefore stays blocked at every skipped instant, and
+                    // the replica may jump straight to its next internal
+                    // event — bounded by the next arrival and by every
+                    // *other* busy replica's clock, so cross-replica event
+                    // order (and thus which event unblocks placement) is
+                    // preserved. On clock ties the jump would be empty; fall
+                    // back to a single step to keep the tie-break order.
+                    let other_busy = replicas
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, r)| i != b && !r.session.is_idle())
+                        .map(|(_, r)| r.session.clock())
+                        .fold(f64::INFINITY, f64::min);
+                    let mut horizon = other_busy;
+                    if let Some(t) = next_arrival_s {
+                        horizon = horizon.min(t);
+                    }
+                    if horizon > replicas[b].session.clock() {
+                        backpressure_macro_steps += 1;
+                        replicas[b]
+                            .session
+                            .step_until(horizon.is_finite().then_some(horizon))?;
+                    } else {
+                        replicas[b].session.step()?;
+                    }
                 } else {
+                    // Conservative path for custom (possibly stateful)
+                    // routers: single-step so every event's retry stays
+                    // observable.
                     replicas[b].session.step()?;
                 }
                 now = now.max(replicas[b].session.clock());
@@ -456,7 +494,9 @@ impl ClusterSim {
                 occupancy: replica.occupancy,
             });
         }
-        Ok(ClusterReport::assemble(router.name(), reports, queue_waits))
+        let mut report = ClusterReport::assemble(router.name(), reports, queue_waits);
+        report.backpressure_macro_steps = backpressure_macro_steps;
+        Ok(report)
     }
 }
 

@@ -8,8 +8,9 @@
 //! produces per-row outputs that are parsed back into relational results.
 //!
 //! The physical layer is *batch-oriented*: [`run_llm_rows`] evaluates one
-//! query over any row subset against an incremental
-//! [`EngineSession`], optionally answering rows whose exact prompt was
+//! query over any row subset against an incremental stage engine (one
+//! [`llmqo_serve::EngineSession`], or a routed replica group in the
+//! cluster-parallel mode), optionally answering rows whose exact prompt was
 //! already submitted from the executor's **session answer cache**
 //! ([`crate::AnswerCache`]) and **deduplicating** the remaining rows whose
 //! projected field values are identical so each distinct prompt hits the
@@ -29,12 +30,13 @@
 
 use crate::adaptive::{AnswerCache, AnswerCacheStats, CachedAnswer};
 use crate::optimizer::OptStats;
+use crate::pipeline::{StageEngine, PREFIX_KEY_DEPTH};
 use crate::prompt::{encode_table_rows, field_fragment};
 use crate::query::{LlmQuery, QueryKind};
 use crate::table::{Table, TableError};
 use llmqo_core::{phc_of_plan, FunctionalDeps, PhcReport, Reorderer, SolveError};
 use llmqo_serve::{
-    fault_unit, EngineError, EngineReport, EngineSession, GenRequest, SimEngine, SimLlm, SimRequest,
+    fault_unit, EngineError, EngineReport, GenRequest, SimEngine, SimLlm, SimRequest,
 };
 use llmqo_tokenizer::Tokenizer;
 use serde::{Deserialize, Serialize};
@@ -447,10 +449,10 @@ impl<'a> QueryExecutor<'a> {
         truth: &dyn Fn(usize) -> String,
         opts: ExecOptions,
     ) -> Result<QueryOutput, ExecError> {
-        let mut session = self.engine.session()?;
+        let mut engine = StageEngine::open(self.engine, 1)?;
         let all_rows: Vec<usize> = (0..table.nrows()).collect();
         let stage = self.run_llm_rows(
-            &mut session,
+            &mut engine,
             table,
             &all_rows,
             query,
@@ -459,13 +461,13 @@ impl<'a> QueryExecutor<'a> {
             truth,
             opts,
         )?;
-        let engine_report = session.finish().report;
+        let engine_report = engine.finish();
         Ok(stage.into_query_output(query, reorderer.name(), engine_report))
     }
 
     /// The physical batch primitive: evaluates `query` over the given
-    /// original-index `rows` of `table` against an incremental engine
-    /// `session`. With [`ExecOptions::answer_cache`], rows whose exact
+    /// original-index `rows` of `table` against an incremental stage
+    /// `engine`. With [`ExecOptions::answer_cache`], rows whose exact
     /// prompt was ever submitted on this executor are answered from the
     /// session cache first; with [`ExecOptions::dedup`], the remaining
     /// novel rows with identical projected field values are compacted to
@@ -480,7 +482,7 @@ impl<'a> QueryExecutor<'a> {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_llm_rows(
         &self,
-        session: &mut EngineSession,
+        engine: &mut StageEngine,
         table: &Table,
         rows: &[usize],
         query: &LlmQuery,
@@ -622,11 +624,18 @@ impl<'a> QueryExecutor<'a> {
                 .map(|rp| row_request(&encoded, compact, rp, rows[reps[rp.row]], query))
                 .collect();
             outcome.opt.llm_calls = requests.len() as u64;
-            // This batch's completion records, in completion order — the
-            // per-request answer extraction the cache stores serving costs
-            // from (`EngineSession::completion_of` offers the same lookup
-            // for drivers that no longer hold the returned slice).
-            let completions = session.run_batch(&requests)?;
+            // Fan-out stages route each request by its reorder-plan prefix
+            // key so a shared-prefix group lands on one replica; the
+            // single-session form never looks at keys, so skip the hashing.
+            let keys: Vec<u64> = if engine.wants_prefix_keys() {
+                solution.plan.prefix_keys(compact, PREFIX_KEY_DEPTH)
+            } else {
+                Vec::new()
+            };
+            // This batch's completion records — consumed by request id
+            // below, so the stage engine's merge order (deterministic but
+            // replica-grouped under fan-out) never affects results.
+            let completions = engine.run_batch(&requests, &keys)?;
             let answer_records: HashMap<usize, CachedAnswer> = if use_cache {
                 completions
                     .iter()
@@ -657,7 +666,8 @@ impl<'a> QueryExecutor<'a> {
                 let p = f64::from(f.error_ppm) / 1e6;
                 let budget = f.max_attempts.max(1);
                 let mut retry_requests: Vec<SimRequest> = Vec::new();
-                for rp in &solution.plan.rows {
+                let mut retry_keys: Vec<u64> = Vec::new();
+                for (ri, rp) in solution.plan.rows.iter().enumerate() {
                     let original = rows[reps[rp.row]];
                     let mut attempt = 1u32;
                     while attempt <= budget
@@ -672,6 +682,10 @@ impl<'a> QueryExecutor<'a> {
                         for _ in 0..extra {
                             retry_requests
                                 .push(row_request(&encoded, compact, rp, original, query));
+                            // Retries keep their row's prefix key: failover
+                            // lands on the replica already holding the
+                            // group's cached prefix.
+                            retry_keys.push(keys.get(ri).copied().unwrap_or_default());
                         }
                     }
                     if !served {
@@ -688,7 +702,7 @@ impl<'a> QueryExecutor<'a> {
                     // Replay the failed attempts so their serving cost is
                     // real: each retry re-sends the representative's full
                     // prompt (mostly cache hits) and re-decodes its output.
-                    session.run_batch(&retry_requests)?;
+                    engine.run_batch(&retry_requests, &retry_keys)?;
                 }
             }
 
@@ -1461,10 +1475,10 @@ mod tests {
         let ex = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
         let t = table(4);
         let truth = |_: usize| "Yes".to_string();
-        let mut session = eng.session().unwrap();
+        let mut stage = StageEngine::open(&eng, 1).unwrap();
         let out = ex
             .run_llm_rows(
-                &mut session,
+                &mut stage,
                 &t,
                 &[],
                 &filter_query(),
@@ -1476,7 +1490,7 @@ mod tests {
             .unwrap();
         assert!(out.outputs.is_empty());
         assert_eq!(out.opt.llm_calls, 0);
-        assert_eq!(session.completed(), 0);
+        assert_eq!(stage.finish().completed, 0);
     }
 
     #[test]

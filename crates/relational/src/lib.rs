@@ -106,6 +106,7 @@
 pub mod adaptive;
 mod exec;
 mod optimizer;
+mod pipeline;
 mod prompt;
 mod query;
 mod schema;

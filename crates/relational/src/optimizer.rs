@@ -307,6 +307,37 @@ pub struct OptimizerConfig {
     /// `None` (the default everywhere) and `Some` with a zero `error_ppm`
     /// are byte-identical to fault-free execution.
     pub faults: Option<crate::StatementFaults>,
+    /// Pipelined physical execution: run the statement in micro-batches of
+    /// [`pipeline_batch_rows`](OptimizerConfig::pipeline_batch_rows) with
+    /// every LLM operator on its own stage engine over one shared
+    /// discrete-event clock, so operator `j` prefills batch `k + 1` while
+    /// operator `j + 1` decodes batch `k`. Result rows are byte-identical
+    /// to sequential execution (labeling never depends on engine timing);
+    /// only the simulated schedule — and therefore the statement's
+    /// job-completion time — changes. Off by default: the sequential relay
+    /// stays the timing oracle the differential suites and golden
+    /// `EXPLAIN ANALYZE` outputs pin.
+    pub pipeline: bool,
+    /// Replica sessions per LLM operator (fan-out). `1` keeps each stage on
+    /// one engine session; `N > 1` routes each stage's dedup-compacted
+    /// batches across `N` replicas with the cluster layer's prefix-affinity
+    /// router, preserving reorder-plan locality. Independent of
+    /// [`pipeline`](OptimizerConfig::pipeline) (fan-out without
+    /// micro-batching is legal), but they compound: pipelined + fanned-out
+    /// is the cluster-parallel mode.
+    pub pipeline_replicas: usize,
+    /// Micro-batch size (rows) when [`pipeline`](OptimizerConfig::pipeline)
+    /// is on and neither lazy-`LIMIT` nor pilot batching already dictates a
+    /// schedule. Smaller batches overlap more at higher per-batch overhead.
+    pub pipeline_batch_rows: usize,
+    /// SELECT-list projection pruning: LLM calls whose field list came from
+    /// a `*` expansion drop columns that neither the SELECT list nor any
+    /// other clause of the statement references, shrinking prompts, dedup
+    /// keys, and the reorder solver's view. Only applied to queries without
+    /// a key field (always true for SQL-compiled queries), where the
+    /// labeler's positional input is the constant `0.5` — so pruning
+    /// provably cannot change any row's label.
+    pub prune_fields: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -327,6 +358,10 @@ impl OptimizerConfig {
             answer_cache: true,
             adaptive_prior_strength: crate::adaptive::DEFAULT_PRIOR_STRENGTH,
             faults: None,
+            pipeline: false,
+            pipeline_replicas: 1,
+            pipeline_batch_rows: 512,
+            prune_fields: true,
         }
     }
 
@@ -342,6 +377,10 @@ impl OptimizerConfig {
             answer_cache: false,
             adaptive_prior_strength: crate::adaptive::DEFAULT_PRIOR_STRENGTH,
             faults: None,
+            pipeline: false,
+            pipeline_replicas: 1,
+            pipeline_batch_rows: 512,
+            prune_fields: false,
         }
     }
 
@@ -352,6 +391,17 @@ impl OptimizerConfig {
         OptimizerConfig {
             adaptive: false,
             answer_cache: false,
+            ..OptimizerConfig::all()
+        }
+    }
+
+    /// The cluster-parallel mode: [`all`](OptimizerConfig::all) plus
+    /// pipelined micro-batching and `replicas`-way fan-out per LLM
+    /// operator (`replicas` is clamped to at least 1).
+    pub fn pipelined(replicas: usize) -> Self {
+        OptimizerConfig {
+            pipeline: true,
+            pipeline_replicas: replicas.max(1),
             ..OptimizerConfig::all()
         }
     }

@@ -29,12 +29,12 @@ use crate::exec::{ExecError, ExecOptions, QueryExecutor, QueryOutput, StageOutco
 use crate::optimizer::{
     annotate_estimates, optimize_plan, CmpOp, LogicalOp, LogicalPlan, OptimizerConfig, SqlPredicate,
 };
+use crate::pipeline::StageEngine;
 use crate::query::LlmQuery;
 use crate::table::{Table, TableError};
 use llmqo_core::{FunctionalDeps, Reorderer};
 use llmqo_costmodel::Pricing;
-use llmqo_serve::EngineSession;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Errors from parsing or executing SQL.
@@ -591,6 +591,13 @@ struct AnalyzeData {
     /// How many leading entries of [`SqlResult::notes`] are optimizer
     /// rewrites; the rest were appended at runtime in schedule order.
     rewrite_notes: usize,
+    /// Per-plan-op instant (shared statement timeline) the operator's stage
+    /// finished its last micro-batch. Populated only under pipelined
+    /// execution; drives the per-node overlap columns.
+    stage_done_s: Vec<f64>,
+    /// Statement makespan on the shared timeline (max final stage clock).
+    /// `None` when the statement ran as the classic relay.
+    pipeline_makespan_s: Option<f64>,
 }
 
 /// Defaults applied when compiling SQL to [`LlmQuery`] plans (SQL carries no
@@ -680,21 +687,98 @@ impl<'a> SqlRunner<'a> {
         self.catalog.insert(name.into(), (table, fds));
     }
 
-    fn resolve_fields(&self, call: &LlmCall, table: &Table) -> Vec<String> {
+    /// Expands an `LLM(...)` call's field list. Star (and empty) calls
+    /// expand to the whole schema; when the caller supplies the statement's
+    /// referenced-column set, the expansion is pruned to it — fields no part
+    /// of the statement ever reads are provably ignored by the SELECT list,
+    /// so dropping them from the prompt (and therefore from the dedup key
+    /// and the solver's [`ReorderTable`](llmqo_core::ReorderTable) view)
+    /// cannot change results. Explicit field lists are never touched, and a
+    /// pruning that would leave the call with no fields falls back to the
+    /// full expansion (an LLM call must read at least one field).
+    fn resolve_fields(
+        &self,
+        call: &LlmCall,
+        table: &Table,
+        referenced: Option<&HashSet<String>>,
+    ) -> Vec<String> {
         if call.star || call.fields.is_empty() {
-            table
+            let all: Vec<String> = table
                 .schema()
                 .names()
                 .iter()
                 .map(|s| s.to_string())
-                .collect()
+                .collect();
+            if let Some(refs) = referenced {
+                let pruned: Vec<String> =
+                    all.iter().filter(|c| refs.contains(*c)).cloned().collect();
+                if !pruned.is_empty() {
+                    return pruned;
+                }
+            }
+            all
         } else {
             call.fields.clone()
         }
     }
 
-    /// Compiles a parsed statement to its (unoptimized) logical plan.
-    fn build_plan(&self, stmt: &SqlStatement, table: &Table) -> LogicalPlan {
+    /// The set of columns the statement references anywhere — SELECT list,
+    /// cheap predicates, and explicit LLM field lists. Returns `None` (no
+    /// pruning) when [`OptimizerConfig::prune_fields`] is off or when the
+    /// projection itself reads every column (`SELECT *`, or a star LLM
+    /// projection), since then nothing is provably ignored. Star `LLM`
+    /// calls in `WHERE` contribute nothing: they are the prune targets.
+    fn statement_columns(&self, stmt: &SqlStatement) -> Option<HashSet<String>> {
+        if !self.opt.prune_fields {
+            return None;
+        }
+        let mut cols = HashSet::new();
+        match &stmt.projection {
+            Projection::Columns(c) => {
+                if c.iter().any(|c| c == "*") {
+                    return None;
+                }
+                cols.extend(c.iter().cloned());
+            }
+            Projection::Llm { call, .. } | Projection::AvgLlm { call, .. } => {
+                if call.star || call.fields.is_empty() {
+                    return None;
+                }
+                cols.extend(call.fields.iter().cloned());
+            }
+        }
+        for conj in &stmt.where_clause {
+            match conj {
+                WhereConjunct::Sql(pred) => {
+                    cols.insert(pred.column.clone());
+                }
+                WhereConjunct::Llm { call, .. } => {
+                    cols.extend(call.fields.iter().cloned());
+                }
+            }
+        }
+        Some(cols)
+    }
+
+    /// Compiles a parsed statement to its (unoptimized) logical plan, plus
+    /// projection-pruning rewrite notes (see
+    /// [`resolve_fields`](Self::resolve_fields)).
+    fn build_plan(&self, stmt: &SqlStatement, table: &Table) -> (LogicalPlan, Vec<String>) {
+        let referenced = self.statement_columns(stmt);
+        let nfields = table.schema().names().len();
+        let mut notes = Vec::new();
+        let mut resolve = |call: &LlmCall, name: &str| -> Vec<String> {
+            let fields = self.resolve_fields(call, table, referenced.as_ref());
+            if (call.star || call.fields.is_empty()) && fields.len() < nfields {
+                notes.push(format!(
+                    "prune {name}: star expansion narrowed {nfields} → {} field(s) \
+                     (columns the statement never reads are dropped from the \
+                     prompt, dedup key, and reorder view)",
+                    fields.len(),
+                ));
+            }
+            fields
+        };
         let mut ops = vec![LogicalOp::Scan {
             table: stmt.table.clone(),
         }];
@@ -718,9 +802,9 @@ impl<'a> SqlRunner<'a> {
                         labels.insert(0, label.clone());
                     }
                     let query = LlmQuery::filter(
-                        name,
+                        name.clone(),
                         call.prompt.clone(),
-                        self.resolve_fields(call, table),
+                        resolve(call, &name),
                         labels,
                         label.clone(),
                         self.defaults.filter_output_tokens,
@@ -748,10 +832,11 @@ impl<'a> SqlRunner<'a> {
                 ops.push(LogicalOp::Project { columns });
             }
             Projection::Llm { call, alias } => {
+                let name = format!("sql-select-{}", stmt.table);
                 let query = LlmQuery::projection(
-                    format!("sql-select-{}", stmt.table),
+                    name.clone(),
                     call.prompt.clone(),
-                    self.resolve_fields(call, table),
+                    resolve(call, &name),
                     self.defaults.projection_output_tokens,
                 );
                 ops.push(LogicalOp::LlmProject {
@@ -760,10 +845,11 @@ impl<'a> SqlRunner<'a> {
                 });
             }
             Projection::AvgLlm { call, alias } => {
+                let name = format!("sql-avg-{}", stmt.table);
                 let query = LlmQuery::aggregation(
-                    format!("sql-avg-{}", stmt.table),
+                    name.clone(),
                     call.prompt.clone(),
-                    self.resolve_fields(call, table),
+                    resolve(call, &name),
                     self.defaults.aggregation_range,
                     self.defaults.filter_output_tokens,
                 );
@@ -776,10 +862,12 @@ impl<'a> SqlRunner<'a> {
         if let Some(n) = stmt.limit {
             ops.push(LogicalOp::Limit { n });
         }
-        LogicalPlan { ops }
+        (LogicalPlan { ops }, notes)
     }
 
     /// Builds, annotates, and optimizes the plan for a parsed statement.
+    /// Returned notes are rewrites: pruning events first, then the cost-based
+    /// rules' events.
     fn plan_for(&self, stmt: &SqlStatement) -> Result<(LogicalPlan, Vec<String>), SqlError> {
         let &(table, _fds) =
             self.catalog
@@ -787,9 +875,11 @@ impl<'a> SqlRunner<'a> {
                 .ok_or_else(|| SqlError::UnknownTable {
                     name: stmt.table.clone(),
                 })?;
-        let mut plan = self.build_plan(stmt, table);
+        let (mut plan, mut notes) = self.build_plan(stmt, table);
         annotate_estimates(&mut plan, table, self.executor.tokenizer());
-        Ok(optimize_plan(&plan, &self.opt, &self.pricing))
+        let (plan, opt_notes) = optimize_plan(&plan, &self.opt, &self.pricing);
+        notes.extend(opt_notes);
+        Ok((plan, notes))
     }
 
     /// Renders the optimized plan for `sql` without executing anything —
@@ -813,10 +903,26 @@ impl<'a> SqlRunner<'a> {
             self.pricing.name,
         ));
         out.push_str(&self.faults_footer());
+        out.push_str(&self.pipeline_footer(None));
         for note in &notes {
             out.push_str(&format!("-- rewrite: {note}\n"));
         }
         Ok(out)
+    }
+
+    /// The `-- pipeline:` footer line, or empty when pipelined execution is
+    /// off (so classic-relay EXPLAIN output is unchanged). `EXPLAIN ANALYZE`
+    /// passes the measured statement makespan.
+    fn pipeline_footer(&self, makespan_s: Option<f64>) -> String {
+        if !self.opt.pipeline {
+            return String::new();
+        }
+        let measured = makespan_s.map_or(String::new(), |m| format!(", makespan {m:.2}s"));
+        format!(
+            "-- pipeline: replicas {}, micro-batch {} rows{measured}\n",
+            self.opt.pipeline_replicas.max(1),
+            self.opt.pipeline_batch_rows.max(1),
+        )
     }
 
     /// The `-- faults:` footer line, or empty when no fault injection is
@@ -906,9 +1012,26 @@ impl<'a> SqlRunner<'a> {
                     } else {
                         String::new()
                     };
+                    // Overlap columns appear only under pipelined execution,
+                    // so classic-relay renderings are unchanged: `busy` is
+                    // the stage's attributed engine time, `done` the instant
+                    // on the shared statement timeline its last micro-batch
+                    // finished. `done − busy` is time spent waiting on
+                    // upstream operators — overlap the pipeline bought.
+                    let overlap = if data.pipeline_makespan_s.is_some() {
+                        let busy = report.map_or(0.0, |r| {
+                            r.engine.prefill_time_s
+                                + r.engine.decode_time_s
+                                + r.engine.overhead_time_s
+                        });
+                        format!(", busy {busy:.2}s, done {:.2}s", data.stage_done_s[idx])
+                    } else {
+                        String::new()
+                    };
                     format!(
                         "(rows {rows_in} → {rows_out}, llm calls {}, dedup saved {}, \
-                         cache saved {}, re-ranks {}, skipped {}{faults}, sim {sim_s:.2}s)",
+                         cache saved {}, re-ranks {}, skipped {}{faults}, \
+                         sim {sim_s:.2}s{overlap})",
                         opt.llm_calls,
                         opt.rows_deduped,
                         opt.cache_hits,
@@ -930,6 +1053,7 @@ impl<'a> SqlRunner<'a> {
             self.pricing.name,
         ));
         out.push_str(&self.faults_footer());
+        out.push_str(&self.pipeline_footer(data.pipeline_makespan_s));
         for note in &result.notes[..data.rewrite_notes] {
             out.push_str(&format!("-- rewrite: {note}\n"));
         }
@@ -961,6 +1085,8 @@ impl<'a> SqlRunner<'a> {
             node_rows: vec![(0, 0); ops.len()],
             stage_of: vec![None; ops.len()],
             rewrite_notes: notes.len(),
+            stage_done_s: vec![0.0; ops.len()],
+            pipeline_makespan_s: None,
         };
         let limit = plan.limit();
         let has_agg = ops
@@ -984,14 +1110,19 @@ impl<'a> SqlRunner<'a> {
         // per batch instead of once per statement.
         let pilot =
             adaptive && self.opt.reorder && self.opt.answer_cache && !lazy && n_llm_filters >= 2;
-        let batching = lazy || pilot;
+        // Pipelined execution slices the statement into fixed micro-batches
+        // and chains each batch's hand-off instant through the operator
+        // stages on one shared timeline, so operator j prefills batch k+1
+        // while operator j+1 decodes batch k (see [`crate::pipeline`]).
+        let pipelined = self.opt.pipeline && plan.llm_ops() > 0;
+        let batching = lazy || pilot || pipelined;
 
-        // One engine session and one accumulated outcome per LLM operator,
+        // One stage engine and one accumulated outcome per LLM operator,
         // indexed by *plan* position — stable across adaptive re-ranking,
-        // which permutes only the execution schedule below. Sessions
-        // persist across batches so later batches reuse the prefixes
-        // earlier ones computed.
-        let mut sessions: Vec<Option<EngineSession>> = (0..ops.len()).map(|_| None).collect();
+        // which permutes only the execution schedule below. Stages persist
+        // across batches so later batches reuse the prefixes earlier ones
+        // computed.
+        let mut sessions: Vec<Option<StageEngine>> = (0..ops.len()).map(|_| None).collect();
         let mut outcomes: Vec<Option<StageOutcome>> = vec![None; ops.len()];
 
         // Leading cheap predicates narrow the candidate set before any
@@ -1039,6 +1170,8 @@ impl<'a> SqlRunner<'a> {
             self.opt.lazy_batch_min.max(limit.unwrap_or(0)).max(1)
         } else if pilot {
             self.opt.lazy_batch_min.max(1)
+        } else if pipelined {
+            self.opt.pipeline_batch_rows.max(1)
         } else {
             candidates.len()
         };
@@ -1051,6 +1184,13 @@ impl<'a> SqlRunner<'a> {
             };
             let emitted_before = emitted.len();
             let mut rows: Vec<usize> = candidates[start..end].to_vec();
+            // Pipelined hand-off chaining: each batch's rows exist at scan
+            // time 0; every LLM operator fast-forwards to the instant the
+            // previous operator released this batch (`ready`), and its own
+            // stage clock serializes successive batches — producing the
+            // staggered, overlapping schedule. The classic relay keeps each
+            // stage on its independent zero-based timeline (`ready` unused).
+            let mut ready = 0.0f64;
             for &idx in &exec_order {
                 let node_offered = rows.len() as u64;
                 match &ops[idx] {
@@ -1066,7 +1206,12 @@ impl<'a> SqlRunner<'a> {
                             query,
                             fds,
                             truth,
+                            pipelined.then_some(ready),
                         )?;
+                        if pipelined {
+                            ready = sessions[idx].as_ref().map_or(ready, |s| s.clock());
+                            data.stage_done_s[idx] = ready;
+                        }
                         self.note_failed_rows(query, &out, &mut notes);
                         let label = query
                             .predicate_label
@@ -1092,7 +1237,12 @@ impl<'a> SqlRunner<'a> {
                             query,
                             fds,
                             truth,
+                            pipelined.then_some(ready),
                         )?;
+                        if pipelined {
+                            ready = sessions[idx].as_ref().map_or(ready, |s| s.clock());
+                            data.stage_done_s[idx] = ready;
+                        }
                         self.note_failed_rows(query, &out, &mut notes);
                         for o in &out.outputs {
                             emitted.push((o.row, Some(o.text.clone())));
@@ -1107,7 +1257,12 @@ impl<'a> SqlRunner<'a> {
                             query,
                             fds,
                             truth,
+                            pipelined.then_some(ready),
                         )?;
+                        if pipelined {
+                            ready = sessions[idx].as_ref().map_or(ready, |s| s.clock());
+                            data.stage_done_s[idx] = ready;
+                        }
                         self.note_failed_rows(query, &out, &mut notes);
                         accumulate(&mut outcomes[idx], out);
                     }
@@ -1174,6 +1329,10 @@ impl<'a> SqlRunner<'a> {
                     }
                     batch_size = n;
                 }
+                // Lazy/pilot batches double until the tracker has data;
+                // pure pipelined execution keeps its fixed micro-batch so
+                // the stages stay overlapped end to end.
+                None if pipelined && !lazy && !pilot => {}
                 None => batch_size *= 2,
             }
         }
@@ -1198,6 +1357,27 @@ impl<'a> SqlRunner<'a> {
             }
         }
 
+        // Statement makespan under pipelined execution: all stages share
+        // one timeline, so the statement is done when the slowest stage is.
+        if pipelined {
+            let makespan = sessions
+                .iter()
+                .flatten()
+                .map(StageEngine::clock)
+                .fold(0.0, f64::max);
+            data.pipeline_makespan_s = Some(makespan);
+            let replicas = sessions
+                .iter()
+                .flatten()
+                .map(StageEngine::replicas)
+                .max()
+                .unwrap_or(1);
+            notes.push(format!(
+                "pipelined execution: {batch_no} micro-batch(es), {replicas} \
+                 replica(s) per stage, statement makespan {makespan:.2}s",
+            ));
+        }
+
         // Finalize per-operator stages in final execution order.
         let mut stages = Vec::new();
         let mut aggregate = None;
@@ -1211,7 +1391,7 @@ impl<'a> SqlRunner<'a> {
             let outcome = outcomes[idx].take().unwrap_or_default();
             let engine = sessions[idx]
                 .take()
-                .map(|s| s.finish().report)
+                .map(StageEngine::finish)
                 .unwrap_or_default();
             let stage = outcome.into_query_output(query, self.reorderer.name(), engine);
             if matches!(ops[idx], LogicalOp::LlmAggregate { .. }) {
@@ -1381,25 +1561,36 @@ impl<'a> SqlRunner<'a> {
     }
 
     /// Runs one LLM operator over one batch of rows, opening the operator's
-    /// session on first use.
+    /// stage engine on first use (a replica group when pipelined fan-out is
+    /// configured, a single session otherwise). `ready` is the shared-
+    /// timeline instant the batch became available — `Some` only under
+    /// pipelined execution, where idle stages fast-forward to it before
+    /// running.
+    #[allow(clippy::too_many_arguments)]
     fn run_stage_batch(
         &self,
-        session: &mut Option<EngineSession>,
+        session: &mut Option<StageEngine>,
         table: &Table,
         rows: &[usize],
         query: &LlmQuery,
         fds: &FunctionalDeps,
         truth: &dyn Fn(usize) -> String,
+        ready: Option<f64>,
     ) -> Result<StageOutcome, SqlError> {
         if session.is_none() {
+            let replicas = if self.opt.pipeline {
+                self.opt.pipeline_replicas.max(1)
+            } else {
+                1
+            };
             *session = Some(
-                self.executor
-                    .engine()
-                    .session()
-                    .map_err(ExecError::Engine)?,
+                StageEngine::open(self.executor.engine(), replicas).map_err(ExecError::Engine)?,
             );
         }
         let session = session.as_mut().expect("session created above");
+        if let Some(t) = ready {
+            session.advance_to(t);
+        }
         let started_s = session.clock();
         let out = self.executor.run_llm_rows(
             session,

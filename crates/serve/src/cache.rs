@@ -513,9 +513,17 @@ impl PrefixCache {
     pub fn mark_computed(&mut self, alloc: &SeqAlloc, prefilled_tokens: usize) {
         self.marks.set(self.marks.get() + 1);
         let bs = self.config.block_size;
-        for &h in alloc.chain.iter().take(prefilled_tokens / bs) {
-            if let Some(e) = self.blocks.get_mut(&h) {
-                e.computed = true;
+        // Computed flags always form a prefix of a live chain: a block's
+        // ancestors are computed before it, and an interior block cannot be
+        // evicted from under a live child (eviction is leaf-only). Walking
+        // backwards and stopping at the first already-computed block
+        // therefore touches only the blocks this chunk newly finished,
+        // instead of re-touching the whole prefix on every prefill chunk.
+        for &h in alloc.chain.iter().take(prefilled_tokens / bs).rev() {
+            match self.blocks.get_mut(&h) {
+                Some(e) if e.computed => break,
+                Some(e) => e.computed = true,
+                None => debug_assert!(false, "marked chain block must exist"),
             }
         }
     }
@@ -523,6 +531,23 @@ impl PrefixCache {
     /// Releases a completed sequence: dereferences its shared chain (blocks
     /// stay cached until evicted) and frees its private blocks.
     pub fn release(&mut self, alloc: SeqAlloc) {
+        self.release_inner(alloc);
+        self.compact_evictable();
+    }
+
+    /// Releases every sequence retired in the same engine step. Per-sequence
+    /// effects (LRU stamps, refcounts, heap pushes) are identical to calling
+    /// [`release`](Self::release) once per allocation in the same order;
+    /// only the heap-compaction check is deferred to once per batch, which
+    /// is invisible because eviction skips stale heap entries anyway.
+    pub fn release_batch(&mut self, allocs: impl IntoIterator<Item = SeqAlloc>) {
+        for alloc in allocs {
+            self.release_inner(alloc);
+        }
+        self.compact_evictable();
+    }
+
+    fn release_inner(&mut self, alloc: SeqAlloc) {
         self.clock += 1;
         for &h in alloc.chain.iter().rev() {
             // A live allocation pins its chain blocks; a missing entry would
@@ -541,7 +566,6 @@ impl PrefixCache {
                 }
             }
         }
-        self.compact_evictable();
         self.private_blocks = self.private_blocks.saturating_sub(alloc.private_blocks);
     }
 

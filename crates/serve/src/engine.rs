@@ -152,6 +152,12 @@ pub enum EngineError {
         /// Total capacity in blocks.
         capacity_blocks: usize,
     },
+    /// A structurally unusable configuration (e.g. a zero-replica
+    /// [`SessionGroup`](crate::SessionGroup)).
+    InvalidConfig {
+        /// What is wrong.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -172,6 +178,7 @@ impl fmt::Display for EngineError {
                 f,
                 "request {id} needs {needed_blocks} KV blocks but capacity is {capacity_blocks}"
             ),
+            EngineError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
         }
     }
 }

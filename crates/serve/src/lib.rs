@@ -60,6 +60,7 @@
 mod cache;
 mod engine;
 mod fault;
+mod group;
 mod hardware;
 mod labeler;
 mod model;
@@ -70,6 +71,7 @@ mod session_reference;
 pub use cache::{BlockChain, CacheConfig, CacheInternals, CacheStats, PrefixCache, SeqAlloc};
 pub use engine::{Deployment, EngineConfig, EngineError, EngineReport, SimEngine, SimRequest};
 pub use fault::fault_unit;
+pub use group::SessionGroup;
 pub use hardware::{GpuCluster, GpuSpec};
 pub use labeler::{GenRequest, KeyFieldPreference, ModelProfile, OracleLlm, SimLlm};
 pub use model::ModelSpec;

@@ -140,6 +140,9 @@ pub struct EngineSession {
     running: Vec<Running>,
     /// Reused per-step `(running idx, chunk)` prefill schedule buffer.
     chunk_buf: Vec<(usize, usize)>,
+    /// Reused per-step buffer of allocations retired this step, released in
+    /// one [`PrefixCache::release_batch`] call after the retirement scan.
+    release_buf: Vec<crate::cache::SeqAlloc>,
     /// Running sequences still before steady state (prefill in flight or
     /// first token not yet produced). Zero is the O(1) gate that lets
     /// [`step_until`] skip the per-sequence steady-state scan entirely on
@@ -200,6 +203,7 @@ impl EngineSession {
             waiting: VecDeque::new(),
             running: Vec::new(),
             chunk_buf: Vec::new(),
+            release_buf: Vec::new(),
             warming: 0,
             clock: 0.0,
             idle_s: 0.0,
@@ -586,14 +590,17 @@ impl EngineSession {
                         cached_tokens: r.alloc.cached_tokens,
                         output_tokens: r.output_done,
                     });
-                    let timer = llmqo_obs::WallTimer::start();
-                    self.cache.release(r.alloc);
-                    timer.observe(crate::obs::metrics().wall_cache_s);
+                    self.release_buf.push(r.alloc);
                     self.report.completed += 1;
                     continue;
                 }
             }
             i += 1;
+        }
+        if !self.release_buf.is_empty() {
+            let timer = llmqo_obs::WallTimer::start();
+            self.cache.release_batch(self.release_buf.drain(..));
+            timer.observe(crate::obs::metrics().wall_cache_s);
         }
         Ok(true)
     }
