@@ -1,0 +1,358 @@
+//! **Overload sweep**: tail queue-wait and the shed/scale ledgers of a
+//! 4-replica cluster fed at 2× its measured service rate, across the
+//! protection ladder {unprotected, admission+shed, +tenant quota,
+//! +autoscaler, +chaos}. Writes `BENCH_overload.json`.
+//!
+//! A mixed-priority workload (every 4th request is a priority-1 request of
+//! the premium tenant) arrives as a Poisson process at twice the fleet's
+//! fault-free throughput. The unprotected dispatcher accepts everything and
+//! collapses into unbounded queue waits; each protected cell must (a)
+//! reconcile its shed ledger exactly (`completed + shed == offered`
+//! fault-free, `succeeded + failed + shed == offered` under chaos), (b)
+//! shed **zero** priority-1 requests, and (c) keep p99 admission queue wait
+//! under half the unprotected collapse. The inert-policy cell is verified
+//! byte-identical to the ungated dispatcher — the differential spine,
+//! re-proven on the bench workload itself. All assertions are in-binary:
+//! a regression fails the bench, not just a plot.
+//!
+//! ```sh
+//! LLMQO_SCALE=0.2 cargo run --release -p llmqo-bench --bin perf_overload
+//! ```
+
+use llmqo_bench::harness;
+use llmqo_cluster::{
+    AdmissionPolicy, ArrivalProcess, ClusterConfig, ClusterReport, ClusterRequest, ClusterSim,
+    FaultPlan, OverloadPolicy, PrefixAffinity, RetryPolicy, ScalePolicy,
+};
+use llmqo_serve::{EngineConfig, SimEngine, SimRequest};
+
+const REPLICAS: usize = 4;
+const QUEUE_CAP: usize = 2;
+/// Every 4th request is the premium tenant's priority-1 traffic (25%).
+const PRIO_EVERY: usize = 4;
+
+/// Grouped shared-prefix workload with a mixed-priority tenant split:
+/// tenant 0 floods at priority 0, tenant 1 sends every
+/// [`PRIO_EVERY`]-th request at priority 1.
+fn workload(groups: usize, per_group: usize) -> Vec<ClusterRequest> {
+    (0..groups * per_group)
+        .map(|i| {
+            let g = (i / per_group) as u32;
+            let mut toks: Vec<u32> = (0..64).map(|j| g * 1000 + j).collect();
+            toks.extend((0..16).map(|j| 500_000 + i as u32 * 64 + j));
+            let r = ClusterRequest::new(SimRequest::from_tokens(i, toks, 4), u64::from(g));
+            if i.is_multiple_of(PRIO_EVERY) {
+                r.tenant(1).priority(1)
+            } else {
+                r
+            }
+        })
+        .collect()
+}
+
+fn sim() -> ClusterSim {
+    ClusterSim::new(
+        SimEngine::new(harness::deployment_8b(), EngineConfig::default()),
+        ClusterConfig {
+            replicas: REPLICAS,
+            queue_cap: QUEUE_CAP,
+        },
+    )
+}
+
+struct Cell {
+    name: &'static str,
+    report: ClusterReport,
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let scale = harness::scale();
+    let groups = ((20.0 * scale).round() as usize).max(14);
+    let sim = sim();
+
+    // Probe run: measure the fleet's fault-free service rate on the bench
+    // workload itself, then offer load at exactly twice it. "2× overload"
+    // stays 2× at any LLMQO_SCALE.
+    let probe = sim
+        .run(&mut PrefixAffinity::default(), &workload(groups, 8))
+        .expect("probe run");
+    let svc = probe.throughput_rps();
+    let mk = probe.makespan_s;
+    let mut requests = workload(groups, 8);
+    ArrivalProcess::Poisson {
+        rate_rps: 2.0 * svc,
+        seed: 29,
+    }
+    .assign(&mut requests);
+    let offered = requests.len();
+    let premium = requests.iter().filter(|r| r.priority == 1).count();
+    println!(
+        "probe: service rate {svc:.1} rps, makespan {mk:.2}s; offering {offered} requests \
+         ({premium} premium) at {:.1} rps",
+        2.0 * svc
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+
+    // Cell 1 — unprotected: accept everything, queue without bound.
+    let unprotected = sim
+        .run(&mut PrefixAffinity::default(), &requests)
+        .expect("unprotected run");
+    assert_eq!(unprotected.completed, offered, "ungated runs drop nothing");
+
+    // Differential spine: the inert AdmissionPolicy must take the exact
+    // ungated code path, byte for byte, on this very workload.
+    let inert = sim
+        .run_admitted(
+            &mut PrefixAffinity::default(),
+            &requests,
+            &AdmissionPolicy::default(),
+        )
+        .expect("inert admitted run");
+    assert_eq!(
+        unprotected, inert,
+        "inert admission diverged from the ungated dispatcher"
+    );
+    cells.push(Cell {
+        name: "unprotected",
+        report: unprotected,
+    });
+
+    // Cell 2 — KV-aware admission + priority shedding: bounded pending
+    // depth plus an occupancy gate calibrated off the probe's gauges.
+    let probe_mean_kv = probe
+        .replicas
+        .iter()
+        .map(|r| r.occupancy.mean_utilization())
+        .sum::<f64>()
+        / probe.replicas.len() as f64;
+    let admission =
+        AdmissionPolicy::bounded(2 * REPLICAS).with_kv_gate((4.0 * probe_mean_kv).clamp(0.05, 1.0));
+    let shed_run = sim
+        .run_admitted(&mut PrefixAffinity::default(), &requests, &admission)
+        .expect("admission run");
+    cells.push(Cell {
+        name: "admission+shed",
+        report: shed_run,
+    });
+
+    // Cell 3 — per-tenant quota alone (queue depth unbounded so only the
+    // quota can shed), against a t=0 burst: the flood tenant's
+    // instantaneous pending is 3× the premium tenant's, so a quota of
+    // premium+4 structurally caps the flood at any LLMQO_SCALE while the
+    // premium tenant — whose pending can never exceed its total — is
+    // untouchable. Quotas are a tenant-isolation mechanism, not a latency
+    // bound, so this cell is exempt from the p99 comparison below.
+    let burst = workload(groups, 8);
+    let quota = AdmissionPolicy::default().with_tenant_quota(premium + REPLICAS);
+    let quota_run = sim
+        .run_admitted(&mut PrefixAffinity::default(), &burst, &quota)
+        .expect("quota run");
+    assert!(
+        quota_run.shed.shed_tenant_quota > 0,
+        "a 3:1 burst must exceed a {}-deep tenant quota",
+        premium + REPLICAS
+    );
+    cells.push(Cell {
+        name: "admission+quota",
+        report: quota_run,
+    });
+
+    // Cell 4 — elastic autoscaling on top of admission control: sustained
+    // queue pressure warms cold replicas mid-job (thresholds anchored to
+    // the probe makespan so the loop reacts at any LLMQO_SCALE).
+    let elastic = OverloadPolicy::admission(admission).with_scale(
+        ScalePolicy::elastic(REPLICAS, 2 * REPLICAS)
+            .reacting(0.05 * mk, 0.02)
+            .with_cadence(0.02 * mk, 0.1 * mk)
+            .with_warmup(0.05 * mk)
+            .with_warmup_jitter(0.2, 7),
+    );
+    let scaled_run = sim
+        .run_overloaded(
+            &mut PrefixAffinity::default(),
+            &requests,
+            &FaultPlan::default(),
+            &RetryPolicy::disabled(),
+            &elastic,
+        )
+        .expect("scaled run");
+    assert!(
+        scaled_run.scaling.scale_ups >= 1,
+        "2x overload must warm at least one replica: {:?}",
+        scaled_run.scaling
+    );
+    cells.push(Cell {
+        name: "admission+scale",
+        report: scaled_run,
+    });
+
+    // Cell 5 — the full stack under chaos: a crash and a straggler with
+    // retries, behind the same admission gate and autoscaler.
+    let plan = FaultPlan::seeded(23)
+        .crash_restart(0, 0.2 * mk, 0.6 * mk)
+        .slowdown(1, 0.1 * mk, 0.8 * mk, 3.0);
+    let retry = RetryPolicy::retries(3);
+    let chaos_run = sim
+        .run_overloaded(
+            &mut PrefixAffinity::default(),
+            &requests,
+            &plan,
+            &retry,
+            &elastic,
+        )
+        .expect("chaos run");
+    let fs = &chaos_run.faults;
+    assert!(fs.engaged());
+    assert_eq!(
+        fs.succeeded + fs.failed + chaos_run.shed.shed,
+        fs.offered,
+        "three-way chaos ledger must reconcile"
+    );
+    cells.push(Cell {
+        name: "admission+scale+chaos",
+        report: chaos_run,
+    });
+
+    // The contract every protected cell must honor.
+    let unprotected_p99 = cells[0].report.queue_wait_p99_s;
+    for c in &cells[1..] {
+        let shed = &c.report.shed;
+        assert_eq!(shed.offered, offered, "{}: offered mismatch", c.name);
+        if !c.report.faults.engaged() {
+            assert_eq!(
+                c.report.completed + shed.shed,
+                offered,
+                "{}: shed ledger must reconcile exactly",
+                c.name
+            );
+        }
+        assert!(shed.shed > 0, "{}: 2x overload must shed", c.name);
+        assert_eq!(
+            shed.shed_queue_full + shed.shed_kv_pressure + shed.shed_tenant_quota,
+            shed.shed,
+            "{}: per-reason counters must partition the shed total",
+            c.name
+        );
+        assert_eq!(
+            shed.max_shed_priority, 0,
+            "{}: a priority-1 request was shed — zero high-priority loss violated",
+            c.name
+        );
+        if c.name != "admission+quota" {
+            assert!(
+                c.report.queue_wait_p99_s < unprotected_p99 / 2.0,
+                "{}: p99 queue wait {:.3}s not bounded vs unprotected {:.3}s",
+                c.name,
+                c.report.queue_wait_p99_s,
+                unprotected_p99
+            );
+        }
+        // Determinism: byte-identical on re-run.
+        let again = if c.name == "admission+scale+chaos" {
+            sim.run_overloaded(
+                &mut PrefixAffinity::default(),
+                &requests,
+                &plan,
+                &retry,
+                &elastic,
+            )
+        } else if c.name == "admission+scale" {
+            sim.run_overloaded(
+                &mut PrefixAffinity::default(),
+                &requests,
+                &FaultPlan::default(),
+                &RetryPolicy::disabled(),
+                &elastic,
+            )
+        } else if c.name == "admission+quota" {
+            sim.run_admitted(&mut PrefixAffinity::default(), &burst, &quota)
+        } else {
+            sim.run_admitted(&mut PrefixAffinity::default(), &requests, &admission)
+        }
+        .expect("deterministic rerun");
+        assert_eq!(c.report, again, "{}: nondeterministic report", c.name);
+    }
+
+    println!(
+        "\n{:<22} {:>9} {:>10} {:>6} {:>6} {:>5} {:>7} {:>8} {:>6} {:>6}",
+        "cell", "completed", "p99 wait", "shed", "queue", "kv", "quota", "max-prio", "ups", "downs"
+    );
+    for c in &cells {
+        let s = &c.report.shed;
+        println!(
+            "{:<22} {:>9} {:>9.3}s {:>6} {:>6} {:>5} {:>7} {:>8} {:>6} {:>6}",
+            c.name,
+            c.report.completed,
+            c.report.queue_wait_p99_s,
+            s.shed,
+            s.shed_queue_full,
+            s.shed_kv_pressure,
+            s.shed_tenant_quota,
+            s.max_shed_priority,
+            c.report.scaling.scale_ups,
+            c.report.scaling.scale_downs
+        );
+    }
+
+    // BENCH_overload.json: hand-rolled (the vendored serde has no JSON
+    // serializer), one object per protection-ladder cell.
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"overload\",\n");
+    json.push_str(
+        "  \"metric\": \"p99 admission queue wait and shed/scale ledgers at 2x the \
+         measured service rate; every protected cell asserts zero priority-1 loss\",\n",
+    );
+    json.push_str(&format!("  \"replicas\": {REPLICAS},\n"));
+    json.push_str(&format!("  \"queue_cap\": {QUEUE_CAP},\n"));
+    json.push_str(&format!("  \"offered\": {offered},\n"));
+    json.push_str(&format!("  \"premium_offered\": {premium},\n"));
+    json.push_str(&format!("  \"service_rate_rps\": {},\n", json_num(svc)));
+    json.push_str(&format!(
+        "  \"overload_rate_rps\": {},\n",
+        json_num(2.0 * svc)
+    ));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let s = &c.report.shed;
+        let sc = &c.report.scaling;
+        let fs = &c.report.faults;
+        json.push_str(&format!(
+            "    {{\"cell\": \"{}\", \"completed\": {}, \"queue_wait_p99_s\": {}, \
+             \"makespan_s\": {}, \"throughput_rps\": {}, \"shed\": {}, \
+             \"shed_queue_full\": {}, \"shed_kv_pressure\": {}, \"shed_tenant_quota\": {}, \
+             \"max_shed_priority\": {}, \"scale_ups\": {}, \"scale_downs\": {}, \
+             \"peak_replicas\": {}, \"fault_succeeded\": {}, \"fault_failed\": {}, \
+             \"fault_retries\": {}}}{}\n",
+            c.name,
+            c.report.completed,
+            json_num(c.report.queue_wait_p99_s),
+            json_num(c.report.makespan_s),
+            json_num(c.report.throughput_rps()),
+            s.shed,
+            s.shed_queue_full,
+            s.shed_kv_pressure,
+            s.shed_tenant_quota,
+            s.max_shed_priority,
+            sc.scale_ups,
+            sc.scale_downs,
+            sc.peak_replicas,
+            fs.succeeded,
+            fs.failed,
+            fs.retries,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    llmqo_obs::validate_json(&json).expect("BENCH_overload.json is well-formed");
+    std::fs::write("BENCH_overload.json", &json).expect("write BENCH_overload.json");
+    println!("\nwrote BENCH_overload.json ({} cells)", cells.len());
+}

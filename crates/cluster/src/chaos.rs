@@ -47,6 +47,10 @@
 //! [`alive`]: crate::ReplicaSnapshot::alive
 
 use crate::fault::{FaultEvent, FaultPlan, FaultStats, RetryPolicy};
+use crate::overload::{
+    decide_admission, obs_scale, obs_shed, OverloadPolicy, ScalePolicy, ScaleStats, ShedDecision,
+    ShedStats,
+};
 use crate::report::{ClusterReport, ReplicaOccupancy, ReplicaReport};
 use crate::request::ClusterRequest;
 use crate::router::{ReplicaSnapshot, Router};
@@ -120,6 +124,12 @@ struct ChaosReplica {
     drain_rejoin: f64,
     /// Start of the current down window, if down.
     down_since: Option<f64>,
+    /// Provisioned by the autoscaler and still warming up (joins at its
+    /// scheduled up-event without touching the fault ledger).
+    scale_join: bool,
+    /// Drained out of the fleet by the autoscaler for good; never rejoins
+    /// and its final down window is not unavailability.
+    departed: bool,
     /// Idle seconds accrued by the catch-up `advance_to` at rejoin —
     /// subtracted so reported idle time counts only in-service idleness.
     idle_correction: f64,
@@ -298,7 +308,8 @@ fn crash_replica(
 }
 
 /// Completes a drain: the replica went idle, so stash the incarnation and
-/// schedule the cold rejoin.
+/// schedule the cold rejoin. A scale-down drain (`drain_rejoin` infinite)
+/// leaves for good — no rejoin is scheduled.
 fn complete_drain(
     rep: &mut ChaosReplica,
     index: usize,
@@ -310,7 +321,9 @@ fn complete_drain(
     stash_incarnation(rep, engine, queue_waits)?;
     rep.draining = false;
     rep.down_since = Some(t);
-    up_events.push((rep.drain_rejoin.max(t), index));
+    if rep.drain_rejoin.is_finite() {
+        up_events.push((rep.drain_rejoin.max(t), index));
+    }
     Ok(())
 }
 
@@ -471,7 +484,60 @@ impl ClusterSim {
         plan: &FaultPlan,
         retry: &RetryPolicy,
     ) -> Result<ClusterReport, ClusterError> {
-        self.run_with_faults_impl(router, requests, plan, retry, true)
+        self.run_with_faults_impl(
+            router,
+            requests,
+            plan,
+            retry,
+            &OverloadPolicy::default(),
+            true,
+        )
+    }
+
+    /// [`run_with_faults`](ClusterSim::run_with_faults) under an
+    /// [`OverloadPolicy`]: KV-aware admission gates with priority load
+    /// shedding, plus an optional elastic [`ScalePolicy`] that drains cold
+    /// replicas and warms new ones mid-job. The report gains the
+    /// [`shed`](crate::ClusterReport::shed) and
+    /// [`scaling`](crate::ClusterReport::scaling) ledgers; with any faults
+    /// or retries engaged the failure invariant extends to
+    /// `succeeded + failed + shed == offered`.
+    ///
+    /// An inert (default) overload policy is byte-identical to
+    /// [`run_with_faults`](ClusterSim::run_with_faults); an inert policy
+    /// *and* inert plan/retry reproduce [`run`](ClusterSim::run) itself.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run_with_faults`](ClusterSim::run_with_faults), plus
+    /// [`ClusterError::InvalidOverloadPolicy`] for malformed policies.
+    pub fn run_overloaded(
+        &self,
+        router: &mut dyn Router,
+        requests: &[ClusterRequest],
+        plan: &FaultPlan,
+        retry: &RetryPolicy,
+        overload: &OverloadPolicy,
+    ) -> Result<ClusterReport, ClusterError> {
+        self.run_with_faults_impl(router, requests, plan, retry, overload, true)
+    }
+
+    /// [`run_overloaded`](ClusterSim::run_overloaded) driving every replica
+    /// one scheduling step at a time — the fine-grained oracle for the
+    /// overload differential suite.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run_overloaded`](ClusterSim::run_overloaded).
+    pub fn run_overloaded_single_stepped(
+        &self,
+        router: &mut dyn Router,
+        requests: &[ClusterRequest],
+        plan: &FaultPlan,
+        retry: &RetryPolicy,
+        overload: &OverloadPolicy,
+    ) -> Result<ClusterReport, ClusterError> {
+        self.run_with_faults_impl(router, requests, plan, retry, overload, false)
     }
 
     /// [`run_with_faults`](ClusterSim::run_with_faults) driving every
@@ -494,7 +560,14 @@ impl ClusterSim {
         plan: &FaultPlan,
         retry: &RetryPolicy,
     ) -> Result<ClusterReport, ClusterError> {
-        self.run_with_faults_impl(router, requests, plan, retry, false)
+        self.run_with_faults_impl(
+            router,
+            requests,
+            plan,
+            retry,
+            &OverloadPolicy::default(),
+            false,
+        )
     }
 
     fn run_with_faults_impl(
@@ -503,6 +576,7 @@ impl ClusterSim {
         requests: &[ClusterRequest],
         plan: &FaultPlan,
         retry: &RetryPolicy,
+        overload: &OverloadPolicy,
         macro_steps: bool,
     ) -> Result<ClusterReport, ClusterError> {
         let config = *self.config();
@@ -523,6 +597,23 @@ impl ClusterSim {
         }
         plan.validate(config.replicas)?;
         retry.validate()?;
+        overload.validate(config.replicas)?;
+        let gated = !overload.admission.is_inert();
+        let mut shed_stats = ShedStats::default();
+        if gated {
+            shed_stats.offered = requests.len();
+        }
+        // Autoscaler control-loop state: next check instant, last action
+        // instant (for cooldown hysteresis), and the event ledger.
+        let mut scale_state: Option<(ScalePolicy, f64, f64, ScaleStats)> =
+            overload.scale.map(|p| {
+                let stats = ScaleStats {
+                    peak_replicas: config.replicas,
+                    low_replicas: config.replicas,
+                    ..ScaleStats::default()
+                };
+                (p, p.check_interval_s, f64::NEG_INFINITY, stats)
+            });
         let mut seen_ids: HashSet<usize> = HashSet::with_capacity(requests.len());
         for r in requests {
             if !seen_ids.insert(r.request.id) {
@@ -560,6 +651,8 @@ impl ClusterSim {
                     draining: false,
                     drain_rejoin: 0.0,
                     down_since: None,
+                    scale_join: false,
+                    departed: false,
                     idle_correction: 0.0,
                     stash: Vec::new(),
                     stash_idle: 0.0,
@@ -603,6 +696,9 @@ impl ClusterSim {
         let mut now = 0.0f64;
         // Global placement counter feeding per-attempt transient rolls.
         let mut submissions = 0u64;
+        // Macro events taken while admission was backpressured (retry-
+        // insensitive routers only); scheduling bookkeeping, not behavior.
+        let mut backpressure_macro_steps = 0u64;
 
         loop {
             // --- Placement: drain admission while replicas can take work.
@@ -734,6 +830,19 @@ impl ClusterSim {
             for &(t, _) in &cs.hedge_timers {
                 consider(t);
             }
+            // The autoscaler's next check is a timed event too — but only
+            // while the job still has pending work, so an idle tail cannot
+            // keep the loop alive forever.
+            let work_pending = next_arrival < order.len()
+                || !admission.is_empty()
+                || busy.is_some()
+                || !cs.retryq.is_empty()
+                || !cs.hedge_timers.is_empty();
+            if let Some((_, next_check, _, _)) = &scale_state {
+                if work_pending {
+                    consider(*next_check);
+                }
+            }
 
             let deliver = match (busy, timed) {
                 (_, None) => false,
@@ -747,6 +856,18 @@ impl ClusterSim {
                 // (capacity returns before new demand), then crash/drain,
                 // then arrivals, retries, hedges.
                 for (t_u, i) in drain_due(&mut up_events, t) {
+                    let rep = &mut replicas[i];
+                    if rep.scale_join {
+                        // A scaled-up replica finishing its warmup: it was
+                        // never *un*available, so only the scaling ledger
+                        // (not the fault ledger) sees the event.
+                        rep.scale_join = false;
+                        rep.session.advance_to(t_u);
+                        rep.idle_correction = rep.session.idle_time_s();
+                        rep.up = true;
+                        obs_scale("joined", i, replicas.iter().filter(|r| r.up).count(), t_u);
+                        continue;
+                    }
                     let rep = &mut replicas[i];
                     let Some(since) = rep.down_since.take() else {
                         continue; // Already up (duplicate rejoin).
@@ -816,13 +937,71 @@ impl ClusterSim {
                 }
                 while next_arrival < order.len() && requests[order[next_arrival]].arrival_s <= t {
                     let j = order[next_arrival];
-                    admission.push_back(AdmEntry {
+                    next_arrival += 1;
+                    let entry = AdmEntry {
                         j,
                         kind: AttemptKind::First,
                         arrival_s: requests[j].arrival_s,
                         exclude: None,
-                    });
-                    next_arrival += 1;
+                    };
+                    if !gated {
+                        admission.push_back(entry);
+                        continue;
+                    }
+                    // Admission gates. Only first attempts are sheddable:
+                    // retries and hedges were already admitted once and
+                    // their attempts are on the fault ledger.
+                    let kv_util = if overload.admission.max_kv_utilization.is_some() {
+                        let (in_use, capacity) =
+                            replicas
+                                .iter()
+                                .filter(|r| r.up)
+                                .fold((0usize, 0usize), |acc, r| {
+                                    (
+                                        acc.0 + r.session.kv_blocks_in_use(),
+                                        acc.1 + r.session.capacity_blocks(),
+                                    )
+                                });
+                        if capacity == 0 {
+                            0.0
+                        } else {
+                            in_use as f64 / capacity as f64
+                        }
+                    } else {
+                        0.0
+                    };
+                    let sheddable: Vec<(usize, u32, u8)> = admission
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| e.kind == AttemptKind::First)
+                        .map(|(pos, e)| (pos, requests[e.j].tenant, requests[e.j].priority))
+                        .collect();
+                    // The depth gate counts only first attempts: retries and
+                    // hedges are work the cluster already admitted (and owes
+                    // the fault ledger an outcome for), so in-flight recovery
+                    // traffic neither fills the admission budget nor blocks a
+                    // high-priority arrival from finding a sheddable victim.
+                    match decide_admission(
+                        &overload.admission,
+                        requests[j].tenant,
+                        requests[j].priority,
+                        sheddable.len(),
+                        &sheddable,
+                        kv_util,
+                    ) {
+                        ShedDecision::Admit => admission.push_back(entry),
+                        ShedDecision::ShedArrival(reason) => {
+                            shed_stats.record(reason, requests[j].priority);
+                            obs_shed(&requests[j], reason, t);
+                        }
+                        ShedDecision::EvictPending(pos, reason) => {
+                            if let Some(victim) = admission.remove(pos) {
+                                shed_stats.record(reason, requests[victim.j].priority);
+                                obs_shed(&requests[victim.j], reason, t);
+                            }
+                            admission.push_back(entry);
+                        }
+                    }
                 }
                 for (due, j) in drain_due(&mut cs.retryq, t) {
                     admission.push_back(AdmEntry {
@@ -852,11 +1031,121 @@ impl ClusterSim {
                         exclude: s.last_replica,
                     });
                 }
+                // --- Autoscaler control loop, last in the tie order: it
+                // reads the queue as arrivals/retries at `t` left it
+                // (admission → shed → scale).
+                if let Some((policy, next_check, last_action, sstats)) = &mut scale_state {
+                    if *next_check <= t {
+                        while *next_check <= t {
+                            *next_check += policy.check_interval_s;
+                        }
+                        sstats.checks += 1;
+                        let routable = replicas.iter().filter(|r| r.up).count();
+                        // Routable plus scheduled joins: the fleet the
+                        // max_replicas bound applies to.
+                        let fleet = routable + up_events.len();
+                        sstats.peak_replicas = sstats.peak_replicas.max(fleet);
+                        sstats.low_replicas = sstats.low_replicas.min(routable);
+                        let cooled = t - *last_action >= policy.cooldown_s;
+                        let oldest_pending = admission
+                            .iter()
+                            .map(|e| e.arrival_s)
+                            .fold(f64::INFINITY, f64::min);
+                        if cooled
+                            && t - oldest_pending >= policy.queue_wait_up_s
+                            && fleet < policy.max_replicas
+                        {
+                            // Scale up: provision a cold replica that joins
+                            // (empty prefix cache, rendezvous remap) after
+                            // its jittered warmup.
+                            let index = replicas.len();
+                            let mut session = self.engine().session()?;
+                            let lane = u32::try_from(index + 1).unwrap_or(u32::MAX);
+                            session.set_trace_lane(lane);
+                            if obs_on {
+                                llmqo_obs::tracer().name_lane(lane, &format!("replica {index}"));
+                            }
+                            replicas.push(ChaosReplica {
+                                session,
+                                assigned: 0,
+                                arrivals: Vec::new(),
+                                occupancy: ReplicaOccupancy::default(),
+                                harvested: 0,
+                                pending: BTreeMap::new(),
+                                up: false,
+                                draining: false,
+                                drain_rejoin: 0.0,
+                                down_since: None,
+                                scale_join: true,
+                                departed: false,
+                                idle_correction: 0.0,
+                                stash: Vec::new(),
+                                stash_idle: 0.0,
+                                lane,
+                            });
+                            up_events.push((t + policy.warmup_for(sstats.scale_ups), index));
+                            sstats.scale_ups += 1;
+                            sstats.peak_replicas = sstats.peak_replicas.max(fleet + 1);
+                            *last_action = t;
+                            obs_scale("up", index, fleet + 1, t);
+                        } else if cooled && admission.is_empty() && routable > policy.min_replicas {
+                            let (in_use, capacity) = replicas.iter().filter(|r| r.up).fold(
+                                (0usize, 0usize),
+                                |acc, r| {
+                                    (
+                                        acc.0 + r.session.kv_blocks_in_use(),
+                                        acc.1 + r.session.capacity_blocks(),
+                                    )
+                                },
+                            );
+                            let util = if capacity == 0 {
+                                0.0
+                            } else {
+                                in_use as f64 / capacity as f64
+                            };
+                            if util < policy.kv_low_watermark {
+                                // Scale down: gracefully drain the least
+                                // loaded routable replica (highest index on
+                                // ties), for good.
+                                let mut victim: Option<(usize, usize)> = None;
+                                for (i, r) in replicas.iter().enumerate() {
+                                    if r.up {
+                                        let load = r.session.queued() + r.session.running();
+                                        if victim.is_none_or(|(best, _)| load <= best) {
+                                            victim = Some((load, i));
+                                        }
+                                    }
+                                }
+                                if let Some((_, i)) = victim {
+                                    let rep = &mut replicas[i];
+                                    rep.up = false;
+                                    rep.draining = true;
+                                    rep.drain_rejoin = f64::INFINITY;
+                                    rep.departed = true;
+                                    sstats.scale_downs += 1;
+                                    sstats.low_replicas = sstats.low_replicas.min(routable - 1);
+                                    *last_action = t;
+                                    obs_scale("down", i, routable - 1, t);
+                                    if rep.session.is_idle() {
+                                        complete_drain(
+                                            rep,
+                                            i,
+                                            t,
+                                            self.engine(),
+                                            &mut up_events,
+                                            &mut queue_waits,
+                                        )?;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
                 now = now.max(t);
             } else if let Some(b) = busy {
-                let rep = &mut replicas[b];
-                let clock = rep.session.clock();
-                rep.session.set_slowdown(plan.slowdown_at(b, clock));
+                let clock = replicas[b].session.clock();
+                let slow = plan.slowdown_at(b, clock);
+                replicas[b].session.set_slowdown(slow);
                 if macro_steps && admission.is_empty() {
                     // Macro-step to the next timed event, additionally
                     // bounded by the replica's next slowdown boundary so
@@ -866,10 +1155,43 @@ impl ClusterSim {
                     if let Some(bound) = plan.next_slowdown_boundary(b, clock) {
                         horizon = Some(horizon.map_or(bound, |h| h.min(bound)));
                     }
-                    rep.session.step_until(horizon)?;
+                    replicas[b].session.step_until(horizon)?;
+                } else if macro_steps && router.retry_insensitive() {
+                    // Backpressured phase, same argument as the fault-free
+                    // dispatcher: a retry-insensitive router's consultations
+                    // mutate nothing and read only snapshot fields frozen
+                    // during a pure-decode run, so the head-of-line request
+                    // stays blocked at every skipped instant. The jump is
+                    // bounded by every chaos event source (all folded into
+                    // `timed`, including scale checks), every *other* busy
+                    // replica's clock, and this replica's next slowdown
+                    // boundary. On a tie the jump would be empty; fall back
+                    // to a single step to keep the tie-break order.
+                    let other_busy = replicas
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, r)| i != b && !r.session.is_idle())
+                        .map(|(_, r)| r.session.clock())
+                        .fold(f64::INFINITY, f64::min);
+                    let mut horizon = other_busy;
+                    if let Some(t) = timed {
+                        horizon = horizon.min(t);
+                    }
+                    if let Some(bound) = plan.next_slowdown_boundary(b, clock) {
+                        horizon = horizon.min(bound);
+                    }
+                    if horizon > clock {
+                        backpressure_macro_steps += 1;
+                        replicas[b]
+                            .session
+                            .step_until(horizon.is_finite().then_some(horizon))?;
+                    } else {
+                        replicas[b].session.step()?;
+                    }
                 } else {
-                    rep.session.step()?;
+                    replicas[b].session.step()?;
                 }
+                let rep = &mut replicas[b];
                 now = now.max(rep.session.clock());
                 harvest(rep, &mut cs);
                 if rep.draining && rep.session.is_idle() {
@@ -906,7 +1228,13 @@ impl ClusterSim {
         }
 
         // --- Assembly: merge incarnations per replica, close open windows.
-        let open_windows: Vec<f64> = replicas.iter().filter_map(|r| r.down_since).collect();
+        // Scale-down departures are deliberate, not faults: their windows
+        // stay out of the unavailability ledger.
+        let open_windows: Vec<f64> = replicas
+            .iter()
+            .filter(|r| !r.departed)
+            .filter_map(|r| r.down_since)
+            .collect();
         let mut reports: Vec<ReplicaReport> = Vec::new();
         for mut rep in replicas {
             let idle_final = rep.session.idle_time_s() - rep.idle_correction;
@@ -939,6 +1267,11 @@ impl ClusterSim {
         if engaged {
             report.faults = cs.stats;
         }
+        report.shed = shed_stats;
+        if let Some((_, _, _, sstats)) = scale_state {
+            report.scaling = sstats;
+        }
+        report.backpressure_macro_steps = backpressure_macro_steps;
         Ok(report)
     }
 }

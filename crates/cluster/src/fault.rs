@@ -449,7 +449,10 @@ pub struct FaultStats {
     pub succeeded: usize,
     /// Requests that permanently failed (budget exhausted, deadline passed,
     /// or no replica left to serve them). `succeeded + failed == offered`
-    /// always — no request is ever silently lost.
+    /// always — no request is ever silently lost. Under a gating
+    /// [`AdmissionPolicy`](crate::AdmissionPolicy) the invariant extends to
+    /// `succeeded + failed + shed == offered`, with `shed` ledgered in
+    /// [`ClusterReport::shed`](crate::ClusterReport).
     pub failed: usize,
     /// Retry attempts scheduled.
     pub retries: u64,

@@ -28,6 +28,14 @@
 //!   jitter, per-request deadlines, hedging, and prefix-affinity-aware
 //!   failover; failure metrics land in [`ClusterReport::faults`]
 //!   ([`FaultStats`]).
+//! * [`AdmissionPolicy`] / [`ScalePolicy`] / [`OverloadPolicy`] — the
+//!   overload-survival layer: KV-aware admission control, priority load
+//!   shedding with per-tenant quotas (ledgered in [`ShedStats`], extending
+//!   the zero-loss invariant to `succeeded + failed + shed == offered`), and
+//!   a seeded elastic autoscaler that drains replicas at low KV occupancy
+//!   and warms cold ones when queue wait crosses a threshold
+//!   ([`ScaleStats`]). Inert policies reproduce
+//!   [`ClusterSim::run`] / [`ClusterSim::run_with_faults`] byte-for-byte.
 //!
 //! # Example
 //!
@@ -67,12 +75,14 @@
 
 mod chaos;
 mod fault;
+mod overload;
 mod report;
 mod request;
 mod router;
 mod sim;
 
 pub use fault::{FaultEvent, FaultPlan, FaultStats, RetryPolicy};
+pub use overload::{AdmissionPolicy, OverloadPolicy, ScalePolicy, ScaleStats, ShedStats};
 pub use report::{ClusterReport, ReplicaOccupancy, ReplicaReport};
 pub use request::{tag_requests, ArrivalProcess, ClusterRequest};
 pub use router::{LeastLoaded, PrefixAffinity, ReplicaSnapshot, RoundRobin, Router};

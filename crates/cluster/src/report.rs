@@ -1,6 +1,7 @@
 //! Aggregated results of a sharded serving run.
 
 use crate::fault::FaultStats;
+use crate::overload::{ScaleStats, ShedStats};
 use llmqo_serve::{percentile, Completion, EngineReport};
 use std::fmt;
 
@@ -104,6 +105,15 @@ pub struct ClusterReport {
     /// [`ClusterSim::run_with_faults`](crate::ClusterSim::run_with_faults)
     /// with a non-inert plan or policy.
     pub faults: FaultStats,
+    /// Load-shedding ledger. All zeros (and [`ShedStats::engaged`] is
+    /// `false`) unless the run went through a non-inert
+    /// [`AdmissionPolicy`](crate::AdmissionPolicy); when engaged, every
+    /// offered request is exactly one of succeeded, failed, or shed.
+    pub shed: ShedStats,
+    /// Elastic-autoscaling counters. All zeros unless the run went through
+    /// [`ClusterSim::run_overloaded`](crate::ClusterSim::run_overloaded)
+    /// with a [`ScalePolicy`](crate::ScalePolicy).
+    pub scaling: ScaleStats,
     /// Backpressured phases the dispatcher collapsed into `step_until`
     /// jumps instead of single-stepping (0 for single-stepped runs and for
     /// routers that keep the conservative
@@ -125,6 +135,8 @@ impl PartialEq for ClusterReport {
             queue_wait_p99_s,
             queue_wait_max_s,
             faults,
+            shed,
+            scaling,
             backpressure_macro_steps: _,
         } = self;
         *policy == other.policy
@@ -137,6 +149,8 @@ impl PartialEq for ClusterReport {
             && *queue_wait_p99_s == other.queue_wait_p99_s
             && *queue_wait_max_s == other.queue_wait_max_s
             && *faults == other.faults
+            && *shed == other.shed
+            && *scaling == other.scaling
     }
 }
 
@@ -160,6 +174,8 @@ impl ClusterReport {
             queue_wait_p99_s: percentile(&queue_waits, 0.99),
             queue_wait_max_s: queue_waits.last().copied().unwrap_or(0.0),
             faults: FaultStats::default(),
+            shed: ShedStats::default(),
+            scaling: ScaleStats::default(),
             backpressure_macro_steps: 0,
             replicas,
         }
@@ -248,6 +264,27 @@ impl fmt::Display for ClusterReport {
                 self.goodput_rps(),
                 fs.unavailable_s,
                 fs.unavailability_windows
+            )?;
+        }
+        if self.shed.engaged() {
+            let s = &self.shed;
+            writeln!(
+                f,
+                "  shed: offered {}  shed {} (queue {}  kv {}  quota {})  max shed priority {}",
+                s.offered,
+                s.shed,
+                s.shed_queue_full,
+                s.shed_kv_pressure,
+                s.shed_tenant_quota,
+                s.max_shed_priority
+            )?;
+        }
+        if self.scaling.engaged() {
+            let s = &self.scaling;
+            writeln!(
+                f,
+                "  scaling: checks {}  ups {}  downs {}  fleet peak/low {}/{}",
+                s.checks, s.scale_ups, s.scale_downs, s.peak_replicas, s.low_replicas
             )?;
         }
         for (i, r) in self.replicas.iter().enumerate() {

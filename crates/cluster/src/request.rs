@@ -18,15 +18,26 @@ pub struct ClusterRequest {
     /// Arrival time on the cluster clock, seconds. `0.0` means present at
     /// job start (batch analytics).
     pub arrival_s: f64,
+    /// Owning tenant, for per-tenant admission quotas
+    /// ([`AdmissionPolicy::tenant_quota`](crate::AdmissionPolicy)). Tenant 0
+    /// is the default single-tenant world.
+    pub tenant: u32,
+    /// Scheduling priority under overload: **higher values are more
+    /// important** and are shed last. Priority 0 (the default) is
+    /// best-effort.
+    pub priority: u8,
 }
 
 impl ClusterRequest {
-    /// Tags `request` with `prefix_key`, arriving at time zero.
+    /// Tags `request` with `prefix_key`, arriving at time zero as tenant 0,
+    /// priority 0.
     pub fn new(request: SimRequest, prefix_key: u64) -> Self {
         ClusterRequest {
             request,
             prefix_key,
             arrival_s: 0.0,
+            tenant: 0,
+            priority: 0,
         }
     }
 
@@ -34,6 +45,20 @@ impl ClusterRequest {
     #[must_use]
     pub fn at(mut self, arrival_s: f64) -> Self {
         self.arrival_s = arrival_s;
+        self
+    }
+
+    /// Sets the owning tenant.
+    #[must_use]
+    pub fn tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Sets the shedding priority (higher = shed last).
+    #[must_use]
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
         self
     }
 }

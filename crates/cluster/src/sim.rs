@@ -31,6 +31,7 @@
 //! byte-identical to [`ClusterSim::run_single_stepped`], the
 //! one-step-per-event differential oracle, for every deterministic router.
 
+use crate::overload::{decide_admission, obs_shed, AdmissionPolicy, ShedDecision, ShedStats};
 use crate::report::{ClusterReport, ReplicaOccupancy, ReplicaReport};
 use crate::request::ClusterRequest;
 use crate::router::{ReplicaSnapshot, Router};
@@ -93,6 +94,12 @@ pub enum ClusterError {
         /// The repeated id.
         id: usize,
     },
+    /// An [`AdmissionPolicy`](crate::AdmissionPolicy) or
+    /// [`ScalePolicy`](crate::ScalePolicy) is malformed.
+    InvalidOverloadPolicy {
+        /// What is wrong.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -114,6 +121,9 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::DuplicateRequestId { id } => {
                 write!(f, "duplicate request id {id} in a fault-injected run")
+            }
+            ClusterError::InvalidOverloadPolicy { reason } => {
+                write!(f, "invalid admission or scale policy: {reason}")
             }
         }
     }
@@ -247,7 +257,46 @@ impl ClusterSim {
         router: &mut dyn Router,
         requests: &[ClusterRequest],
     ) -> Result<ClusterReport, ClusterError> {
-        self.run_impl(router, requests, true)
+        self.run_impl(router, requests, &AdmissionPolicy::default(), true)
+    }
+
+    /// [`run`](ClusterSim::run) behind a KV-aware [`AdmissionPolicy`]:
+    /// arrivals are gated on queue depth, fleet KV occupancy, and per-tenant
+    /// quotas, and under pressure the lowest-priority pending work is shed
+    /// deterministically (see the policy docs for the exact rules). The
+    /// result's [`shed`](ClusterReport::shed) ledger satisfies
+    /// `completed + shed == offered` — no request is ever silently lost.
+    ///
+    /// An inert (default) policy produces byte-identical reports to
+    /// [`run`](ClusterSim::run).
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](ClusterSim::run), plus
+    /// [`ClusterError::InvalidOverloadPolicy`] for a malformed policy.
+    pub fn run_admitted(
+        &self,
+        router: &mut dyn Router,
+        requests: &[ClusterRequest],
+        admission: &AdmissionPolicy,
+    ) -> Result<ClusterReport, ClusterError> {
+        self.run_impl(router, requests, admission, true)
+    }
+
+    /// [`run_admitted`](ClusterSim::run_admitted) driving every replica one
+    /// scheduling step at a time — the fine-grained oracle for the overload
+    /// differential suite.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run_admitted`](ClusterSim::run_admitted).
+    pub fn run_admitted_single_stepped(
+        &self,
+        router: &mut dyn Router,
+        requests: &[ClusterRequest],
+        admission: &AdmissionPolicy,
+    ) -> Result<ClusterReport, ClusterError> {
+        self.run_impl(router, requests, admission, false)
     }
 
     /// [`run`](ClusterSim::run) driving every replica one scheduling step at
@@ -263,13 +312,14 @@ impl ClusterSim {
         router: &mut dyn Router,
         requests: &[ClusterRequest],
     ) -> Result<ClusterReport, ClusterError> {
-        self.run_impl(router, requests, false)
+        self.run_impl(router, requests, &AdmissionPolicy::default(), false)
     }
 
     fn run_impl(
         &self,
         router: &mut dyn Router,
         requests: &[ClusterRequest],
+        admission_policy: &AdmissionPolicy,
         macro_steps: bool,
     ) -> Result<ClusterReport, ClusterError> {
         if self.config.replicas == 0 {
@@ -286,6 +336,12 @@ impl ClusterSim {
             if !r.arrival_s.is_finite() || r.arrival_s < 0.0 {
                 return Err(ClusterError::InvalidArrival { index });
             }
+        }
+        admission_policy.validate()?;
+        let gated = !admission_policy.is_inert();
+        let mut shed_stats = ShedStats::default();
+        if gated {
+            shed_stats.offered = requests.len();
         }
 
         let obs_on = llmqo_obs::enabled();
@@ -403,11 +459,59 @@ impl ClusterSim {
             };
 
             if deliver_arrival {
-                // Deliver every arrival due at (or before) this instant.
+                // Deliver every arrival due at (or before) this instant,
+                // each through the admission gates (an inert policy admits
+                // everything, preserving byte-identity with `run`).
                 let t = requests[order[next_arrival]].arrival_s;
                 while next_arrival < order.len() && requests[order[next_arrival]].arrival_s <= t {
-                    admission.push_back(order[next_arrival]);
+                    let j = order[next_arrival];
                     next_arrival += 1;
+                    if !gated {
+                        admission.push_back(j);
+                        continue;
+                    }
+                    let kv_util = if admission_policy.max_kv_utilization.is_some() {
+                        let (in_use, capacity) =
+                            replicas.iter().fold((0usize, 0usize), |acc, r| {
+                                (
+                                    acc.0 + r.session.kv_blocks_in_use(),
+                                    acc.1 + r.session.capacity_blocks(),
+                                )
+                            });
+                        if capacity == 0 {
+                            0.0
+                        } else {
+                            in_use as f64 / capacity as f64
+                        }
+                    } else {
+                        0.0
+                    };
+                    let sheddable: Vec<(usize, u32, u8)> = admission
+                        .iter()
+                        .enumerate()
+                        .map(|(pos, &p)| (pos, requests[p].tenant, requests[p].priority))
+                        .collect();
+                    match decide_admission(
+                        admission_policy,
+                        requests[j].tenant,
+                        requests[j].priority,
+                        admission.len(),
+                        &sheddable,
+                        kv_util,
+                    ) {
+                        ShedDecision::Admit => admission.push_back(j),
+                        ShedDecision::ShedArrival(reason) => {
+                            shed_stats.record(reason, requests[j].priority);
+                            obs_shed(&requests[j], reason, t);
+                        }
+                        ShedDecision::EvictPending(pos, reason) => {
+                            if let Some(victim) = admission.remove(pos) {
+                                shed_stats.record(reason, requests[victim].priority);
+                                obs_shed(&requests[victim], reason, t);
+                            }
+                            admission.push_back(j);
+                        }
+                    }
                 }
                 now = now.max(t);
             } else if let Some(b) = busy {
@@ -495,6 +599,7 @@ impl ClusterSim {
             });
         }
         let mut report = ClusterReport::assemble(router.name(), reports, queue_waits);
+        report.shed = shed_stats;
         report.backpressure_macro_steps = backpressure_macro_steps;
         Ok(report)
     }

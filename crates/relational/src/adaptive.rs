@@ -28,7 +28,11 @@
 //!   same [`QueryExecutor`](crate::QueryExecutor): a prompt that was ever
 //!   submitted is never submitted again. Cached rows are fanned out
 //!   *before* dedup-compaction, so the solver and the engine only ever see
-//!   novel rows.
+//!   novel rows. Row keys are stored as FNV-1a hashes (with a debug-build
+//!   collision audit), optional entry/byte budgets evict in LRU order, and
+//!   [`export`](AnswerCache::export)/[`absorb`](AnswerCache::absorb)
+//!   snapshots back statement checkpoint/resume
+//!   ([`StatementCheckpoint`](crate::StatementCheckpoint)).
 //!
 //! Like dedup and reordering, both mechanisms share engine work, **not**
 //! labeler draws: the simulated labeler is this harness's per-row
@@ -38,7 +42,7 @@
 //! row-for-row on all seven datasets.
 
 use llmqo_costmodel::SelectivityPosterior;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Default pseudo-observation weight of the optimizer's static prior in
 /// each operator posterior: small enough that the first real batch already
@@ -190,8 +194,10 @@ pub struct AnswerCacheStats {
     pub hits: u64,
     /// Rows that missed and were submitted (post-dedup) to the engine.
     pub misses: u64,
-    /// Distinct prompts stored.
+    /// Distinct prompts currently stored.
     pub entries: u64,
+    /// Entries dropped by the LRU budget (0 for an unbounded cache).
+    pub evictions: u64,
 }
 
 impl AnswerCacheStats {
@@ -206,6 +212,51 @@ impl AnswerCacheStats {
     }
 }
 
+/// One entry of an exported [`AnswerCache`] snapshot: the instruction text
+/// (interned ids are executor-local, so the snapshot carries the text), the
+/// FNV-1a hash of the row's serialized projected fields, the entry's byte
+/// charge against the cache budget, and the cached answer. The row key
+/// itself is *not* stored — the cache keys by hash, and a resumed executor
+/// re-derives hashes from live rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSnapshotEntry {
+    /// Interned instruction text (the operator's cache identity).
+    pub instruction: String,
+    /// FNV-1a hash of the row's serialized projected fields.
+    pub key_hash: u64,
+    /// Bytes this entry charges against [`AnswerCache`] byte budgets.
+    pub bytes: usize,
+    /// The cached serving-side answer record.
+    pub answer: CachedAnswer,
+}
+
+/// Fixed per-entry byte charge on top of the row key's length: the hashed
+/// key, the answer record, and map bookkeeping.
+const ENTRY_OVERHEAD_BYTES: usize = 48;
+
+/// FNV-1a over the row-key bytes — a tiny, dependency-free, deterministic
+/// 64-bit hash. 64 bits over session-scale entry counts (thousands) makes
+/// accidental collisions vanishingly rare; debug builds additionally audit
+/// every hit against the full key text.
+fn fnv1a(key: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// What one cache slot stores besides its identity.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    answer: CachedAnswer,
+    /// Byte charge (key length + [`ENTRY_OVERHEAD_BYTES`]).
+    bytes: usize,
+    /// Recency stamp; key into the LRU `order` map.
+    seq: u64,
+}
+
 /// A session-scoped exact answer cache: maps *prompt identity* —
 /// instruction text plus the row's serialized projected fields, in query
 /// field order — to the [`CachedAnswer`] of the request that first carried
@@ -214,23 +265,60 @@ impl AnswerCacheStats {
 /// within a statement, and across successive queries on the same executor.
 ///
 /// Instructions are interned once per operator (they repeat across every
-/// row of a stage), so each entry stores one small id plus the row's field
-/// serialization.
+/// row of a stage) and row keys are stored as 64-bit FNV-1a hashes, so each
+/// entry costs a small fixed amount regardless of row width. Debug builds
+/// keep the full key text beside each slot and assert on every hit that the
+/// hash did not collide.
+///
+/// The cache is unbounded by default (byte-identical to the pre-budget
+/// behavior). [`bounded`](AnswerCache::bounded) /
+/// [`set_budget`](AnswerCache::set_budget) impose entry and/or byte
+/// budgets, enforced by least-recently-*used* eviction (lookups refresh
+/// recency, inserts start fresh).
 #[derive(Debug, Default)]
 pub struct AnswerCache {
     instructions: HashMap<String, u32>,
-    /// Per-instruction prompt → answer maps (nested so lookups borrow the
-    /// row key instead of cloning it).
-    entries: HashMap<u32, HashMap<String, CachedAnswer>>,
-    n_entries: u64,
+    /// Interned instruction texts by id (for snapshot export).
+    names: Vec<String>,
+    /// `(instruction id, key hash)` → slot.
+    entries: HashMap<(u32, u64), Slot>,
+    /// Recency stamp → entry key; the LRU eviction order.
+    order: BTreeMap<u64, (u32, u64)>,
+    next_seq: u64,
+    cur_bytes: usize,
+    max_entries: Option<usize>,
+    max_bytes: Option<usize>,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    /// Full key text per live slot, for the hash-collision audit. Absorbed
+    /// snapshot entries have no key text and are exempt.
+    #[cfg(debug_assertions)]
+    audit: HashMap<(u32, u64), String>,
 }
 
 impl AnswerCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         AnswerCache::default()
+    }
+
+    /// Creates an empty cache with entry and/or byte budgets (`None` =
+    /// unlimited on that axis).
+    pub fn bounded(max_entries: Option<usize>, max_bytes: Option<usize>) -> Self {
+        AnswerCache {
+            max_entries,
+            max_bytes,
+            ..AnswerCache::default()
+        }
+    }
+
+    /// Re-budgets a live cache, evicting least-recently-used entries
+    /// immediately if the new budget is already exceeded.
+    pub fn set_budget(&mut self, max_entries: Option<usize>, max_bytes: Option<usize>) {
+        self.max_entries = max_entries;
+        self.max_bytes = max_bytes;
+        self.enforce_budget();
     }
 
     /// Interns an instruction text, returning the id to use in
@@ -241,66 +329,165 @@ impl AnswerCache {
         }
         let id = self.instructions.len() as u32;
         self.instructions.insert(instruction.to_owned(), id);
+        self.names.push(instruction.to_owned());
         id
     }
 
-    /// Looks up one row's prompt, counting the outcome in the stats.
+    /// Looks up one row's prompt, counting the outcome in the stats. A hit
+    /// refreshes the entry's LRU recency.
     pub fn lookup(&mut self, instruction: u32, row_key: &str) -> Option<CachedAnswer> {
-        let found = self
-            .entries
-            .get(&instruction)
-            .and_then(|m| m.get(row_key))
-            .copied();
-        match found {
-            Some(hit) => {
-                self.hits += 1;
-                Some(hit)
+        let k = (instruction, fnv1a(row_key));
+        if let Some(slot) = self.entries.get_mut(&k) {
+            #[cfg(debug_assertions)]
+            if let Some(original) = self.audit.get(&k) {
+                debug_assert_eq!(
+                    original, row_key,
+                    "FNV-1a key collision in AnswerCache (instruction {instruction})"
+                );
             }
-            None => {
-                self.misses += 1;
-                None
-            }
+            self.order.remove(&slot.seq);
+            slot.seq = self.next_seq;
+            self.next_seq += 1;
+            self.order.insert(slot.seq, k);
+            self.hits += 1;
+            Some(slot.answer)
+        } else {
+            self.misses += 1;
+            None
         }
     }
 
     /// Stores the answer record of a freshly submitted prompt. First write
     /// wins; a duplicate insert (two novel rows deduped into one request)
-    /// is a no-op.
+    /// is a no-op. May evict least-recently-used entries if a budget is
+    /// set.
     pub fn insert(&mut self, instruction: u32, row_key: String, answer: CachedAnswer) {
-        let per_instruction = self.entries.entry(instruction).or_default();
-        if let std::collections::hash_map::Entry::Vacant(e) = per_instruction.entry(row_key) {
-            e.insert(answer);
-            self.n_entries += 1;
+        let k = (instruction, fnv1a(&row_key));
+        if self.entries.contains_key(&k) {
+            #[cfg(debug_assertions)]
+            if let Some(original) = self.audit.get(&k) {
+                debug_assert_eq!(
+                    original, &row_key,
+                    "FNV-1a key collision in AnswerCache (instruction {instruction})"
+                );
+            }
+            return;
+        }
+        let bytes = row_key.len() + ENTRY_OVERHEAD_BYTES;
+        #[cfg(debug_assertions)]
+        self.audit.insert(k, row_key);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.insert(k, Slot { answer, bytes, seq });
+        self.order.insert(seq, k);
+        self.cur_bytes += bytes;
+        self.enforce_budget();
+    }
+
+    /// Evicts least-recently-used entries until both budgets hold.
+    fn enforce_budget(&mut self) {
+        loop {
+            let over_entries = self.max_entries.is_some_and(|m| self.entries.len() > m);
+            let over_bytes = self.max_bytes.is_some_and(|m| self.cur_bytes > m);
+            if !over_entries && !over_bytes {
+                return;
+            }
+            let Some((&seq, &k)) = self.order.iter().next() else {
+                return;
+            };
+            self.order.remove(&seq);
+            if let Some(slot) = self.entries.remove(&k) {
+                self.cur_bytes = self.cur_bytes.saturating_sub(slot.bytes);
+            }
+            #[cfg(debug_assertions)]
+            self.audit.remove(&k);
+            self.evictions += 1;
         }
     }
 
-    /// Lifetime hit/miss/entry counters.
+    /// Exports every live entry, sorted by `(instruction, key_hash)` so the
+    /// snapshot is deterministic regardless of hash-map iteration order.
+    /// The foundation of statement checkpointing
+    /// ([`StatementCheckpoint`](crate::StatementCheckpoint)).
+    pub fn export(&self) -> Vec<CacheSnapshotEntry> {
+        let mut out: Vec<CacheSnapshotEntry> = self
+            .entries
+            .iter()
+            .map(|(&(id, key_hash), slot)| CacheSnapshotEntry {
+                instruction: self.names[id as usize].clone(),
+                key_hash,
+                bytes: slot.bytes,
+                answer: slot.answer,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            a.instruction
+                .cmp(&b.instruction)
+                .then(a.key_hash.cmp(&b.key_hash))
+        });
+        out
+    }
+
+    /// Merges a snapshot produced by [`export`](AnswerCache::export) into
+    /// this cache (re-interning instruction texts). Existing entries win
+    /// over snapshot entries; budgets are enforced after the merge.
+    pub fn absorb(&mut self, snapshot: &[CacheSnapshotEntry]) {
+        for e in snapshot {
+            let id = self.instruction_id(&e.instruction);
+            let k = (id, e.key_hash);
+            if self.entries.contains_key(&k) {
+                continue;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.entries.insert(
+                k,
+                Slot {
+                    answer: e.answer,
+                    bytes: e.bytes,
+                    seq,
+                },
+            );
+            self.order.insert(seq, k);
+            self.cur_bytes += e.bytes;
+        }
+        self.enforce_budget();
+    }
+
+    /// Hit/miss/entry/eviction counters.
     pub fn stats(&self) -> AnswerCacheStats {
         AnswerCacheStats {
             hits: self.hits,
             misses: self.misses,
-            entries: self.n_entries,
+            entries: self.entries.len() as u64,
+            evictions: self.evictions,
         }
     }
 
-    /// Distinct prompts stored.
+    /// Distinct prompts currently stored.
     pub fn len(&self) -> usize {
-        self.n_entries as usize
+        self.entries.len()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.n_entries == 0
+        self.entries.is_empty()
     }
 
     /// Drops every entry and counter (e.g. between unrelated workloads
-    /// sharing one executor).
+    /// sharing one executor). Budgets are kept.
     pub fn clear(&mut self) {
         self.instructions.clear();
+        self.names.clear();
         self.entries.clear();
-        self.n_entries = 0;
+        self.order.clear();
+        self.next_seq = 0;
+        self.cur_bytes = 0;
         self.hits = 0;
         self.misses = 0;
+        self.evictions = 0;
+        #[cfg(debug_assertions)]
+        self.audit.clear();
     }
 }
 
@@ -400,5 +587,79 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.stats(), AnswerCacheStats::default());
+    }
+
+    fn ans(n: u64) -> CachedAnswer {
+        CachedAnswer {
+            prompt_tokens: n,
+            output_tokens: 1,
+        }
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let mut c = AnswerCache::bounded(Some(2), None);
+        let i = c.instruction_id("q");
+        c.insert(i, "a".into(), ans(1));
+        c.insert(i, "b".into(), ans(2));
+        // Touch "a" so "b" becomes the LRU victim.
+        assert_eq!(c.lookup(i, "a"), Some(ans(1)));
+        c.insert(i, "c".into(), ans(3));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup(i, "b"), None);
+        assert_eq!(c.lookup(i, "a"), Some(ans(1)));
+        assert_eq!(c.lookup(i, "c"), Some(ans(3)));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_and_rebudget_evict() {
+        // Each entry charges key length + fixed overhead; a budget of ~2.5
+        // entries holds 2.
+        let per_entry = 1 + ENTRY_OVERHEAD_BYTES;
+        let mut c = AnswerCache::bounded(None, Some(per_entry * 5 / 2));
+        let i = c.instruction_id("q");
+        for (n, k) in ["a", "b", "c"].iter().enumerate() {
+            c.insert(i, (*k).into(), ans(n as u64));
+        }
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        // Tightening the budget on a live cache evicts immediately.
+        c.set_budget(Some(1), None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(i, "c"), Some(ans(2)));
+    }
+
+    #[test]
+    fn export_absorb_round_trips_and_is_sorted() {
+        let mut c = AnswerCache::new();
+        let i1 = c.instruction_id("q1");
+        let i2 = c.instruction_id("q2");
+        c.insert(i1, "x".into(), ans(1));
+        c.insert(i2, "y".into(), ans(2));
+        c.insert(i1, "z".into(), ans(3));
+        let snap = c.export();
+        assert_eq!(snap.len(), 3);
+        assert!(snap
+            .windows(2)
+            .all(|w| (&w[0].instruction, w[0].key_hash) <= (&w[1].instruction, w[1].key_hash)));
+
+        // A fresh cache absorbing the snapshot serves the same answers,
+        // even with instructions interned in a different order.
+        let mut d = AnswerCache::new();
+        let j2 = d.instruction_id("q2");
+        d.absorb(&snap);
+        let j1 = d.instruction_id("q1");
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.lookup(j1, "x"), Some(ans(1)));
+        assert_eq!(d.lookup(j2, "y"), Some(ans(2)));
+        assert_eq!(d.lookup(j1, "z"), Some(ans(3)));
+        // Existing entries win over absorbed duplicates.
+        let mut e = AnswerCache::new();
+        let k1 = e.instruction_id("q1");
+        e.insert(k1, "x".into(), ans(9));
+        e.absorb(&snap);
+        assert_eq!(e.lookup(k1, "x"), Some(ans(9)));
+        assert_eq!(e.len(), 3);
     }
 }

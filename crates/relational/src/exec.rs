@@ -28,7 +28,7 @@
 //! still receives its own generated output and optimizations cannot change
 //! query results.
 
-use crate::adaptive::{AnswerCache, AnswerCacheStats, CachedAnswer};
+use crate::adaptive::{AnswerCache, AnswerCacheStats, CacheSnapshotEntry, CachedAnswer};
 use crate::optimizer::OptStats;
 use crate::pipeline::{StageEngine, PREFIX_KEY_DEPTH};
 use crate::prompt::{encode_table_rows, field_fragment};
@@ -348,6 +348,35 @@ impl StageOutcome {
     }
 }
 
+/// A deterministic snapshot of the LLM work a statement has already paid
+/// for: the executor's answer-cache entries, sorted by
+/// `(instruction, key hash)`.
+///
+/// Taken with [`QueryExecutor::checkpoint`] (typically after a
+/// mid-statement failure — chaos `all-replicas-lost`, a deadline, a
+/// process death) and replayed with [`QueryExecutor::restore`]: the re-run
+/// statement answers every checkpointed prompt from the cache and only
+/// re-issues the unfinished tail, with byte-identical final rows (cache
+/// hits share engine work, never labeler draws — the per-row generation
+/// path is untouched).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatementCheckpoint {
+    /// Exported answer-cache entries (instruction text + hashed row key).
+    pub entries: Vec<CacheSnapshotEntry>,
+}
+
+impl StatementCheckpoint {
+    /// Number of cached prompts the checkpoint carries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the checkpoint carries no cached prompts.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// Executes [`LlmQuery`]s against a [`SimEngine`] with a pluggable
 /// reordering policy.
 ///
@@ -394,6 +423,46 @@ impl<'a> QueryExecutor<'a> {
     /// workloads sharing one executor).
     pub fn clear_answer_cache(&self) {
         self.cache.borrow_mut().clear();
+    }
+
+    /// Budgets the session answer cache (entries and/or bytes, `None` =
+    /// unlimited), evicting least-recently-used entries immediately if the
+    /// new budget is already exceeded. Unbounded by default.
+    pub fn set_answer_cache_budget(&self, max_entries: Option<usize>, max_bytes: Option<usize>) {
+        self.cache.borrow_mut().set_budget(max_entries, max_bytes);
+    }
+
+    /// Snapshots the session answer cache as a [`StatementCheckpoint`].
+    ///
+    /// The executor inserts each batch's answers into the cache as the
+    /// batch completes, so a checkpoint taken after a mid-statement failure
+    /// captures exactly the LLM work the dead statement already paid for.
+    /// [`restore`](QueryExecutor::restore) that snapshot into a fresh
+    /// executor and re-run the statement: completed prompts are answered
+    /// from the cache (byte-identical rows — cache hits share engine work,
+    /// never labeler draws) and only the unfinished tail re-issues LLM
+    /// calls.
+    pub fn checkpoint(&self) -> StatementCheckpoint {
+        let entries = self.cache.borrow().export();
+        if llmqo_obs::enabled() {
+            let reg = llmqo_obs::registry();
+            reg.counter("sql.checkpoint.exported").inc();
+            reg.counter("sql.checkpoint.entries_exported")
+                .add(entries.len() as u64);
+        }
+        StatementCheckpoint { entries }
+    }
+
+    /// Merges `checkpoint` into the session answer cache (existing entries
+    /// win). See [`checkpoint`](QueryExecutor::checkpoint).
+    pub fn restore(&self, checkpoint: &StatementCheckpoint) {
+        self.cache.borrow_mut().absorb(&checkpoint.entries);
+        if llmqo_obs::enabled() {
+            let reg = llmqo_obs::registry();
+            reg.counter("sql.checkpoint.restored").inc();
+            reg.counter("sql.checkpoint.entries_restored")
+                .add(checkpoint.entries.len() as u64);
+        }
     }
 
     /// The serving engine (the SQL runner opens per-operator sessions on it).

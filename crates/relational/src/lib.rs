@@ -114,10 +114,12 @@ mod sql;
 mod table;
 mod value;
 
-pub use adaptive::{AnswerCache, AnswerCacheStats, CachedAnswer, SelectivityTracker};
+pub use adaptive::{
+    AnswerCache, AnswerCacheStats, CacheSnapshotEntry, CachedAnswer, SelectivityTracker,
+};
 pub use exec::{
     plan_requests, project_fds, ExecError, ExecOptions, ExecutionReport, QueryExecutor,
-    QueryOutput, RowOutput, StatementFaults,
+    QueryOutput, RowOutput, StatementCheckpoint, StatementFaults,
 };
 pub use optimizer::{
     annotate_estimates, estimate_llm_op, optimize_plan, CmpOp, LogicalOp, LogicalPlan, OptStats,

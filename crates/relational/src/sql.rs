@@ -687,6 +687,23 @@ impl<'a> SqlRunner<'a> {
         self.catalog.insert(name.into(), (table, fds));
     }
 
+    /// Snapshots the executor's answer cache as a
+    /// [`StatementCheckpoint`](crate::StatementCheckpoint): the LLM work
+    /// every statement run so far has already paid for. Take one after a
+    /// statement dies mid-flight and
+    /// [`restore`](SqlRunner::restore) it into a fresh runner's executor —
+    /// the re-run statement answers checkpointed prompts from the cache
+    /// (byte-identical rows) and only re-issues the unfinished tail.
+    pub fn checkpoint(&self) -> crate::StatementCheckpoint {
+        self.executor.checkpoint()
+    }
+
+    /// Merges a [`checkpoint`](SqlRunner::checkpoint) into the executor's
+    /// answer cache (existing entries win).
+    pub fn restore(&self, checkpoint: &crate::StatementCheckpoint) {
+        self.executor.restore(checkpoint);
+    }
+
     /// Expands an `LLM(...)` call's field list. Star (and empty) calls
     /// expand to the whole schema; when the caller supplies the statement's
     /// referenced-column set, the expansion is pruned to it — fields no part

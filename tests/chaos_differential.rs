@@ -201,6 +201,40 @@ fn macro_and_single_stepped_chaos_agree() {
     }
 }
 
+/// The chaos dispatcher macro-steps through backpressured phases for
+/// retry-insensitive routers (the PR-8 contract extended to the fault
+/// path): a saturated batch against depth-1 queues with a crash and a
+/// slowdown window on top must take genuine backpressured macro steps and
+/// still agree byte for byte with the single-stepped oracle.
+#[test]
+fn chaos_macro_stepping_survives_backpressure() {
+    let requests = workload(12, 6); // batch: everything queues at t=0
+    let sim = sim(3, 1);
+    let plan = FaultPlan::seeded(5)
+        .crash_restart(0, 0.1, 0.3)
+        .slowdown(1, 0.05, 0.4, 2.0);
+    let policy = RetryPolicy::retries(3);
+    for mut router in routers() {
+        let coarse = sim
+            .run_with_faults(router.as_mut(), &requests, &plan, &policy)
+            .expect("macro run");
+        let fine = sim
+            .run_with_faults_single_stepped(router.as_mut(), &requests, &plan, &policy)
+            .expect("single-stepped run");
+        assert_eq!(
+            coarse, fine,
+            "backpressured stepping modes diverged for router {}",
+            coarse.policy
+        );
+        assert!(
+            coarse.backpressure_macro_steps > 0,
+            "router {} took no backpressured macro steps under full saturation",
+            coarse.policy
+        );
+        assert_eq!(fine.backpressure_macro_steps, 0);
+    }
+}
+
 /// A crash with warm restart plus a retry budget loses **zero** requests:
 /// every crash-killed attempt re-enters through the retry machinery and
 /// eventually completes, and the ledger reconciles exactly with the

@@ -15,7 +15,7 @@ use llmqo::core::{FunctionalDeps, Ggr, Reorderer};
 use llmqo::datasets::{Dataset, DatasetId};
 use llmqo::relational::{
     encode_table, plan_requests, LlmQuery, OptimizerConfig, QueryExecutor, Schema, SqlResult,
-    SqlRunner, Table,
+    SqlRunner, StatementFaults, Table,
 };
 use llmqo::serve::{
     Deployment, EngineConfig, GpuCluster, GpuSpec, ModelSpec, OracleLlm, SimEngine,
@@ -339,6 +339,179 @@ fn projection_pruning_is_result_identical_and_reads_fewer_tokens() {
     no_prune.prune_fields = false;
     let b = run_sql(&ds, star, no_prune, "movies");
     assert_same_results(&a, &b, star);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline × chaos composition
+// ---------------------------------------------------------------------------
+
+fn with_faults(mut opt: OptimizerConfig, faults: StatementFaults) -> OptimizerConfig {
+    opt.faults = Some(faults);
+    opt
+}
+
+/// Every original row that exhausted the fault budget, across all the
+/// statement's LLM operators, sorted. The note *strings* legitimately
+/// differ between physical modes (pipelined execution annotates per
+/// micro-batch, the relay per operator); the row *set* must not.
+fn degraded_rows(r: &SqlResult) -> Vec<usize> {
+    let mut rows: Vec<usize> = r
+        .stages
+        .iter()
+        .flat_map(|s| s.failed_rows.iter().copied())
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+/// Zero-loss ledger: every row offered to an LLM operator is either
+/// answered (an output record) or recorded in the failed-rows ledger —
+/// nothing vanishes, under fan-out exactly as under the relay.
+fn assert_stage_ledgers(r: &SqlResult, context: &str) {
+    for (i, stage) in r.stages.iter().enumerate() {
+        assert_eq!(
+            stage.outputs.len() + stage.failed_rows.len(),
+            stage.report.opt.rows_in as usize,
+            "{context}: stage {i} lost rows \
+             (outputs {} + failed {} != offered {})",
+            stage.outputs.len(),
+            stage.failed_rows.len(),
+            stage.report.opt.rows_in
+        );
+        for row in &stage.failed_rows {
+            assert!(
+                !stage.outputs.iter().any(|o| o.row == *row),
+                "{context}: stage {i} row {row} is both failed and answered"
+            );
+        }
+    }
+}
+
+/// Statement fault injection composes with pipelined fan-out: the failure
+/// rolls are pure in (seed, original row, attempt) — independent of which
+/// replica served the call — so a faulty pipelined run returns exactly the
+/// faulty sequential relay's rows, drops exactly the same degraded rows,
+/// and keeps the zero-loss ledger on every tier-1 dataset.
+#[test]
+fn pipelined_fanout_under_faults_matches_sequential_and_loses_no_rows() {
+    let faults = StatementFaults::new(200_000, 11).with_attempts(2);
+    let mut total_retries = 0u64;
+    let mut total_failed = 0usize;
+    for id in DatasetId::all() {
+        let ds = Dataset::generate_with_rows(id, 60);
+        let names = ds.table.schema().names();
+        let (c0, c1) = (names[0].to_string(), names[1 % names.len()].to_string());
+        let sql = format!(
+            "SELECT {c0} FROM t WHERE LLM('a?', {c0}, {c1}) = 'Yes' \
+             AND LLM('b?', {c1}) <> 'No'"
+        );
+        let piped = run_sql(&ds, &sql, with_faults(pipelined(), faults), "t");
+        let sequential = run_sql(&ds, &sql, with_faults(OptimizerConfig::all(), faults), "t");
+        let context = format!("{}: {sql}", id.name());
+        assert_same_results(&piped, &sequential, &context);
+        assert_eq!(
+            degraded_rows(&piped),
+            degraded_rows(&sequential),
+            "{context}: degraded-row sets diverged"
+        );
+        assert_stage_ledgers(&piped, &context);
+        assert_stage_ledgers(&sequential, &context);
+        assert!(
+            piped
+                .notes
+                .iter()
+                .any(|n| n.contains("pipelined execution")),
+            "{context}: fault injection disabled the pipeline"
+        );
+        total_retries += piped
+            .stages
+            .iter()
+            .map(|s| s.report.opt.llm_retries)
+            .sum::<u64>();
+        total_failed += piped
+            .stages
+            .iter()
+            .map(|s| s.failed_rows.len())
+            .sum::<usize>();
+    }
+    assert!(total_retries > 0, "fault injection never engaged");
+    assert!(
+        total_failed > 0,
+        "no row ever exhausted the budget — the degraded path went untested"
+    );
+}
+
+/// `AVG(LLM(...))` under fan-out + faults: the aggregate is computed over
+/// the surviving rows only, identically to the sequential relay.
+#[test]
+fn pipelined_aggregate_under_faults_matches_sequential() {
+    let ds = Dataset::generate_with_rows(DatasetId::Movies, 90);
+    let sql = "SELECT AVG(LLM('rate', reviewcontent)) AS score FROM movies \
+               WHERE LLM('keep?', movietitle) <> 'Yes'";
+    let faults = StatementFaults::new(250_000, 5).with_attempts(2);
+    let eng = engine();
+    let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+    let solver = Ggr::default();
+    let run = |opt: OptimizerConfig| {
+        let mut runner = SqlRunner::new(&executor, &solver).with_optimizer(opt);
+        runner.register("movies", &ds.table, &ds.fds);
+        let truth = |row: usize| {
+            if row.is_multiple_of(2) {
+                "Yes".to_string()
+            } else {
+                ((row % 5) + 1).to_string()
+            }
+        };
+        runner.run(sql, &truth).unwrap()
+    };
+    let piped = run(with_faults(pipelined(), faults));
+    let sequential = run(with_faults(OptimizerConfig::all(), faults));
+    assert_same_results(&piped, &sequential, sql);
+    assert_eq!(degraded_rows(&piped), degraded_rows(&sequential));
+    assert_stage_ledgers(&piped, sql);
+    assert!(piped.aggregate.is_some(), "aggregate lost under faults");
+}
+
+/// Strict fault mode (no partial results) composes too: when a row
+/// exhausts its budget, the pipelined statement fails with exactly the
+/// same typed error — same row, same attempt count — as the sequential
+/// relay, instead of wedging a replica group.
+#[test]
+fn pipelined_strict_faults_fail_identically_to_sequential() {
+    let ds = Dataset::generate_with_rows(DatasetId::Products, 60);
+    let sql = "SELECT product_title FROM products WHERE LLM('useful?', text) = 'Yes'";
+    let faults = StatementFaults::new(400_000, 3).with_attempts(1).strict();
+    let eng = engine();
+    let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
+    let solver = Ggr::default();
+    let run = |opt: OptimizerConfig| {
+        let mut runner = SqlRunner::new(&executor, &solver).with_optimizer(opt);
+        runner.register("products", &ds.table, &ds.fds);
+        let truth = |row: usize| {
+            if row.is_multiple_of(3) {
+                "Yes".to_string()
+            } else {
+                "No".to_string()
+            }
+        };
+        runner.run(sql, &truth)
+    };
+    let piped = run(with_faults(pipelined(), faults));
+    let sequential = run(with_faults(OptimizerConfig::all(), faults));
+    let piped_err = piped
+        .expect_err("40% error rate on one attempt must fail")
+        .to_string();
+    let sequential_err = sequential
+        .expect_err("sequential must fail too")
+        .to_string();
+    assert_eq!(
+        piped_err, sequential_err,
+        "fan-out changed which row failed first"
+    );
+    assert!(
+        piped_err.contains("unavailable") || piped_err.contains("attempt"),
+        "not the typed LLM-unavailable error: {piped_err}"
+    );
 }
 
 /// Pruning composes with pipelined fan-out: the full stack (prune +
