@@ -18,7 +18,11 @@
 //! exposes the per-operator estimates ([`LlmOpEstimate`]) the relational
 //! layer's cost-based optimizer uses to order LLM predicates, and the
 //! Beta-smoothed [`SelectivityPosterior`] its adaptive executor refines
-//! those estimates with at runtime.
+//! those estimates with at runtime. Model-tier cascades extend the same
+//! machinery across models: [`ModelTier`]/[`CascadePlan`] price a
+//! cheap-first, escalate-on-low-confidence plan per operator, and
+//! [`TierPosterior`] learns the escalation and cheap-vs-expensive agreement
+//! rates online.
 //!
 //! # Example
 //!
@@ -45,11 +49,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod cascade;
 mod operator;
 mod pricing;
 mod provider;
 
+pub use cascade::{CascadePlan, ModelTier, TierPosterior, CONFIDENCE_DRAW};
 pub use operator::{LlmOpEstimate, SelectivityPosterior};
 pub use pricing::{Pricing, Usage};
 pub use provider::{AnthropicCache, OpenAiCache, ProviderCache};

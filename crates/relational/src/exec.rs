@@ -35,6 +35,7 @@ use crate::prompt::{encode_table_rows, field_fragment};
 use crate::query::{LlmQuery, QueryKind};
 use crate::table::{Table, TableError};
 use llmqo_core::{phc_of_plan, FunctionalDeps, PhcReport, Reorderer, SolveError};
+use llmqo_costmodel::CascadePlan;
 use llmqo_serve::{
     fault_unit, EngineError, EngineReport, GenRequest, SimEngine, SimLlm, SimRequest,
 };
@@ -225,7 +226,7 @@ impl StatementFaults {
 }
 
 /// Physical-layer options for [`QueryExecutor::execute_with`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ExecOptions {
     /// Exact request deduplication: rows with identical projected field
     /// values share one engine request. Off by default (the differential
@@ -244,6 +245,15 @@ pub struct ExecOptions {
     /// default) and `Some` with a zero `error_ppm` are byte-identical to
     /// fault-free execution.
     pub faults: Option<StatementFaults>,
+    /// Model-tier cascade: answer every row on the cheap tier, escalate
+    /// rows whose deterministic confidence falls below the plan's
+    /// threshold to the expensive tier. `None` (the default) is single-tier
+    /// execution; a plan with `escalate_below ≥ 1` is byte-identical to it
+    /// (every row takes the expensive answer), and `escalate_below ≤ 0` is
+    /// the pure cheap tier. Escalation is a pure function of
+    /// `(plan.seed, original row)`, so dedup, caching, batching, and
+    /// pipelining never change which rows escalate or what they answer.
+    pub cascade: Option<CascadePlan>,
 }
 
 impl ExecOptions {
@@ -261,6 +271,17 @@ impl ExecOptions {
             dedup: true,
             answer_cache: true,
             faults: None,
+            cascade: None,
+        }
+    }
+
+    /// Options with a model-tier cascade (dedup and answer cache off — the
+    /// form the cascade differential suite compares against single-tier
+    /// oracles).
+    pub fn cascaded(plan: CascadePlan) -> Self {
+        ExecOptions {
+            cascade: Some(plan),
+            ..ExecOptions::default()
         }
     }
 }
@@ -519,9 +540,15 @@ impl<'a> QueryExecutor<'a> {
         opts: ExecOptions,
     ) -> Result<QueryOutput, ExecError> {
         let mut engine = StageEngine::open(self.engine, 1)?;
+        let mut esc_engine = if opts.cascade.is_some() {
+            Some(StageEngine::open(self.engine, 1)?)
+        } else {
+            None
+        };
         let all_rows: Vec<usize> = (0..table.nrows()).collect();
         let stage = self.run_llm_rows(
             &mut engine,
+            esc_engine.as_mut(),
             table,
             &all_rows,
             query,
@@ -530,6 +557,12 @@ impl<'a> QueryExecutor<'a> {
             truth,
             opts,
         )?;
+        if let Some(esc) = esc_engine {
+            // The expensive tier's serving volume is accounted in the tier
+            // fields of `OptStats`; the report below covers the cheap tier
+            // (the session every row runs on).
+            esc.finish();
+        }
         let engine_report = engine.finish();
         Ok(stage.into_query_output(query, reorderer.name(), engine_report))
     }
@@ -545,6 +578,14 @@ impl<'a> QueryExecutor<'a> {
     /// row index. The SQL runner calls this batch by batch (sharing one
     /// session per operator) for lazy `LIMIT` and adaptive execution.
     ///
+    /// With [`ExecOptions::cascade`], `engine` is the cheap tier: every
+    /// representative runs on it, rows whose deterministic confidence
+    /// falls below the plan's threshold escalate, and each dedup group
+    /// containing an escalated row re-runs its representative's request on
+    /// `escalation` (a second stage engine fast-forwarded to this batch's
+    /// finish; when `None`, escalated requests replay on `engine` so the
+    /// expensive tier's serving cost is still paid somewhere real).
+    ///
     /// # Errors
     ///
     /// See [`ExecError`].
@@ -552,6 +593,7 @@ impl<'a> QueryExecutor<'a> {
     pub(crate) fn run_llm_rows(
         &self,
         engine: &mut StageEngine,
+        escalation: Option<&mut StageEngine>,
         table: &Table,
         rows: &[usize],
         query: &LlmQuery,
@@ -705,6 +747,14 @@ impl<'a> QueryExecutor<'a> {
             // below, so the stage engine's merge order (deterministic but
             // replica-grouped under fan-out) never affects results.
             let completions = engine.run_batch(&requests, &keys)?;
+            if opts.cascade.is_some() {
+                // Cascade ledger: every issued request is billed to the
+                // cheap tier at full (uncached) prompt + output volume.
+                for c in &completions {
+                    outcome.opt.cheap_prompt_tokens += c.prompt_tokens as u64;
+                    outcome.opt.cheap_output_tokens += u64::from(c.output_tokens);
+                }
+            }
             let answer_records: HashMap<usize, CachedAnswer> = if use_cache {
                 completions
                     .iter()
@@ -771,7 +821,13 @@ impl<'a> QueryExecutor<'a> {
                     // Replay the failed attempts so their serving cost is
                     // real: each retry re-sends the representative's full
                     // prompt (mostly cache hits) and re-decodes its output.
-                    engine.run_batch(&retry_requests, &retry_keys)?;
+                    let retried = engine.run_batch(&retry_requests, &retry_keys)?;
+                    if opts.cascade.is_some() {
+                        for c in &retried {
+                            outcome.opt.cheap_prompt_tokens += c.prompt_tokens as u64;
+                            outcome.opt.cheap_output_tokens += u64::from(c.output_tokens);
+                        }
+                    }
                 }
             }
 
@@ -783,7 +839,13 @@ impl<'a> QueryExecutor<'a> {
                 .key_field
                 .as_deref()
                 .and_then(|k| query.fields.iter().position(|f| f == k));
-            for rp in &solution.plan.rows {
+            // Dedup groups whose rows all kept the cheap answer never touch
+            // the expensive tier; a group with at least one escalated row
+            // re-runs its representative's request there (engine work is
+            // shared per group on both tiers, labels stay per-row).
+            let mut esc_requests: Vec<SimRequest> = Vec::new();
+            let mut esc_keys: Vec<u64> = Vec::new();
+            for (ri, rp) in solution.plan.rows.iter().enumerate() {
                 if failed_reps[rp.row] {
                     // Budget exhausted: the representative's whole dedup
                     // group degrades — no answer-cache entry (nothing was
@@ -801,7 +863,7 @@ impl<'a> QueryExecutor<'a> {
                             .fields
                             .iter()
                             .position(|&f| f as usize == k)
-                            .expect("plans carry every field");
+                            .unwrap_or_else(|| unreachable!("plans carry every field"));
                         pos as f64 / (rp.fields.len() - 1) as f64
                     }
                     _ => 0.5,
@@ -815,6 +877,7 @@ impl<'a> QueryExecutor<'a> {
                         record,
                     );
                 }
+                let mut group_escalates = false;
                 for &local in &groups[rp.row] {
                     let original = rows[local];
                     let truth_text = truth(original);
@@ -824,10 +887,51 @@ impl<'a> QueryExecutor<'a> {
                         label_space: &query.label_space,
                         key_field_pos,
                     });
+                    let text = match &opts.cascade {
+                        Some(plan) => {
+                            group_escalates |= cascade_row(
+                                plan,
+                                original,
+                                &text,
+                                &query.label_space,
+                                &mut outcome.opt,
+                            );
+                            plan.label(original as u64, &text, &query.label_space)
+                        }
+                        None => text,
+                    };
                     outcome.outputs.push(RowOutput {
                         row: original,
                         text,
                     });
+                }
+                if group_escalates {
+                    esc_requests.push(row_request(
+                        &encoded,
+                        compact,
+                        rp,
+                        rows[reps[rp.row]],
+                        query,
+                    ));
+                    esc_keys.push(keys.get(ri).copied().unwrap_or_default());
+                }
+            }
+            if !esc_requests.is_empty() {
+                let esc_completions = match escalation {
+                    Some(esc) => {
+                        // Escalation waits for the cheap tier's answer:
+                        // fast-forward the expensive session to this
+                        // batch's finish before serving the re-runs.
+                        esc.advance_to(engine.clock());
+                        esc.run_batch(&esc_requests, &esc_keys)?
+                    }
+                    // No second session supplied: replay on the cheap
+                    // tier's session so the serving cost is still paid.
+                    None => engine.run_batch(&esc_requests, &esc_keys)?,
+                };
+                for c in &esc_completions {
+                    outcome.opt.esc_prompt_tokens += c.prompt_tokens as u64;
+                    outcome.opt.esc_output_tokens += u64::from(c.output_tokens);
                 }
             }
         }
@@ -835,7 +939,11 @@ impl<'a> QueryExecutor<'a> {
         // Cache-hit rows: no solver, no engine request — but still one
         // labeler draw each. Hits exist only for key-field-free queries
         // (see `use_cache` above), whose key-field position is the
-        // constant 0.5 on every execution path.
+        // constant 0.5 on every execution path. Under a cascade, hits are
+        // engine-free on *both* tiers (the cache is tier-agnostic: the
+        // prompt was already paid for), but each row still takes its pure
+        // per-row escalation decision and cascade label, so caching never
+        // changes results.
         for &(local, _answer) in &hit_rows {
             let original = rows[local];
             let truth_text = truth(original);
@@ -845,6 +953,13 @@ impl<'a> QueryExecutor<'a> {
                 label_space: &query.label_space,
                 key_field_pos: 0.5,
             });
+            let text = match &opts.cascade {
+                Some(plan) => {
+                    cascade_row(plan, original, &text, &query.label_space, &mut outcome.opt);
+                    plan.label(original as u64, &text, &query.label_space)
+                }
+                None => text,
+            };
             outcome.outputs.push(RowOutput {
                 row: original,
                 text,
@@ -903,6 +1018,30 @@ impl<'a> QueryExecutor<'a> {
             results.push(out);
         }
         Ok(results)
+    }
+}
+
+/// Takes one row's cascade decision: records it as cheap-only or escalated
+/// (with the cheap-vs-expensive agreement tally the
+/// [`TierPosterior`](llmqo_costmodel::TierPosterior) learns from) in the
+/// tier fields of `opt`, returning whether the row escalated. Pure in
+/// `(plan.seed, original)` — see [`CascadePlan::escalates`].
+fn cascade_row(
+    plan: &CascadePlan,
+    original: usize,
+    reference: &str,
+    label_space: &[String],
+    opt: &mut OptStats,
+) -> bool {
+    if plan.escalates(original as u64) {
+        opt.rows_escalated += 1;
+        if plan.cheap_label(original as u64, reference, label_space) == reference {
+            opt.tier_agreements += 1;
+        }
+        true
+    } else {
+        opt.rows_cheap += 1;
+        false
     }
 }
 
@@ -992,7 +1131,7 @@ pub fn project_fds(fds: &FunctionalDeps, used_cols: &[usize]) -> FunctionalDeps 
         })
         .collect();
     FunctionalDeps::from_groups(used_cols.len(), groups)
-        .expect("projected indices are in range by construction")
+        .unwrap_or_else(|_| unreachable!("projected indices are in range by construction"))
 }
 
 /// Deterministic per-row output length around the query's mean (±25%).
@@ -1548,6 +1687,7 @@ mod tests {
         let out = ex
             .run_llm_rows(
                 &mut stage,
+                None,
                 &t,
                 &[],
                 &filter_query(),

@@ -102,6 +102,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod adaptive;
 mod exec;
@@ -122,8 +123,8 @@ pub use exec::{
     QueryOutput, RowOutput, StatementCheckpoint, StatementFaults,
 };
 pub use optimizer::{
-    annotate_estimates, estimate_llm_op, optimize_plan, CmpOp, LogicalOp, LogicalPlan, OptStats,
-    OptimizerConfig, SqlPredicate,
+    annotate_estimates, estimate_llm_op, optimize_plan, CascadeConfig, CmpOp, LogicalOp,
+    LogicalPlan, OptStats, OptimizerConfig, SqlPredicate,
 };
 pub use prompt::{encode_table, encode_table_rows, field_fragment, EncodedTable};
 pub use query::{LlmQuery, QueryKind};

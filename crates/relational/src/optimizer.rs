@@ -31,7 +31,7 @@
 use crate::query::LlmQuery;
 use crate::table::Table;
 use crate::value::Value;
-use llmqo_costmodel::{LlmOpEstimate, Pricing};
+use llmqo_costmodel::{CascadePlan, LlmOpEstimate, Pricing};
 use llmqo_tokenizer::Tokenizer;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -269,6 +269,53 @@ impl LogicalPlan {
 // Optimizer
 // ---------------------------------------------------------------------------
 
+/// Model-tier cascade execution for a statement's LLM operators (see
+/// [`CascadePlan`]): run every row on the cheap tier first, escalate rows
+/// whose deterministic confidence falls below the plan's threshold to the
+/// expensive tier on a second stage engine.
+///
+/// Off by default everywhere ([`OptimizerConfig::cascade`] is `None` in
+/// every constructor) — single-tier execution stays the differential
+/// oracle, and the `escalate_below ≥ 1` endpoint of an enabled cascade is
+/// byte-identical to it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CascadeConfig {
+    /// The two tiers and the escalation threshold.
+    pub plan: CascadePlan,
+    /// Pareto knob closing the $-cost/JCT gap: dollars one simulated second
+    /// of statement time is worth when re-ranking LLM filters. `0.0` ranks
+    /// purely by dollars (the paper's objective); larger values let a
+    /// faster-but-pricier order win.
+    pub time_weight: f64,
+    /// When `true`, the runner prices single-tier vs cascade per operator
+    /// from the learned [`TierPosterior`](llmqo_costmodel::TierPosterior)s
+    /// (expected cascade cost `cheap + esc_rate × expensive` vs the
+    /// expensive tier alone) and runs the cascade only where it wins,
+    /// recording the decision in the plan notes.
+    pub auto: bool,
+}
+
+impl CascadeConfig {
+    /// A cascade that always runs under `plan` — no per-operator pricing,
+    /// pure-dollar ranking.
+    pub fn new(plan: CascadePlan) -> Self {
+        CascadeConfig {
+            plan,
+            time_weight: 0.0,
+            auto: false,
+        }
+    }
+
+    /// A cascade the runner prices per operator from the tier posteriors.
+    pub fn auto(plan: CascadePlan) -> Self {
+        CascadeConfig {
+            plan,
+            time_weight: 0.0,
+            auto: true,
+        }
+    }
+}
+
 /// Which rewrite rules and physical optimizations are enabled.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OptimizerConfig {
@@ -338,6 +385,11 @@ pub struct OptimizerConfig {
     /// labeler's positional input is the constant `0.5` — so pruning
     /// provably cannot change any row's label.
     pub prune_fields: bool,
+    /// Model-tier cascade execution (see [`CascadeConfig`]). `None` (the
+    /// default everywhere) is single-tier oracle mode; the differential
+    /// suites pin that a `Some` plan with `escalate_below ≥ 1` stays
+    /// byte-identical to it.
+    pub cascade: Option<CascadeConfig>,
 }
 
 impl Default for OptimizerConfig {
@@ -362,6 +414,7 @@ impl OptimizerConfig {
             pipeline_replicas: 1,
             pipeline_batch_rows: 512,
             prune_fields: true,
+            cascade: None,
         }
     }
 
@@ -381,6 +434,7 @@ impl OptimizerConfig {
             pipeline_replicas: 1,
             pipeline_batch_rows: 512,
             prune_fields: false,
+            cascade: None,
         }
     }
 
@@ -402,6 +456,15 @@ impl OptimizerConfig {
         OptimizerConfig {
             pipeline: true,
             pipeline_replicas: replicas.max(1),
+            ..OptimizerConfig::all()
+        }
+    }
+
+    /// Model-tier cascade mode: [`all`](OptimizerConfig::all) plus cascade
+    /// execution under `cascade`.
+    pub fn cascaded(cascade: CascadeConfig) -> Self {
+        OptimizerConfig {
+            cascade: Some(cascade),
             ..OptimizerConfig::all()
         }
     }
@@ -571,6 +634,27 @@ pub struct OptStats {
     /// Offered rows dropped after exhausting the fault retry budget
     /// (partial-result degradation).
     pub rows_failed: u64,
+    /// Offered rows the cascade answered on the cheap tier alone
+    /// (confidence at or above the threshold). Zero when cascades are off.
+    /// With a cascade on, labeled rows split two ways:
+    /// `rows_in = rows_cheap + rows_escalated + rows_failed`.
+    pub rows_cheap: u64,
+    /// Offered rows the cascade escalated to the expensive tier.
+    pub rows_escalated: u64,
+    /// Escalated rows whose cheap-tier answer already matched the expensive
+    /// tier's — the agreement numerator the
+    /// [`TierPosterior`](llmqo_costmodel::TierPosterior) learns from.
+    pub tier_agreements: u64,
+    /// Prompt tokens billed to the cheap tier (every engine request a
+    /// cascade issues pays this tier once).
+    pub cheap_prompt_tokens: u64,
+    /// Output tokens billed to the cheap tier.
+    pub cheap_output_tokens: u64,
+    /// Prompt tokens additionally billed to the expensive tier for
+    /// escalated requests.
+    pub esc_prompt_tokens: u64,
+    /// Output tokens additionally billed to the expensive tier.
+    pub esc_output_tokens: u64,
 }
 
 impl OptStats {
@@ -597,6 +681,13 @@ impl OptStats {
         self.reranks += other.reranks;
         self.llm_retries += other.llm_retries;
         self.rows_failed += other.rows_failed;
+        self.rows_cheap += other.rows_cheap;
+        self.rows_escalated += other.rows_escalated;
+        self.tier_agreements += other.tier_agreements;
+        self.cheap_prompt_tokens += other.cheap_prompt_tokens;
+        self.cheap_output_tokens += other.cheap_output_tokens;
+        self.esc_prompt_tokens += other.esc_prompt_tokens;
+        self.esc_output_tokens += other.esc_output_tokens;
     }
 }
 
@@ -770,6 +861,13 @@ mod tests {
             reranks: 1,
             llm_retries: 2,
             rows_failed: 1,
+            rows_cheap: 7,
+            rows_escalated: 3,
+            tier_agreements: 6,
+            cheap_prompt_tokens: 300,
+            cheap_output_tokens: 30,
+            esc_prompt_tokens: 90,
+            esc_output_tokens: 9,
         };
         a.add(&OptStats {
             rows_in: 8,
@@ -783,6 +881,13 @@ mod tests {
             reranks: 1,
             llm_retries: 1,
             rows_failed: 0,
+            rows_cheap: 2,
+            rows_escalated: 1,
+            tier_agreements: 1,
+            cheap_prompt_tokens: 100,
+            cheap_output_tokens: 10,
+            esc_prompt_tokens: 30,
+            esc_output_tokens: 3,
         });
         assert_eq!(a.rows_in, 18);
         assert_eq!(a.llm_calls, 9);
@@ -793,6 +898,13 @@ mod tests {
         assert_eq!(a.reranks, 2);
         assert_eq!(a.llm_retries, 3);
         assert_eq!(a.rows_failed, 1);
+        assert_eq!(a.rows_cheap, 9);
+        assert_eq!(a.rows_escalated, 4);
+        assert_eq!(a.tier_agreements, 7);
+        assert_eq!(a.cheap_prompt_tokens, 400);
+        assert_eq!(a.cheap_output_tokens, 40);
+        assert_eq!(a.esc_prompt_tokens, 120);
+        assert_eq!(a.esc_output_tokens, 12);
         // Early-stop savings count toward avoided requests: 18 offered
         // + 5 never scanned − 9 issued.
         assert_eq!(a.llm_calls_saved(), 14);

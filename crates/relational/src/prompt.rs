@@ -82,7 +82,7 @@ pub fn encode_table_rows(
     let nrows = rows.map_or(table.nrows(), <[usize]>::len);
     let row_at = |i: usize| rows.map_or(i, |rs| rs[i]);
     let mut reorder = ReorderTable::new(query.fields.clone())
-        .expect("queries are validated to have at least one field");
+        .unwrap_or_else(|_| unreachable!("queries are validated to have at least one field"));
     // One up-front reservation sizes both the row-major store and the
     // column-major mirror the solvers scan.
     reorder.reserve_rows(nrows);
@@ -108,7 +108,9 @@ pub fn encode_table_rows(
             let len = fragments[id.as_u32() as usize].len() as u32;
             row.push(Cell::new(id, len));
         }
-        reorder.push_row(row).expect("row arity fixed by used_cols");
+        reorder
+            .push_row(row)
+            .unwrap_or_else(|_| unreachable!("row arity fixed by used_cols"));
     }
 
     let instruction_text = query.full_instruction();

@@ -27,13 +27,15 @@
 use crate::adaptive::SelectivityTracker;
 use crate::exec::{ExecError, ExecOptions, QueryExecutor, QueryOutput, StageOutcome};
 use crate::optimizer::{
-    annotate_estimates, optimize_plan, CmpOp, LogicalOp, LogicalPlan, OptimizerConfig, SqlPredicate,
+    annotate_estimates, estimate_llm_op, optimize_plan, CascadeConfig, CmpOp, LogicalOp,
+    LogicalPlan, OptStats, OptimizerConfig, SqlPredicate,
 };
 use crate::pipeline::StageEngine;
 use crate::query::LlmQuery;
 use crate::table::{Table, TableError};
 use llmqo_core::{FunctionalDeps, Reorderer};
-use llmqo_costmodel::Pricing;
+use llmqo_costmodel::{CascadePlan, Pricing, TierPosterior};
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -639,6 +641,11 @@ pub struct SqlRunner<'a> {
     opt: OptimizerConfig,
     pricing: Pricing,
     catalog: HashMap<String, (&'a Table, &'a FunctionalDeps)>,
+    /// Learned tier posteriors per operator (keyed by query name):
+    /// escalation and cheap-vs-expensive agreement rates, carried across
+    /// statements so cascade pricing sharpens with observations. Empty —
+    /// and never touched — when cascades are off.
+    tier_posteriors: RefCell<HashMap<String, TierPosterior>>,
 }
 
 impl<'a> fmt::Debug for SqlRunner<'a> {
@@ -660,6 +667,7 @@ impl<'a> SqlRunner<'a> {
             opt: OptimizerConfig::default(),
             pricing: Pricing::gpt4o_mini(),
             catalog: HashMap::new(),
+            tier_posteriors: RefCell::new(HashMap::new()),
         }
     }
 
@@ -921,6 +929,7 @@ impl<'a> SqlRunner<'a> {
         ));
         out.push_str(&self.faults_footer());
         out.push_str(&self.pipeline_footer(None));
+        out.push_str(&self.cascade_footer(None));
         for note in &notes {
             out.push_str(&format!("-- rewrite: {note}\n"));
         }
@@ -959,6 +968,64 @@ impl<'a> SqlRunner<'a> {
             },
             fa.seed,
         )
+    }
+
+    /// The `-- cascade:` footer line, or empty when cascades are off (so
+    /// single-tier EXPLAIN output stays byte-identical). `EXPLAIN ANALYZE`
+    /// passes the statement's measured per-tier dollar ledger.
+    fn cascade_footer(&self, measured: Option<(f64, f64)>) -> String {
+        let Some(cc) = self.opt.cascade else {
+            return String::new();
+        };
+        let p = cc.plan;
+        let measured = measured.map_or(String::new(), |(cheap, esc)| {
+            format!(", measured ${cheap:.4} cheap + ${esc:.4} expensive")
+        });
+        format!(
+            "-- cascade: escalate below {:.2} (seed {}), cheap ${}/M in ${}/M out \
+             (base acc {:.2}), expensive ${}/M in ${}/M out, pricing {}, \
+             time weight {}{measured}\n",
+            p.escalate_below,
+            p.seed,
+            p.cheap.input_per_mtok,
+            p.cheap.output_per_mtok,
+            p.cheap.base_accuracy,
+            p.expensive.input_per_mtok,
+            p.expensive.output_per_mtok,
+            if cc.auto { "auto" } else { "always" },
+            cc.time_weight,
+        )
+    }
+
+    /// The tier posterior pricing one operator's cascade, registered on
+    /// first use with the plan's own priors: the escalation prior is the
+    /// threshold itself (confidence is uniform), the agreement prior the
+    /// cheap tier's base accuracy.
+    fn tier_posterior(&self, cc: &CascadeConfig, name: &str) -> TierPosterior {
+        *self
+            .tier_posteriors
+            .borrow_mut()
+            .entry(name.to_owned())
+            .or_insert_with(|| {
+                TierPosterior::new(
+                    cc.plan.escalate_below,
+                    cc.plan.cheap.base_accuracy,
+                    self.opt.adaptive_prior_strength,
+                )
+            })
+    }
+
+    /// Folds one batch's observed escalation split into the operator's tier
+    /// posterior (a no-op until [`tier_posterior`](Self::tier_posterior)
+    /// registered it).
+    fn observe_tier(&self, name: &str, opt: &OptStats) {
+        if let Some(p) = self.tier_posteriors.borrow_mut().get_mut(name) {
+            p.observe(
+                opt.rows_escalated,
+                opt.rows_cheap + opt.rows_escalated,
+                opt.tier_agreements,
+            );
+        }
     }
 
     /// Parses and executes `sql`, supplying ground truth per row via `truth`.
@@ -1045,9 +1112,30 @@ impl<'a> SqlRunner<'a> {
                     } else {
                         String::new()
                     };
+                    // Tier-split columns appear only when a cascade actually
+                    // labeled rows here, so single-tier renderings are
+                    // unchanged.
+                    let tiers = match self.opt.cascade {
+                        Some(cc) if opt.rows_cheap + opt.rows_escalated > 0 => {
+                            let cheap_cost = cc.plan.cheap.cost(
+                                opt.cheap_prompt_tokens as f64,
+                                opt.cheap_output_tokens as f64,
+                            );
+                            let esc_cost = cc
+                                .plan
+                                .expensive
+                                .cost(opt.esc_prompt_tokens as f64, opt.esc_output_tokens as f64);
+                            format!(
+                                ", rows cheap {} / escalated {}, \
+                                 ${cheap_cost:.4} cheap + ${esc_cost:.4} expensive",
+                                opt.rows_cheap, opt.rows_escalated,
+                            )
+                        }
+                        _ => String::new(),
+                    };
                     format!(
                         "(rows {rows_in} → {rows_out}, llm calls {}, dedup saved {}, \
-                         cache saved {}, re-ranks {}, skipped {}{faults}, \
+                         cache saved {}, re-ranks {}, skipped {}{faults}{tiers}, \
                          sim {sim_s:.2}s{overlap})",
                         opt.llm_calls,
                         opt.rows_deduped,
@@ -1071,6 +1159,21 @@ impl<'a> SqlRunner<'a> {
         ));
         out.push_str(&self.faults_footer());
         out.push_str(&self.pipeline_footer(data.pipeline_makespan_s));
+        let measured = self.opt.cascade.map(|cc| {
+            let (mut cheap, mut esc) = (0.0f64, 0.0f64);
+            for s in &result.stages {
+                cheap += cc.plan.cheap.cost(
+                    s.report.opt.cheap_prompt_tokens as f64,
+                    s.report.opt.cheap_output_tokens as f64,
+                );
+                esc += cc.plan.expensive.cost(
+                    s.report.opt.esc_prompt_tokens as f64,
+                    s.report.opt.esc_output_tokens as f64,
+                );
+            }
+            (cheap, esc)
+        });
+        out.push_str(&self.cascade_footer(measured));
         for note in &result.notes[..data.rewrite_notes] {
             out.push_str(&format!("-- rewrite: {note}\n"));
         }
@@ -1134,12 +1237,61 @@ impl<'a> SqlRunner<'a> {
         let pipelined = self.opt.pipeline && plan.llm_ops() > 0;
         let batching = lazy || pilot || pipelined;
 
+        // Model-tier cascade: decide per LLM operator whether the cascade
+        // runs. In auto mode each operator is priced from its learned tier
+        // posterior — expected cascade cost `cheap + esc_rate × expensive`
+        // per row against the expensive tier alone — and the decision is
+        // recorded as a runtime note; otherwise every operator cascades.
+        let mut cascade_for: Vec<Option<CascadePlan>> = vec![None; ops.len()];
+        if let Some(cc) = self.opt.cascade {
+            for (idx, op) in ops.iter().enumerate() {
+                let query = match op {
+                    LogicalOp::LlmFilter { query, .. }
+                    | LogicalOp::LlmProject { query, .. }
+                    | LogicalOp::LlmAggregate { query, .. } => query,
+                    _ => continue,
+                };
+                let post = self.tier_posterior(&cc, &query.name);
+                if !cc.auto {
+                    cascade_for[idx] = Some(cc.plan);
+                    continue;
+                }
+                let est = match op {
+                    LogicalOp::LlmFilter { est: Some(e), .. } => *e,
+                    _ => estimate_llm_op(table, self.executor.tokenizer(), query, false),
+                };
+                let esc_rate = post.escalation_rate();
+                let cascade_cost = cc.plan.expected_per_row_cost(
+                    est.prompt_tokens_per_row,
+                    est.output_tokens_per_row,
+                    esc_rate,
+                );
+                let single_cost = cc
+                    .plan
+                    .single_tier_per_row_cost(est.prompt_tokens_per_row, est.output_tokens_per_row);
+                let wins = cascade_cost < single_cost;
+                if wins {
+                    cascade_for[idx] = Some(cc.plan);
+                }
+                notes.push(format!(
+                    "cascade pricing for {}: cascade ${cascade_cost:.6}/row \
+                     (esc rate {esc_rate:.2}, {} obs) vs single-tier \
+                     ${single_cost:.6}/row → {}",
+                    query.name,
+                    post.observations(),
+                    if wins { "cascade" } else { "single tier" },
+                ));
+            }
+        }
+
         // One stage engine and one accumulated outcome per LLM operator,
         // indexed by *plan* position — stable across adaptive re-ranking,
         // which permutes only the execution schedule below. Stages persist
         // across batches so later batches reuse the prefixes earlier ones
-        // computed.
+        // computed. Operators running a cascade get a second, expensive-tier
+        // stage engine their escalated representatives replay on.
         let mut sessions: Vec<Option<StageEngine>> = (0..ops.len()).map(|_| None).collect();
+        let mut esc_sessions: Vec<Option<StageEngine>> = (0..ops.len()).map(|_| None).collect();
         let mut outcomes: Vec<Option<StageOutcome>> = vec![None; ops.len()];
 
         // Leading cheap predicates narrow the candidate set before any
@@ -1218,22 +1370,26 @@ impl<'a> SqlRunner<'a> {
                     LogicalOp::LlmFilter { query, negated, .. } => {
                         let out = self.run_stage_batch(
                             &mut sessions[idx],
+                            &mut esc_sessions[idx],
                             table,
                             &rows,
                             query,
                             fds,
                             truth,
                             pipelined.then_some(ready),
+                            cascade_for[idx],
                         )?;
                         if pipelined {
                             ready = sessions[idx].as_ref().map_or(ready, |s| s.clock());
                             data.stage_done_s[idx] = ready;
                         }
+                        if cascade_for[idx].is_some() {
+                            self.observe_tier(&query.name, &out.opt);
+                        }
                         self.note_failed_rows(query, &out, &mut notes);
-                        let label = query
-                            .predicate_label
-                            .as_deref()
-                            .expect("filter queries carry a predicate label");
+                        let label = query.predicate_label.as_deref().unwrap_or_else(|| {
+                            unreachable!("filter queries carry a predicate label")
+                        });
                         let offered = rows.len() as u64;
                         rows = out
                             .outputs
@@ -1249,16 +1405,21 @@ impl<'a> SqlRunner<'a> {
                     LogicalOp::LlmProject { query, .. } => {
                         let out = self.run_stage_batch(
                             &mut sessions[idx],
+                            &mut esc_sessions[idx],
                             table,
                             &rows,
                             query,
                             fds,
                             truth,
                             pipelined.then_some(ready),
+                            cascade_for[idx],
                         )?;
                         if pipelined {
                             ready = sessions[idx].as_ref().map_or(ready, |s| s.clock());
                             data.stage_done_s[idx] = ready;
+                        }
+                        if cascade_for[idx].is_some() {
+                            self.observe_tier(&query.name, &out.opt);
                         }
                         self.note_failed_rows(query, &out, &mut notes);
                         for o in &out.outputs {
@@ -1269,16 +1430,21 @@ impl<'a> SqlRunner<'a> {
                     LogicalOp::LlmAggregate { query, .. } => {
                         let out = self.run_stage_batch(
                             &mut sessions[idx],
+                            &mut esc_sessions[idx],
                             table,
                             &rows,
                             query,
                             fds,
                             truth,
                             pipelined.then_some(ready),
+                            cascade_for[idx],
                         )?;
                         if pipelined {
                             ready = sessions[idx].as_ref().map_or(ready, |s| s.clock());
                             data.stage_done_s[idx] = ready;
+                        }
+                        if cascade_for[idx].is_some() {
+                            self.observe_tier(&query.name, &out.opt);
                         }
                         self.note_failed_rows(query, &out, &mut notes);
                         accumulate(&mut outcomes[idx], out);
@@ -1313,6 +1479,8 @@ impl<'a> SqlRunner<'a> {
                     &mut outcomes,
                     batch_no,
                     &mut notes,
+                    &cascade_for,
+                    &sessions,
                 );
             }
             // Size the next batch: aim at the limit through the observed
@@ -1320,7 +1488,7 @@ impl<'a> SqlRunner<'a> {
             // pipeline has data (and always, when adaptivity is off).
             let aimed = if lazy && adaptive {
                 let remaining = limit
-                    .expect("lazy requires a limit")
+                    .unwrap_or_else(|| unreachable!("lazy requires a limit"))
                     .saturating_sub(emitted.len());
                 tracker.next_batch_size(
                     remaining,
@@ -1380,6 +1548,7 @@ impl<'a> SqlRunner<'a> {
             let makespan = sessions
                 .iter()
                 .flatten()
+                .chain(esc_sessions.iter().flatten())
                 .map(StageEngine::clock)
                 .fold(0.0, f64::max);
             data.pipeline_makespan_s = Some(makespan);
@@ -1410,6 +1579,12 @@ impl<'a> SqlRunner<'a> {
                 .take()
                 .map(StageEngine::finish)
                 .unwrap_or_default();
+            // The expensive tier's serving volume is already in the tier
+            // fields of the outcome's `OptStats`; the stage report's engine
+            // section covers the cheap tier (the session every row ran on).
+            if let Some(esc) = esc_sessions[idx].take() {
+                esc.finish();
+            }
             let stage = outcome.into_query_output(query, self.reorderer.name(), engine);
             if matches!(ops[idx], LogicalOp::LlmAggregate { .. }) {
                 aggregate = stage.aggregate;
@@ -1429,7 +1604,7 @@ impl<'a> SqlRunner<'a> {
                         | LogicalOp::LlmAggregate { .. }
                 )
             })
-            .expect("plans always carry a projection operator")
+            .unwrap_or_else(|| unreachable!("plans always carry a projection operator"))
         {
             LogicalOp::Project { columns } => {
                 let idxs = table
@@ -1449,7 +1624,11 @@ impl<'a> SqlRunner<'a> {
                 vec![alias.clone()],
                 emitted
                     .iter()
-                    .map(|(_, text)| vec![text.clone().expect("LLM projection emits text")])
+                    .map(|(_, text)| {
+                        vec![text
+                            .clone()
+                            .unwrap_or_else(|| unreachable!("LLM projection emits text"))]
+                    })
                     .collect(),
             ),
             LogicalOp::LlmAggregate { alias, .. } => (
@@ -1489,6 +1668,16 @@ impl<'a> SqlRunner<'a> {
     /// Sorting is stable, so equal-rank filters keep their position; each
     /// moved operator's [`OptStats::reranks`](crate::OptStats) is bumped
     /// and a human-readable note records the event.
+    ///
+    /// With a cascade configured, each operator's dollar rank is folded
+    /// with what execution has actually shown: the cascade's expected
+    /// cost ratio (posterior escalation rate), the *observed* dedup factor
+    /// (issued requests per offered row — duplicate-heavy operators are
+    /// cheaper per row than their estimate), and the operator's simulated
+    /// step-time weighted at [`CascadeConfig::time_weight`] dollars per
+    /// second — the $-cost/JCT pareto knob. With `cascade: None` the rank
+    /// is the pure-dollar PR-5 rule, unchanged.
+    #[allow(clippy::too_many_arguments)]
     fn rerank_schedule(
         &self,
         ops: &[LogicalOp],
@@ -1497,6 +1686,8 @@ impl<'a> SqlRunner<'a> {
         outcomes: &mut [Option<StageOutcome>],
         batch_no: u32,
         notes: &mut Vec<String>,
+        cascade_for: &[Option<CascadePlan>],
+        sessions: &[Option<StageEngine>],
     ) {
         let slots: Vec<usize> = (0..exec_order.len())
             .filter(|&s| matches!(ops[exec_order[s]], LogicalOp::LlmFilter { .. }))
@@ -1504,15 +1695,61 @@ impl<'a> SqlRunner<'a> {
         if slots.len() < 2 {
             return;
         }
+        // (rank multiplier, additive time term) per plan op — identity
+        // unless a cascade is configured.
+        let mut adjust: Vec<(f64, f64)> = vec![(1.0, 0.0); ops.len()];
+        if let Some(cc) = self.opt.cascade {
+            for &s in &slots {
+                let idx = exec_order[s];
+                let LogicalOp::LlmFilter {
+                    est: Some(e),
+                    query,
+                    ..
+                } = &ops[idx]
+                else {
+                    continue;
+                };
+                let mut factor = 1.0;
+                if cascade_for[idx].is_some() {
+                    let single = cc
+                        .plan
+                        .single_tier_per_row_cost(e.prompt_tokens_per_row, e.output_tokens_per_row);
+                    if single > 0.0 {
+                        let esc_rate = self
+                            .tier_posteriors
+                            .borrow()
+                            .get(&query.name)
+                            .map_or(cc.plan.escalate_below, TierPosterior::escalation_rate);
+                        factor *= cc.plan.expected_per_row_cost(
+                            e.prompt_tokens_per_row,
+                            e.output_tokens_per_row,
+                            esc_rate,
+                        ) / single;
+                    }
+                }
+                let mut time_term = 0.0;
+                if let Some(o) = &outcomes[idx] {
+                    let offered = o.opt.rows_in.saturating_sub(o.opt.cache_hits).max(1);
+                    factor *= o.opt.llm_calls as f64 / offered as f64;
+                    if cc.time_weight > 0.0 {
+                        if let Some(sess) = &sessions[idx] {
+                            time_term = cc.time_weight * sess.clock() / o.opt.rows_in.max(1) as f64;
+                        }
+                    }
+                }
+                adjust[idx] = (factor, time_term);
+            }
+        }
         let rank_of = |idx: usize| -> f64 {
             match &ops[idx] {
                 LogicalOp::LlmFilter { est, .. } => {
                     let posterior = tracker.selectivity(idx);
-                    match (est, posterior) {
+                    let base = match (est, posterior) {
                         (Some(e), Some(s)) => e.with_selectivity(s).rank(&self.pricing),
                         (Some(e), None) => e.rank(&self.pricing),
-                        (None, _) => f64::INFINITY,
-                    }
+                        (None, _) => return f64::INFINITY,
+                    };
+                    base * adjust[idx].0 + adjust[idx].1
                 }
                 _ => unreachable!("slots hold LLM filters only"),
             }
@@ -1582,35 +1819,48 @@ impl<'a> SqlRunner<'a> {
     /// configured, a single session otherwise). `ready` is the shared-
     /// timeline instant the batch became available — `Some` only under
     /// pipelined execution, where idle stages fast-forward to it before
-    /// running.
+    /// running. When `cascade` is set, an escalation stage engine is opened
+    /// alongside the cheap-tier session (same replica fan-out) and rows
+    /// whose cheap-tier confidence falls below the threshold replay there.
     #[allow(clippy::too_many_arguments)]
     fn run_stage_batch(
         &self,
         session: &mut Option<StageEngine>,
+        esc_session: &mut Option<StageEngine>,
         table: &Table,
         rows: &[usize],
         query: &LlmQuery,
         fds: &FunctionalDeps,
         truth: &dyn Fn(usize) -> String,
         ready: Option<f64>,
+        cascade: Option<CascadePlan>,
     ) -> Result<StageOutcome, SqlError> {
+        let replicas = if self.opt.pipeline {
+            self.opt.pipeline_replicas.max(1)
+        } else {
+            1
+        };
         if session.is_none() {
-            let replicas = if self.opt.pipeline {
-                self.opt.pipeline_replicas.max(1)
-            } else {
-                1
-            };
             *session = Some(
                 StageEngine::open(self.executor.engine(), replicas).map_err(ExecError::Engine)?,
             );
         }
-        let session = session.as_mut().expect("session created above");
+        if cascade.is_some() && esc_session.is_none() {
+            *esc_session = Some(
+                StageEngine::open(self.executor.engine(), replicas).map_err(ExecError::Engine)?,
+            );
+        }
+        let session = match session.as_mut() {
+            Some(s) => s,
+            None => unreachable!("session created above"),
+        };
         if let Some(t) = ready {
             session.advance_to(t);
         }
         let started_s = session.clock();
         let out = self.executor.run_llm_rows(
             session,
+            esc_session.as_mut(),
             table,
             rows,
             query,
@@ -1621,6 +1871,7 @@ impl<'a> SqlRunner<'a> {
                 dedup: self.opt.dedup,
                 answer_cache: self.opt.answer_cache,
                 faults: self.opt.faults,
+                cascade,
             },
         )?;
         if llmqo_obs::enabled() {
@@ -1642,6 +1893,14 @@ impl<'a> SqlRunner<'a> {
             llmqo_obs::registry()
                 .counter("sql.llm_calls")
                 .add(out.opt.llm_calls);
+            if out.opt.rows_cheap + out.opt.rows_escalated > 0 {
+                llmqo_obs::registry()
+                    .counter("sql.cascade_rows_cheap")
+                    .add(out.opt.rows_cheap);
+                llmqo_obs::registry()
+                    .counter("sql.cascade_rows_escalated")
+                    .add(out.opt.rows_escalated);
+            }
         }
         Ok(out)
     }

@@ -70,7 +70,7 @@ mod session_reference;
 
 pub use cache::{BlockChain, CacheConfig, CacheInternals, CacheStats, PrefixCache, SeqAlloc};
 pub use engine::{Deployment, EngineConfig, EngineError, EngineReport, SimEngine, SimRequest};
-pub use fault::fault_unit;
+pub use fault::{confidence_unit, fault_unit, CONFIDENCE_DRAW};
 pub use group::SessionGroup;
 pub use hardware::{GpuCluster, GpuSpec};
 pub use labeler::{GenRequest, KeyFieldPreference, ModelProfile, OracleLlm, SimLlm};

@@ -321,6 +321,17 @@ impl EngineSession {
         self.completions.iter().rev().find(|c| c.id == id)
     }
 
+    /// The deterministic confidence signal attached to request `id`'s
+    /// completion under `seed`, if the request has finished — the
+    /// model-tier-cascade hook: a cheap tier reports how sure it is of each
+    /// answer, and the executor escalates completions below its threshold.
+    /// Pure per `(seed, id)` (see [`crate::confidence_unit`]), so repeated
+    /// queries and replica fan-out observe identical confidences.
+    pub fn confidence_of(&self, id: usize, seed: u64) -> Option<f64> {
+        self.completion_of(id)
+            .map(|c| crate::fault::confidence_unit(seed, c.id as u64))
+    }
+
     /// Total KV capacity in blocks.
     pub fn capacity_blocks(&self) -> usize {
         self.capacity_blocks

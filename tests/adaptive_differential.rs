@@ -7,6 +7,9 @@
 //! over-90% answer-cache hit rates on repeated queries, and `OptStats`
 //! accounting that reconciles with engine request counts.
 
+mod common;
+
+use common::{engine, skewed_truth};
 use llmqo::core::FunctionalDeps;
 use llmqo::core::Ggr;
 use llmqo::costmodel::SelectivityPosterior;
@@ -15,39 +18,12 @@ use llmqo::relational::{
     ExecOptions, OptimizerConfig, QueryExecutor, SelectivityTracker, SqlResult, SqlRunner,
 };
 use llmqo::relational::{LlmQuery, Schema, Table};
-use llmqo::serve::{
-    Deployment, EngineConfig, GpuCluster, GpuSpec, ModelSpec, OracleLlm, SimEngine,
-};
+use llmqo::serve::OracleLlm;
 use llmqo::tokenizer::Tokenizer;
 use proptest::prelude::*;
 
-fn engine() -> SimEngine {
-    SimEngine::new(
-        Deployment::new(ModelSpec::llama3_8b(), GpuCluster::single(GpuSpec::l4())),
-        EngineConfig::default(),
-    )
-}
-
-/// Skewed ground truth: ~5% of rows are "Yes", so a `= 'Yes'` filter is
-/// picky (sel ≈ 0.05) and a `<> 'Yes'` filter is lax (sel ≈ 0.95) — both
-/// far from the optimizer's uniform 0.5 prior.
-fn skewed_truth(row: usize) -> String {
-    if row.is_multiple_of(20) {
-        "Yes".to_string()
-    } else {
-        "No".to_string()
-    }
-}
-
 fn run_sql(ds: &Dataset, sql: &str, opt: OptimizerConfig, table_name: &str) -> SqlResult {
-    let eng = engine();
-    let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
-    let solver = Ggr::default();
-    let mut runner = SqlRunner::new(&executor, &solver).with_optimizer(opt);
-    runner.register(table_name, &ds.table, &ds.fds);
-    runner
-        .run(sql, &skewed_truth)
-        .unwrap_or_else(|e| panic!("{sql}: {e}"))
+    common::run_sql_with_truth(ds, sql, opt, table_name, &skewed_truth)
 }
 
 /// One multi-LLM-filter statement per tier-1 dataset (some with `LIMIT`):
@@ -55,58 +31,7 @@ fn run_sql(ds: &Dataset, sql: &str, opt: OptimizerConfig, table_name: &str) -> S
 /// the optimizations-off oracle return, on every dataset.
 #[test]
 fn adaptive_is_result_identical_on_all_seven_datasets() {
-    let cases: &[(DatasetId, &str, &str)] = &[
-        (
-            DatasetId::Movies,
-            "movies",
-            "SELECT movietitle FROM movies \
-             WHERE LLM('kids?', movieinfo, reviewcontent) = 'Yes' \
-             AND LLM('fresh?', reviewtype, topcritic) <> 'Yes'",
-        ),
-        (
-            DatasetId::Products,
-            "products",
-            "SELECT product_title FROM products \
-             WHERE LLM('useful?', text, review_title) = 'Yes' \
-             AND LLM('verified?', verified_purchase, rating) <> 'Yes'",
-        ),
-        (
-            DatasetId::Bird,
-            "bird",
-            "SELECT PostId FROM bird \
-             WHERE LLM('stats?', Body, Text) = 'Yes' \
-             AND LLM('old?', PostDate) <> 'Yes' LIMIT 6",
-        ),
-        (
-            DatasetId::Pdmx,
-            "pdmx",
-            "SELECT artistname FROM pdmx \
-             WHERE LLM('complex?', complexity, genre) = 'Yes' \
-             AND LLM('grouped?', groups, composername) <> 'Yes'",
-        ),
-        (
-            DatasetId::Beer,
-            "beer",
-            "SELECT beer/name FROM beer \
-             WHERE LLM('good?', review/overall, review/palate) = 'Yes' \
-             AND LLM('ipa?', beer/style) <> 'Yes' LIMIT 8",
-        ),
-        (
-            DatasetId::Squad,
-            "squad",
-            "SELECT question FROM squad \
-             WHERE LLM('answerable?', question, context1) = 'Yes' \
-             AND LLM('short?', context2) <> 'Yes'",
-        ),
-        (
-            DatasetId::Fever,
-            "fever",
-            "SELECT claim FROM fever \
-             WHERE LLM('supported?', claim, context1) = 'Yes' \
-             AND LLM('refuted?', context2, context3) <> 'Yes' LIMIT 5",
-        ),
-    ];
-    for &(id, name, sql) in cases {
+    for (id, name, sql) in common::seven_dataset_cases() {
         let ds = Dataset::generate_with_rows(id, 120);
         let adaptive = run_sql(&ds, sql, OptimizerConfig::all(), name);
         let static_only = run_sql(&ds, sql, OptimizerConfig::static_only(), name);

@@ -17,60 +17,24 @@
 //! full saturation, and `std::error::Error` conformance of the public
 //! error enums.
 
+mod common;
+
+use common::{
+    assert_sql_identical, cluster_sim as sim, engine, grouped_workload as workload, routers,
+    skewed_truth,
+};
 use llmqo::cluster::{
-    ArrivalProcess, ClusterConfig, ClusterReport, ClusterRequest, ClusterSim, FaultPlan,
-    LeastLoaded, PrefixAffinity, ReplicaSnapshot, RetryPolicy, RoundRobin, Router,
+    ArrivalProcess, ClusterReport, FaultPlan, LeastLoaded, PrefixAffinity, ReplicaSnapshot,
+    RetryPolicy, RoundRobin, Router,
 };
 use llmqo::core::Ggr;
-use llmqo::datasets::{Dataset, DatasetId};
+use llmqo::datasets::Dataset;
 use llmqo::relational::{
     ExecError, OptimizerConfig, QueryExecutor, SqlError, SqlResult, SqlRunner, StatementFaults,
 };
-use llmqo::serve::{
-    Deployment, EngineConfig, GpuCluster, GpuSpec, ModelSpec, OracleLlm, SimEngine, SimRequest,
-};
+use llmqo::serve::OracleLlm;
 use llmqo::tokenizer::Tokenizer;
 use proptest::prelude::*;
-
-fn engine() -> SimEngine {
-    SimEngine::new(
-        Deployment::new(ModelSpec::llama3_8b(), GpuCluster::single(GpuSpec::l4())),
-        EngineConfig::default(),
-    )
-}
-
-/// A grouped shared-prefix workload: `groups` groups of `per_group`
-/// requests sharing a 48-token prefix, tagged with their group as the
-/// routing prefix key.
-fn workload(groups: usize, per_group: usize) -> Vec<ClusterRequest> {
-    (0..groups * per_group)
-        .map(|i| {
-            let g = (i / per_group) as u32;
-            let mut toks: Vec<u32> = (0..48).map(|j| g * 1000 + j).collect();
-            toks.extend((0..12).map(|j| 500_000 + i as u32 * 64 + j));
-            ClusterRequest::new(SimRequest::from_tokens(i, toks, 4), u64::from(g))
-        })
-        .collect()
-}
-
-fn sim(replicas: usize, queue_cap: usize) -> ClusterSim {
-    ClusterSim::new(
-        engine(),
-        ClusterConfig {
-            replicas,
-            queue_cap,
-        },
-    )
-}
-
-fn routers() -> Vec<Box<dyn Router>> {
-    vec![
-        Box::new(RoundRobin),
-        Box::new(LeastLoaded),
-        Box::new(PrefixAffinity::default()),
-        Box::new(PrefixAffinity::bounded(1.25)),
-    ]
-}
 
 /// The differential spine: with an inert plan and policy, the chaos
 /// dispatcher must take the exact legacy code path — same placements, same
@@ -408,14 +372,6 @@ fn chaos_run_rejects_duplicate_request_ids() {
 // SQL-layer graceful degradation
 // ---------------------------------------------------------------------------
 
-fn skewed_truth(row: usize) -> String {
-    if row.is_multiple_of(20) {
-        "Yes".to_string()
-    } else {
-        "No".to_string()
-    }
-}
-
 fn run_sql(
     ds: &Dataset,
     table_name: &str,
@@ -430,82 +386,12 @@ fn run_sql(
     runner.run(sql, &skewed_truth)
 }
 
-/// Equality on every sim-deterministic field of a SQL result
-/// (`ExecutionReport::solve_time_s` is wall-clock, so whole-struct `==` is
-/// the one comparison we cannot make).
-fn assert_sql_identical(a: &SqlResult, b: &SqlResult, context: &str) {
-    assert_eq!(a.columns, b.columns, "{context}: columns");
-    assert_eq!(a.rows, b.rows, "{context}: rows");
-    assert_eq!(a.aggregate, b.aggregate, "{context}: aggregate");
-    assert_eq!(a.notes, b.notes, "{context}: notes");
-    assert_eq!(a.stages.len(), b.stages.len(), "{context}: stage count");
-    for (x, y) in a.stages.iter().zip(&b.stages) {
-        assert_eq!(x.outputs, y.outputs, "{context}: stage outputs");
-        assert_eq!(x.failed_rows, y.failed_rows, "{context}: failed rows");
-        assert_eq!(x.aggregate, y.aggregate, "{context}: stage aggregate");
-        assert_eq!(x.report.engine, y.report.engine, "{context}: engine report");
-        assert_eq!(x.report.opt, y.report.opt, "{context}: opt stats");
-    }
-}
-
-const SQL_CASES: &[(DatasetId, &str, &str)] = &[
-    (
-        DatasetId::Movies,
-        "movies",
-        "SELECT movietitle FROM movies \
-         WHERE LLM('kids?', movieinfo, reviewcontent) = 'Yes' \
-         AND LLM('fresh?', reviewtype, topcritic) <> 'Yes'",
-    ),
-    (
-        DatasetId::Products,
-        "products",
-        "SELECT product_title FROM products \
-         WHERE LLM('useful?', text, review_title) = 'Yes' \
-         AND LLM('verified?', verified_purchase, rating) <> 'Yes'",
-    ),
-    (
-        DatasetId::Bird,
-        "bird",
-        "SELECT PostId FROM bird \
-         WHERE LLM('stats?', Body, Text) = 'Yes' \
-         AND LLM('old?', PostDate) <> 'Yes' LIMIT 6",
-    ),
-    (
-        DatasetId::Pdmx,
-        "pdmx",
-        "SELECT artistname FROM pdmx \
-         WHERE LLM('complex?', complexity, genre) = 'Yes' \
-         AND LLM('grouped?', groups, composername) <> 'Yes'",
-    ),
-    (
-        DatasetId::Beer,
-        "beer",
-        "SELECT beer/name FROM beer \
-         WHERE LLM('good?', review/overall, review/palate) = 'Yes' \
-         AND LLM('ipa?', beer/style) <> 'Yes' LIMIT 8",
-    ),
-    (
-        DatasetId::Squad,
-        "squad",
-        "SELECT question FROM squad \
-         WHERE LLM('answerable?', question, context1) = 'Yes' \
-         AND LLM('short?', context2) <> 'Yes'",
-    ),
-    (
-        DatasetId::Fever,
-        "fever",
-        "SELECT claim FROM fever \
-         WHERE LLM('supported?', claim, context1) = 'Yes' \
-         AND LLM('refuted?', context2, context3) <> 'Yes' LIMIT 5",
-    ),
-];
-
 /// The empty-plan identity one layer up: a configured-but-inert
 /// `StatementFaults` (zero error rate) executes the exact fault-free code
 /// path on all seven tier-1 datasets.
 #[test]
 fn inert_statement_faults_match_fault_free_sql_on_all_seven_datasets() {
-    for &(id, name, sql) in SQL_CASES {
+    for (id, name, sql) in common::seven_dataset_cases() {
         let ds = Dataset::generate_with_rows(id, 120);
         let baseline = run_sql(&ds, name, sql, OptimizerConfig::all())
             .unwrap_or_else(|e| panic!("{sql}: {e}"));
@@ -525,8 +411,8 @@ fn inert_statement_faults_match_fault_free_sql_on_all_seven_datasets() {
 /// is deterministic in the fault seed.
 #[test]
 fn exhausted_retry_budget_degrades_to_annotated_partial_results() {
-    let ds = Dataset::generate_with_rows(DatasetId::Movies, 120);
-    let (_, name, sql) = SQL_CASES[0];
+    let ds = Dataset::generate_with_rows(llmqo::datasets::DatasetId::Movies, 120);
+    let (_, name, sql) = common::seven_dataset_cases()[0];
     let faulty = OptimizerConfig {
         faults: Some(StatementFaults::new(400_000, 9).with_attempts(2)),
         ..OptimizerConfig::all()
@@ -589,8 +475,8 @@ fn exhausted_retry_budget_degrades_to_annotated_partial_results() {
 /// statement with a clean typed error, not a panic.
 #[test]
 fn strict_mode_surfaces_llm_unavailable() {
-    let ds = Dataset::generate_with_rows(DatasetId::Movies, 120);
-    let (_, name, sql) = SQL_CASES[0];
+    let ds = Dataset::generate_with_rows(llmqo::datasets::DatasetId::Movies, 120);
+    let (_, name, sql) = common::seven_dataset_cases()[0];
     let strict = OptimizerConfig {
         faults: Some(StatementFaults::new(400_000, 9).with_attempts(2).strict()),
         ..OptimizerConfig::all()

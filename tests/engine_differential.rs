@@ -10,18 +10,11 @@
 //! macro-step replays the reference's float accumulation order, so clocks
 //! and times must match to the last bit, not within a tolerance.
 
-use llmqo::serve::{
-    Deployment, EngineConfig, EngineError, EngineSession, GpuCluster, GpuSpec, ModelSpec,
-    SessionReference, SimEngine, SimRequest,
-};
-use proptest::prelude::*;
+mod common;
 
-fn engine(config: EngineConfig) -> SimEngine {
-    SimEngine::new(
-        Deployment::new(ModelSpec::llama3_8b(), GpuCluster::single(GpuSpec::l4())),
-        config,
-    )
-}
+use common::engine_with as engine;
+use llmqo::serve::{EngineConfig, EngineError, EngineSession, SessionReference, SimRequest};
+use proptest::prelude::*;
 
 /// Drains both loops to idle and asserts identical cache stats, reports,
 /// and completion streams.

@@ -11,17 +11,13 @@
 //! registry/tracer serialize on one mutex — `cargo test` runs test
 //! functions of one binary concurrently, and the sinks are process-global.
 
-use llmqo::cluster::{
-    ClusterConfig, ClusterReport, ClusterRequest, ClusterSim, PrefixAffinity, RoundRobin, Router,
-};
-use llmqo::core::Ggr;
-use llmqo::datasets::{Dataset, DatasetId};
-use llmqo::relational::{OptimizerConfig, QueryExecutor, SqlResult, SqlRunner};
-use llmqo::serve::{
-    percentile, Deployment, EngineConfig, GpuCluster, GpuSpec, ModelSpec, OracleLlm, SimEngine,
-    SimRequest,
-};
-use llmqo::tokenizer::Tokenizer;
+mod common;
+
+use common::{assert_sql_identical, engine, skewed_truth};
+use llmqo::cluster::{ClusterReport, PrefixAffinity, RoundRobin, Router};
+use llmqo::datasets::Dataset;
+use llmqo::relational::{OptimizerConfig, SqlResult};
+use llmqo::serve::percentile;
 use proptest::prelude::*;
 use std::sync::Mutex;
 
@@ -31,88 +27,24 @@ fn lock() -> std::sync::MutexGuard<'static, ()> {
     OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-fn engine() -> SimEngine {
-    SimEngine::new(
-        Deployment::new(ModelSpec::llama3_8b(), GpuCluster::single(GpuSpec::l4())),
-        EngineConfig::default(),
-    )
-}
-
-/// A grouped shared-prefix workload: 12 groups of 6 requests sharing a
-/// 48-token prefix, exercising admission, caching, eviction, and decode.
-fn workload() -> Vec<SimRequest> {
-    (0..72usize)
-        .map(|i| {
-            let g = (i / 6) as u32;
-            let mut toks: Vec<u32> = (0..48).map(|j| g * 1000 + j).collect();
-            toks.extend((0..12).map(|j| 500_000 + i as u32 * 64 + j));
-            SimRequest::from_tokens(i, toks, 4)
-        })
-        .collect()
-}
-
-fn tagged_workload() -> Vec<ClusterRequest> {
-    workload()
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| ClusterRequest::new(r, (i / 6) as u64))
-        .collect()
-}
-
 fn run_session() -> (Vec<llmqo::serve::Completion>, llmqo::serve::SessionReport) {
     let eng = engine();
     let mut session = eng.session().expect("session");
-    let requests = workload();
+    // 12 groups of 6 requests sharing a 48-token prefix: exercises
+    // admission, caching, eviction, and decode.
+    let requests = common::grouped_requests(12, 6);
     let completions = session.run_batch(&requests).expect("run").to_vec();
     (completions, session.finish())
 }
 
 fn run_cluster(router: &mut dyn Router) -> ClusterReport {
-    let sim = ClusterSim::new(
-        engine(),
-        ClusterConfig {
-            replicas: 3,
-            queue_cap: 16,
-        },
-    );
-    sim.run(router, &tagged_workload()).expect("cluster run")
-}
-
-fn skewed_truth(row: usize) -> String {
-    if row.is_multiple_of(20) {
-        "Yes".to_string()
-    } else {
-        "No".to_string()
-    }
+    common::cluster_sim(3, 16)
+        .run(router, &common::grouped_workload(12, 6))
+        .expect("cluster run")
 }
 
 fn run_sql(ds: &Dataset, table_name: &str, sql: &str) -> SqlResult {
-    let eng = engine();
-    let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
-    let solver = Ggr::default();
-    let mut runner = SqlRunner::new(&executor, &solver).with_optimizer(OptimizerConfig::all());
-    runner.register(table_name, &ds.table, &ds.fds);
-    runner
-        .run(sql, &skewed_truth)
-        .unwrap_or_else(|e| panic!("{sql}: {e}"))
-}
-
-/// Equality on every sim-deterministic field of a SQL result.
-/// `ExecutionReport::solve_time_s` is wall-clock and differs between any
-/// two runs, so whole-struct `==` is the one comparison we cannot make.
-fn assert_sql_identical(a: &SqlResult, b: &SqlResult, context: &str) {
-    assert_eq!(a.columns, b.columns, "{context}: columns");
-    assert_eq!(a.rows, b.rows, "{context}: rows");
-    assert_eq!(a.aggregate, b.aggregate, "{context}: aggregate");
-    assert_eq!(a.notes, b.notes, "{context}: notes");
-    assert_eq!(a.stages.len(), b.stages.len(), "{context}: stage count");
-    for (x, y) in a.stages.iter().zip(&b.stages) {
-        assert_eq!(x.outputs, y.outputs, "{context}: stage outputs");
-        assert_eq!(x.aggregate, y.aggregate, "{context}: stage aggregate");
-        assert_eq!(x.report.query, y.report.query, "{context}: stage query");
-        assert_eq!(x.report.engine, y.report.engine, "{context}: engine report");
-        assert_eq!(x.report.opt, y.report.opt, "{context}: opt stats");
-    }
+    common::run_sql_with_truth(ds, sql, OptimizerConfig::all(), table_name, &skewed_truth)
 }
 
 /// Instrumented-but-disabled engine runs are identical to enabled runs:
@@ -161,58 +93,7 @@ fn cluster_reports_are_invisible_to_observability() {
 #[test]
 fn sql_results_are_invisible_to_observability_on_all_seven_datasets() {
     let _g = lock();
-    let cases: &[(DatasetId, &str, &str)] = &[
-        (
-            DatasetId::Movies,
-            "movies",
-            "SELECT movietitle FROM movies \
-             WHERE LLM('kids?', movieinfo, reviewcontent) = 'Yes' \
-             AND LLM('fresh?', reviewtype, topcritic) <> 'Yes'",
-        ),
-        (
-            DatasetId::Products,
-            "products",
-            "SELECT product_title FROM products \
-             WHERE LLM('useful?', text, review_title) = 'Yes' \
-             AND LLM('verified?', verified_purchase, rating) <> 'Yes'",
-        ),
-        (
-            DatasetId::Bird,
-            "bird",
-            "SELECT PostId FROM bird \
-             WHERE LLM('stats?', Body, Text) = 'Yes' \
-             AND LLM('old?', PostDate) <> 'Yes' LIMIT 6",
-        ),
-        (
-            DatasetId::Pdmx,
-            "pdmx",
-            "SELECT artistname FROM pdmx \
-             WHERE LLM('complex?', complexity, genre) = 'Yes' \
-             AND LLM('grouped?', groups, composername) <> 'Yes'",
-        ),
-        (
-            DatasetId::Beer,
-            "beer",
-            "SELECT beer/name FROM beer \
-             WHERE LLM('good?', review/overall, review/palate) = 'Yes' \
-             AND LLM('ipa?', beer/style) <> 'Yes' LIMIT 8",
-        ),
-        (
-            DatasetId::Squad,
-            "squad",
-            "SELECT question FROM squad \
-             WHERE LLM('answerable?', question, context1) = 'Yes' \
-             AND LLM('short?', context2) <> 'Yes'",
-        ),
-        (
-            DatasetId::Fever,
-            "fever",
-            "SELECT claim FROM fever \
-             WHERE LLM('supported?', claim, context1) = 'Yes' \
-             AND LLM('refuted?', context2, context3) <> 'Yes' LIMIT 5",
-        ),
-    ];
-    for &(id, name, sql) in cases {
+    for (id, name, sql) in common::seven_dataset_cases() {
         let ds = Dataset::generate_with_rows(id, 120);
         llmqo_obs::set_enabled(false);
         let disabled = run_sql(&ds, name, sql);

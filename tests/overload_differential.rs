@@ -11,62 +11,18 @@
 //! resumes from a [`StatementCheckpoint`] with byte-identical final rows
 //! and strictly fewer re-issued LLM calls.
 
+mod common;
+
+use common::{cluster_sim as sim, engine, prioritized_workload as workload, routers, skewed_truth};
 use llmqo::cluster::{
-    AdmissionPolicy, ArrivalProcess, ClusterConfig, ClusterRequest, ClusterSim, FaultPlan,
-    LeastLoaded, OverloadPolicy, PrefixAffinity, RetryPolicy, RoundRobin, Router, ScalePolicy,
+    AdmissionPolicy, ArrivalProcess, FaultPlan, LeastLoaded, OverloadPolicy, PrefixAffinity,
+    RetryPolicy, RoundRobin, ScalePolicy,
 };
 use llmqo::core::Ggr;
 use llmqo::datasets::{Dataset, DatasetId};
 use llmqo::relational::{OptimizerConfig, QueryExecutor, SqlResult, SqlRunner, StatementFaults};
-use llmqo::serve::{
-    Deployment, EngineConfig, GpuCluster, GpuSpec, ModelSpec, OracleLlm, SimEngine, SimRequest,
-};
+use llmqo::serve::OracleLlm;
 use llmqo::tokenizer::Tokenizer;
-
-fn engine() -> SimEngine {
-    SimEngine::new(
-        Deployment::new(ModelSpec::llama3_8b(), GpuCluster::single(GpuSpec::l4())),
-        EngineConfig::default(),
-    )
-}
-
-/// Grouped shared-prefix workload; every `prio_every`-th request is a
-/// priority-1 request of tenant 1 (the "premium" tenant), the rest are
-/// best-effort tenant-0 traffic.
-fn workload(groups: usize, per_group: usize, prio_every: usize) -> Vec<ClusterRequest> {
-    (0..groups * per_group)
-        .map(|i| {
-            let g = (i / per_group) as u32;
-            let mut toks: Vec<u32> = (0..48).map(|j| g * 1000 + j).collect();
-            toks.extend((0..12).map(|j| 500_000 + i as u32 * 64 + j));
-            let r = ClusterRequest::new(SimRequest::from_tokens(i, toks, 4), u64::from(g));
-            if prio_every > 0 && i.is_multiple_of(prio_every) {
-                r.tenant(1).priority(1)
-            } else {
-                r
-            }
-        })
-        .collect()
-}
-
-fn sim(replicas: usize, queue_cap: usize) -> ClusterSim {
-    ClusterSim::new(
-        engine(),
-        ClusterConfig {
-            replicas,
-            queue_cap,
-        },
-    )
-}
-
-fn routers() -> Vec<Box<dyn Router>> {
-    vec![
-        Box::new(RoundRobin),
-        Box::new(LeastLoaded),
-        Box::new(PrefixAffinity::default()),
-        Box::new(PrefixAffinity::bounded(1.25)),
-    ]
-}
 
 // ---------------------------------------------------------------------------
 // Inert identity
@@ -467,66 +423,6 @@ fn invalid_overload_policies_are_rejected() {
 // Statement checkpoint/resume
 // ---------------------------------------------------------------------------
 
-fn skewed_truth(row: usize) -> String {
-    if row.is_multiple_of(20) {
-        "Yes".to_string()
-    } else {
-        "No".to_string()
-    }
-}
-
-const SQL_CASES: &[(DatasetId, &str, &str)] = &[
-    (
-        DatasetId::Movies,
-        "movies",
-        "SELECT movietitle FROM movies \
-         WHERE LLM('kids?', movieinfo, reviewcontent) = 'Yes' \
-         AND LLM('fresh?', reviewtype, topcritic) <> 'Yes'",
-    ),
-    (
-        DatasetId::Products,
-        "products",
-        "SELECT product_title FROM products \
-         WHERE LLM('useful?', text, review_title) = 'Yes' \
-         AND LLM('verified?', verified_purchase, rating) <> 'Yes'",
-    ),
-    (
-        DatasetId::Bird,
-        "bird",
-        "SELECT PostId FROM bird \
-         WHERE LLM('stats?', Body, Text) = 'Yes' \
-         AND LLM('old?', PostDate) <> 'Yes' LIMIT 6",
-    ),
-    (
-        DatasetId::Pdmx,
-        "pdmx",
-        "SELECT artistname FROM pdmx \
-         WHERE LLM('complex?', complexity, genre) = 'Yes' \
-         AND LLM('grouped?', groups, composername) <> 'Yes'",
-    ),
-    (
-        DatasetId::Beer,
-        "beer",
-        "SELECT beer/name FROM beer \
-         WHERE LLM('good?', review/overall, review/palate) = 'Yes' \
-         AND LLM('ipa?', beer/style) <> 'Yes' LIMIT 8",
-    ),
-    (
-        DatasetId::Squad,
-        "squad",
-        "SELECT question FROM squad \
-         WHERE LLM('answerable?', question, context1) = 'Yes' \
-         AND LLM('short?', context2) <> 'Yes'",
-    ),
-    (
-        DatasetId::Fever,
-        "fever",
-        "SELECT claim FROM fever \
-         WHERE LLM('supported?', claim, context1) = 'Yes' \
-         AND LLM('refuted?', context2, context3) <> 'Yes' LIMIT 5",
-    ),
-];
-
 /// Result equality on every sim-deterministic field *except* engine/opt
 /// reports (a resumed run deliberately does less engine work).
 fn assert_rows_identical(a: &SqlResult, b: &SqlResult, context: &str) {
@@ -544,7 +440,7 @@ fn llm_calls(r: &SqlResult) -> u64 {
 #[test]
 fn empty_checkpoint_restore_is_byte_identical_on_all_seven_datasets() {
     let solver = Ggr::default();
-    for &(id, name, sql) in SQL_CASES {
+    for (id, name, sql) in common::seven_dataset_cases() {
         let ds = Dataset::generate_with_rows(id, 120);
 
         let eng_a = engine();
@@ -582,7 +478,7 @@ fn mid_statement_crash_resumes_from_checkpoint_with_fewer_llm_calls() {
     // filter, with cache inserts landing after each completed batch — the
     // shape that makes a mid-statement death checkpointable.
     let ds = Dataset::generate_with_rows(DatasetId::Bird, 120);
-    let (_, name, sql) = SQL_CASES[2];
+    let (_, name, sql) = common::seven_dataset_cases()[2];
     let solver = Ggr::default();
 
     // Clean baseline on a cold executor.
@@ -651,7 +547,7 @@ fn mid_statement_crash_resumes_from_checkpoint_with_fewer_llm_calls() {
 #[test]
 fn checkpoint_respects_cache_budget_and_still_matches() {
     let ds = Dataset::generate_with_rows(DatasetId::Movies, 120);
-    let (_, name, sql) = SQL_CASES[0];
+    let (_, name, sql) = common::seven_dataset_cases()[0];
     let solver = Ggr::default();
 
     let eng_a = engine();

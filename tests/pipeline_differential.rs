@@ -7,9 +7,12 @@
 //! event must reproduce the single-stepped schedule bit for bit under all
 //! four built-in routers, while actually taking macro-steps.
 
+mod common;
+
+use common::{assert_same_results, engine, run_sql};
 use llmqo::cluster::{
-    tag_requests, ClusterConfig, ClusterReport, ClusterRequest, ClusterSim, LeastLoaded,
-    PrefixAffinity, ReplicaSnapshot, RoundRobin, Router,
+    tag_requests, ClusterReport, ClusterRequest, ClusterSim, LeastLoaded, PrefixAffinity,
+    ReplicaSnapshot, RoundRobin, Router,
 };
 use llmqo::core::{FunctionalDeps, Ggr, Reorderer};
 use llmqo::datasets::{Dataset, DatasetId};
@@ -17,17 +20,8 @@ use llmqo::relational::{
     encode_table, plan_requests, LlmQuery, OptimizerConfig, QueryExecutor, Schema, SqlResult,
     SqlRunner, StatementFaults, Table,
 };
-use llmqo::serve::{
-    Deployment, EngineConfig, GpuCluster, GpuSpec, ModelSpec, OracleLlm, SimEngine,
-};
+use llmqo::serve::OracleLlm;
 use llmqo::tokenizer::Tokenizer;
-
-fn engine() -> SimEngine {
-    SimEngine::new(
-        Deployment::new(ModelSpec::llama3_8b(), GpuCluster::single(GpuSpec::l4())),
-        EngineConfig::default(),
-    )
-}
 
 /// The pipelined config under test: fan-out across 3 replicas with
 /// micro-batches small enough that 60-row tables take several.
@@ -37,49 +31,14 @@ fn pipelined() -> OptimizerConfig {
     opt
 }
 
-fn run_sql(ds: &Dataset, sql: &str, opt: OptimizerConfig, table_name: &str) -> SqlResult {
-    let eng = engine();
-    let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
-    let solver = Ggr::default();
-    let mut runner = SqlRunner::new(&executor, &solver).with_optimizer(opt);
-    runner.register(table_name, &ds.table, &ds.fds);
-    let truth = |row: usize| {
-        if row.is_multiple_of(3) {
-            "Yes".to_string()
-        } else {
-            "No".to_string()
-        }
-    };
-    runner
-        .run(sql, &truth)
-        .unwrap_or_else(|e| panic!("{sql}: {e}"))
-}
-
-fn assert_same_results(a: &SqlResult, b: &SqlResult, context: &str) {
-    assert_eq!(a.columns, b.columns, "{context}: columns diverged");
-    assert_eq!(a.rows, b.rows, "{context}: rows diverged");
-    assert_eq!(a.aggregate, b.aggregate, "{context}: aggregate diverged");
-}
-
 /// Pipelined + fan-out execution returns exactly what the sequential relay
 /// and the optimizations-off oracle return, on every tier-1 dataset, for
 /// single-filter, multi-filter + LIMIT, and LLM-projection statements built
 /// from each dataset's own schema.
 #[test]
 fn pipelined_matches_sequential_and_oracle_on_all_datasets() {
-    for id in DatasetId::all() {
-        let ds = Dataset::generate_with_rows(id, 60);
-        let names = ds.table.schema().names();
-        let (c0, c1) = (names[0].to_string(), names[1 % names.len()].to_string());
-        let statements = [
-            format!("SELECT {c0} FROM t WHERE LLM('keep?', {c1}) = 'Yes'"),
-            format!(
-                "SELECT {c0} FROM t WHERE LLM('a?', {c0}, {c1}) = 'Yes' \
-                 AND LLM('b?', {c1}) <> 'No' LIMIT 7"
-            ),
-            format!("SELECT LLM('summarize', {c1}) AS s FROM t WHERE LLM('keep?', {c0}) = 'Yes'"),
-        ];
-        for sql in &statements {
+    for (id, ds) in common::tier1_datasets(60) {
+        for sql in &common::generic_statements(&ds) {
             let piped = run_sql(&ds, sql, pipelined(), "t");
             let sequential = run_sql(&ds, sql, OptimizerConfig::all(), "t");
             let oracle = run_sql(&ds, sql, OptimizerConfig::none(), "t");
@@ -217,13 +176,7 @@ fn bursty_workload(rows: usize, burst: usize, gap_s: f64) -> Vec<ClusterRequest>
 }
 
 fn tight_sim(replicas: usize, queue_cap: usize) -> ClusterSim {
-    ClusterSim::new(
-        engine(),
-        ClusterConfig {
-            replicas,
-            queue_cap,
-        },
-    )
+    common::cluster_sim(replicas, queue_cap)
 }
 
 /// Acceptance: batch-arrival sweeps through backpressure macro-step (the

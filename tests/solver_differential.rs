@@ -7,11 +7,12 @@
 //! dataset the tier-1 suite exercises. Any divergence here means the
 //! columnar core changed *behaviour*, not just speed, and is a bug.
 
+mod common;
+
 use llmqo::core::{
     Cell, FallbackOrdering, FunctionalDeps, Ggr, GgrConfig, GgrReference, Ophr, OphrReference,
     ReorderTable, Reorderer, Solution, ValueId,
 };
-use llmqo::datasets::{Dataset, DatasetId};
 use llmqo::relational::{encode_table, project_fds};
 use llmqo::tokenizer::Tokenizer;
 use proptest::prelude::*;
@@ -168,8 +169,7 @@ proptest! {
 #[test]
 fn solvers_match_reference_on_all_tier1_datasets() {
     let tokenizer = Tokenizer::new();
-    for id in DatasetId::all() {
-        let ds = Dataset::generate_with_rows(id, 120);
+    for (id, ds) in common::tier1_datasets(120) {
         let query = ds.queries.first().expect("every dataset has queries");
         let encoded = encode_table(&tokenizer, &ds.table, query).expect("encoding succeeds");
         let fds = project_fds(&ds.fds, &encoded.used_cols);

@@ -5,27 +5,20 @@
 //! duplicate-heavy filters and strictly fewer engine requests under
 //! `LIMIT k` than full materialization.
 
+mod common;
+
+use common::{engine, run_sql};
 use llmqo::core::Ggr;
 use llmqo::datasets::{Dataset, DatasetId};
 use llmqo::relational::{ExecOptions, OptimizerConfig, QueryExecutor, SqlResult, SqlRunner};
-use llmqo::serve::{
-    Deployment, EngineConfig, GpuCluster, GpuSpec, ModelSpec, OracleLlm, SimEngine,
-};
+use llmqo::serve::OracleLlm;
 use llmqo::tokenizer::Tokenizer;
-
-fn engine() -> SimEngine {
-    SimEngine::new(
-        Deployment::new(ModelSpec::llama3_8b(), GpuCluster::single(GpuSpec::l4())),
-        EngineConfig::default(),
-    )
-}
 
 /// Dedup at the executor level: byte-identical outputs for every query of
 /// every tier-1 dataset, never more engine requests than rows.
 #[test]
 fn dedup_execution_is_output_identical_on_all_datasets() {
-    for id in DatasetId::all() {
-        let ds = Dataset::generate_with_rows(id, 80);
+    for (id, ds) in common::tier1_datasets(80) {
         let eng = engine();
         let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
         let solver = Ggr::default();
@@ -68,24 +61,6 @@ fn dedup_execution_is_output_identical_on_all_datasets() {
             );
         }
     }
-}
-
-fn run_sql(ds: &Dataset, sql: &str, opt: OptimizerConfig, table_name: &str) -> SqlResult {
-    let eng = engine();
-    let executor = QueryExecutor::new(&eng, &OracleLlm, Tokenizer::new());
-    let solver = Ggr::default();
-    let mut runner = SqlRunner::new(&executor, &solver).with_optimizer(opt);
-    runner.register(table_name, &ds.table, &ds.fds);
-    let truth = |row: usize| {
-        if row.is_multiple_of(3) {
-            "Yes".to_string()
-        } else {
-            "No".to_string()
-        }
-    };
-    runner
-        .run(sql, &truth)
-        .unwrap_or_else(|e| panic!("{sql}: {e}"))
 }
 
 /// SQL statements with conjunctive WHERE clauses, negation, projections and
